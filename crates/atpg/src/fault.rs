@@ -1,0 +1,104 @@
+//! The single stuck-at fault model.
+
+use std::fmt;
+
+use htforge_netlist::netlist::NodeId;
+
+/// A single stuck-at fault: node `node` permanently at `stuck_at`.
+///
+/// The paper converts each *rare event* (rare node `n` at rare value `r`)
+/// into the stuck-at-`r̄` fault at `n`, so that any test for the fault
+/// drives `n` to `r` (§III-C; also the ND-ATPG detection scheme).
+///
+/// # Examples
+///
+/// ```
+/// use htforge_atpg::Fault;
+/// use htforge_netlist::netlist::NodeId;
+///
+/// let n = NodeId::from_index(3);
+/// let f = Fault::for_rare_event(n, true); // rare value 1 → stuck-at-0
+/// assert_eq!(f.stuck_value(), false);
+/// assert_eq!(f.excitation_value(), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    node: NodeId,
+    stuck_at: bool,
+}
+
+impl Fault {
+    /// The fault `node` stuck-at-`value`.
+    #[must_use]
+    pub fn stuck_at(node: NodeId, value: bool) -> Self {
+        Fault {
+            node,
+            stuck_at: value,
+        }
+    }
+
+    /// The fault whose test drives `node` to `rare_value`
+    /// (i.e. `node` stuck-at-`!rare_value`).
+    #[must_use]
+    pub fn for_rare_event(node: NodeId, rare_value: bool) -> Self {
+        Fault {
+            node,
+            stuck_at: !rare_value,
+        }
+    }
+
+    /// The faulty node.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// The stuck value.
+    ///
+    /// Named `stuck_at` would clash with the constructor; kept as a getter
+    /// for symmetry with [`Fault::excitation_value`].
+    #[must_use]
+    pub fn stuck_value(self) -> bool {
+        self.stuck_at
+    }
+
+    /// The good-circuit value required at the fault site to excite the
+    /// fault (the complement of the stuck value).
+    #[must_use]
+    pub fn excitation_value(self) -> bool {
+        !self.stuck_at
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} s-a-{}",
+            self.node,
+            if self.stuck_at { 1 } else { 0 }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_event_conversion() {
+        let n = NodeId::from_index(7);
+        let f1 = Fault::for_rare_event(n, true);
+        assert!(!f1.stuck_value());
+        assert!(f1.excitation_value());
+        let f0 = Fault::for_rare_event(n, false);
+        assert!(f0.stuck_value());
+        assert!(!f0.excitation_value());
+    }
+
+    #[test]
+    fn display() {
+        let f = Fault::stuck_at(NodeId::from_index(2), true);
+        assert_eq!(f.to_string(), "n2 s-a-1");
+    }
+}

@@ -1,0 +1,59 @@
+//! Baseline hardware-trojan insertion frameworks.
+//!
+//! The paper's Tables II and III compare the proposed compatibility-graph
+//! framework against three families of inserters, all re-implemented here
+//! against the same substrate (netlist, simulation, trigger synthesis):
+//!
+//! * [`random`] — **Random HT insertion**: uniformly sampled rare-node
+//!   subsets validated by brute-force joint-trigger search. The
+//!   rejection-sampling validation is what makes its insertion times
+//!   explode (Table III).
+//! * [`rl`] — **Reinforcement-learning insertion** (ATTRITION / Sarihi
+//!   et al. style): a tabular Q-learning agent learns which rare nodes
+//!   co-trigger, paying a simulation-based validation per episode.
+//! * [`trusthub`] — **Trust-Hub-style template insertion**: small,
+//!   fixed trigger counts (q ≤ 7) over the rarest nodes, mimicking the
+//!   manually curated benchmark family.
+//!
+//! All inserters produce [`BaselineOutcome`]s containing the same
+//! [`htforge_core::InfectedDesign`] type the core
+//! framework emits, so the detection harness evaluates every family
+//! identically.
+
+pub mod random;
+pub mod rl;
+pub mod trusthub;
+pub mod validate;
+
+pub use random::RandomInserter;
+pub use rl::{RlConfig, RlInserter};
+pub use trusthub::TrustHubInserter;
+pub use validate::{find_joint_trigger, ValidationBudget};
+
+use std::time::Duration;
+
+use htforge_core::InfectedDesign;
+
+/// The result of one baseline insertion campaign.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Successfully validated infected designs.
+    pub infected: Vec<InfectedDesign>,
+    /// Candidate trigger sets that failed validation.
+    pub rejected: usize,
+    /// Total wall-clock time, validation included.
+    pub elapsed: Duration,
+}
+
+impl BaselineOutcome {
+    /// Designs produced per second (0 when empty).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.infected.len() as f64 / secs
+        }
+    }
+}

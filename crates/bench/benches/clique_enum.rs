@@ -1,0 +1,33 @@
+//! Criterion bench: clique enumeration over the compatibility graph —
+//! the `find_cliques(G, q, N)` step whose scalability Table IV reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htforge_atpg::PodemConfig;
+use htforge_core::{clique, CompatGraph};
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+fn bench_clique_enum(c: &mut Criterion) {
+    let nl = htforge_circuits::load("c2670").expect("known circuit");
+    let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
+    let rare = RareNodeExtractor::new(0.20)
+        .extract(&nl, &patterns)
+        .expect("valid netlist");
+    let graph = CompatGraph::build(&nl, &rare, PodemConfig::justify())
+        .expect("combinational");
+    let q = clique::max_feasible_size(&graph, 16, 1).max(2);
+
+    let mut group = c.benchmark_group("clique_enum");
+    for limit in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c2670/q{q}/N{limit}")),
+            &limit,
+            |b, &limit| {
+                b.iter(|| clique::enumerate_cliques(&graph, q, limit, 1).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique_enum);
+criterion_main!(benches);

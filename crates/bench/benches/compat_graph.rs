@@ -1,0 +1,30 @@
+//! Criterion bench: compatibility-graph construction (Algorithm 2) —
+//! cube generation plus the pairwise care-bit conflict matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htforge_atpg::PodemConfig;
+use htforge_core::CompatGraph;
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+fn bench_compat_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compat_graph");
+    group.sample_size(10);
+    for name in ["c17", "c2670"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
+        let rare = RareNodeExtractor::new(0.20)
+            .extract(&nl, &patterns)
+            .expect("valid netlist");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| {
+                CompatGraph::build(nl, &rare, PodemConfig::justify())
+                    .expect("combinational")
+                    .edge_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compat_graph);
+criterion_main!(benches);

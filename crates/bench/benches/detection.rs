@@ -1,0 +1,37 @@
+//! Criterion bench: detection test-set generation — the Random, MERO and
+//! ND-ATPG schemes whose outputs grade Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htforge_detect::{DetectionScheme, MeroDetection, NdAtpgDetection, RandomDetection};
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+fn bench_detection(c: &mut Criterion) {
+    let nl = htforge_circuits::load("c2670").expect("known circuit");
+    let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
+    let rare = RareNodeExtractor::new(0.20)
+        .extract(&nl, &patterns)
+        .expect("valid netlist");
+
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+
+    group.bench_function("random/c2670/10k", |b| {
+        let scheme = RandomDetection::new(10_000, 7);
+        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+    });
+
+    group.bench_function("mero/c2670/n20", |b| {
+        let scheme = MeroDetection::new(20, 500, 7);
+        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+    });
+
+    group.bench_function("ndatpg/c2670/n2", |b| {
+        let scheme = NdAtpgDetection::new(2, 7);
+        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: end-to-end insertion time — proposed framework vs
+//! the random and RL baselines (the Table III comparison, miniaturized).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htforge_atpg::PodemConfig;
+use htforge_baselines::{RandomInserter, RlConfig, RlInserter, ValidationBudget};
+use htforge_core::{InsertionConfig, InsertionFramework};
+
+fn bench_insertion(c: &mut Criterion) {
+    let nl = htforge_circuits::load("c2670").expect("known circuit");
+    let mut group = c.benchmark_group("insertion_time");
+    group.sample_size(10);
+
+    group.bench_function("proposed/c2670/q8/n3", |b| {
+        let framework = InsertionFramework::new(InsertionConfig {
+            theta: 0.20,
+            num_vectors: 4_000,
+            trigger_nodes: 8,
+            num_instances: 3,
+            seed: 1,
+            podem: PodemConfig::justify(),
+            ..InsertionConfig::default()
+        });
+        b.iter(|| framework.run(&nl).map(|o| o.infected.len()).unwrap_or(0));
+    });
+
+    group.bench_function("random/c2670/q4/n3", |b| {
+        let inserter = RandomInserter::new(4, 3)
+            .with_theta(0.20)
+            .with_profile_vectors(4_000)
+            .with_budget(ValidationBudget {
+                vectors: 20_000,
+                batch: 4_096,
+            })
+            .with_max_attempts(10);
+        b.iter(|| inserter.run(&nl, 1).map(|o| o.infected.len()).unwrap_or(0));
+    });
+
+    group.bench_function("rl/c2670/q4/n3", |b| {
+        let inserter = RlInserter::new(RlConfig {
+            trigger_nodes: 4,
+            num_instances: 3,
+            episodes: 30,
+            theta: 0.20,
+            profile_vectors: 4_000,
+            budget: ValidationBudget {
+                vectors: 20_000,
+                batch: 4_096,
+            },
+            ..RlConfig::default()
+        });
+        b.iter(|| inserter.run(&nl, 1).map(|o| o.infected.len()).unwrap_or(0));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

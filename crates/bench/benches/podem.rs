@@ -1,0 +1,46 @@
+//! Criterion bench: PODEM cube generation — the per-rare-event cost of
+//! Algorithm 2's test-vector step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htforge_atpg::{Fault, Podem, PodemConfig};
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+fn bench_podem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("podem");
+    for (name, mode_name, config) in [
+        ("c2670", "justify", PodemConfig::justify()),
+        ("c2670", "detect", PodemConfig::default()),
+        ("c6288", "justify", PodemConfig::justify()),
+    ] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
+        let rare = RareNodeExtractor::new(0.20)
+            .extract(&nl, &patterns)
+            .expect("valid netlist");
+        let faults: Vec<Fault> = rare
+            .iter()
+            .take(32)
+            .map(|r| Fault::for_rare_event(r.node, r.rare_value))
+            .collect();
+        assert!(!faults.is_empty(), "{name} should have rare nodes");
+        let mut podem = Podem::new(&nl, config).expect("combinational");
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{name}/{mode_name}/32-faults")),
+            |b| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &fault in &faults {
+                        if podem.generate(fault).is_test() {
+                            found += 1;
+                        }
+                    }
+                    found
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_podem);
+criterion_main!(benches);

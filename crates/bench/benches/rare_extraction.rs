@@ -1,0 +1,25 @@
+//! Criterion bench: Algorithm 1 (rare-node extraction) throughput —
+//! the profiling phase behind Figs. 2–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+fn bench_rare_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rare_extraction");
+    for name in ["c17", "c2670", "c3540"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| {
+                RareNodeExtractor::new(0.20)
+                    .extract(nl, &patterns)
+                    .expect("valid netlist")
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rare_extraction);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: bit-parallel simulation throughput — the substrate
+//! every phase (profiling, MERO, coverage evaluation) stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use htforge_sim::{simulator::BoundSimulator, PatternSet};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    for name in ["c2670", "c6288", "s13207"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let comb = if nl.dffs().is_empty() {
+            nl.clone()
+        } else {
+            nl.scan_cut()
+        };
+        let sim = BoundSimulator::new(&comb).expect("combinational");
+        let vectors = 4_096usize;
+        let patterns = PatternSet::random(comb.inputs().len(), vectors, 9);
+        group.throughput(Throughput::Elements(
+            (vectors * comb.gate_count()) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.run(&patterns).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

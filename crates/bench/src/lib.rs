@@ -1,0 +1,184 @@
+//! Shared harness utilities for the per-table/figure benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §2 for the index). All binaries accept:
+//!
+//! * `--full` — paper-scale parameters (10 000 profiling vectors, all
+//!   eight circuits, full instance counts). The default is a scaled-down
+//!   configuration that completes in seconds.
+//! * `--circuits a,b,c` — restrict to a subset of circuits.
+//!
+//! The Criterion benches under `benches/` time the individual pipeline
+//! phases on fixed configurations.
+
+use std::fmt::Write as _;
+
+/// Parsed command-line options shared by the table binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessOpts {
+    /// Paper-scale parameters when set (`--full`).
+    pub full: bool,
+    /// Circuits to run on (defaults chosen by each binary).
+    pub circuits: Option<Vec<String>>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage help) on unknown flags.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut opts = HarnessOpts {
+            full: false,
+            circuits: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--circuits" => {
+                    let list = args
+                        .next()
+                        .expect("--circuits requires a comma-separated list");
+                    opts.circuits =
+                        Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+                }
+                other => panic!(
+                    "unknown flag `{other}` (supported: --full, --circuits a,b,c)"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// The circuit list to use, defaulting to `default` (scaled mode) or
+    /// all eight paper benchmarks (`--full`).
+    #[must_use]
+    pub fn circuits_or(&self, default: &[&str]) -> Vec<String> {
+        match &self.circuits {
+            Some(list) => list.clone(),
+            None if self.full => htforge_circuits::paper_benchmarks()
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            None => default.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+/// Minimal fixed-width table printer for terminal reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+                if c + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a `Duration` in minutes with the paper's precision.
+#[must_use]
+pub fn minutes(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() / 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["circuit", "value"]);
+        t.row(vec!["c2670", "1"]);
+        t.row(vec!["s35932", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("circuit"));
+        assert!(lines[3].contains("12345"));
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn minutes_formatting() {
+        assert_eq!(minutes(std::time::Duration::from_secs(60)), "1.000");
+        assert_eq!(minutes(std::time::Duration::from_millis(10980)), "0.183");
+    }
+
+    #[test]
+    fn circuits_or_default_and_full() {
+        let opts = HarnessOpts {
+            full: false,
+            circuits: None,
+        };
+        assert_eq!(opts.circuits_or(&["c17"]), vec!["c17".to_owned()]);
+        let full = HarnessOpts {
+            full: true,
+            circuits: None,
+        };
+        assert_eq!(full.circuits_or(&["c17"]).len(), 8);
+        let explicit = HarnessOpts {
+            full: false,
+            circuits: Some(vec!["c2670".into()]),
+        };
+        assert_eq!(explicit.circuits_or(&["c17"]), vec!["c2670".to_owned()]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Genuine (public-domain) ISCAS circuits that are small enough to embed.
+
+use htforge_netlist::{bench, Netlist};
+
+/// The `.bench` source of ISCAS-85 c17, the classic 6-NAND example.
+pub const C17_BENCH: &str = "\
+# c17 — ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Builds ISCAS-85 c17.
+///
+/// # Examples
+///
+/// ```
+/// let nl = htforge_circuits::iscas::c17();
+/// assert_eq!(nl.gate_count(), 6);
+/// ```
+#[must_use]
+pub fn c17() -> Netlist {
+    bench::parse(C17_BENCH, "c17").expect("embedded c17 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_structure() {
+        let nl = c17();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.gate_count(), 6);
+        assert!(nl.validate().is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! Benchmark circuits for `htforge`.
+//!
+//! The paper evaluates on ISCAS-85 (c2670, c3540, c5315, c6288) and
+//! ISCAS-89 (s1423, s13207, s15850, s35932). The original netlist files
+//! are not redistributable here, so this crate supplies **calibrated
+//! substitutes** (see `DESIGN.md` §3):
+//!
+//! * [`c17`](iscas::c17) — the real, tiny ISCAS-85 c17 (public domain,
+//!   reproduced from the literature),
+//! * [`multiplier`] — a real structural 16×16 carry-save array multiplier
+//!   standing in for c6288 (which *is* a 16×16 multiplier),
+//! * [`synth`] — a seeded synthetic netlist generator producing
+//!   levelized, reconvergent random logic calibrated to the published
+//!   gate/PI/PO/DFF counts of the remaining circuits.
+//!
+//! Every substitute is deterministic: the same name always yields the
+//! same netlist, so experiment tables are reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! let nl = htforge_circuits::load("c2670")?;
+//! assert_eq!(nl.inputs().len(), 233);
+//! assert!(htforge_circuits::names().contains(&"c6288"));
+//! # Ok::<(), htforge_circuits::CircuitError>(())
+//! ```
+
+pub mod iscas;
+pub mod multiplier;
+pub mod synth;
+
+use std::fmt;
+
+use htforge_netlist::Netlist;
+
+/// Error returned by [`load`] for unknown circuit names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitError {
+    name: String,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown circuit `{}` (known: {})",
+            self.name,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Names of all built-in circuits: the full ISCAS-85/89 families
+/// (`c17` is real, `c6288` is a real multiplier, the rest are calibrated
+/// synthetic substitutes).
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
+        "c6288", "c7552", "s1423", "s5378", "s9234", "s13207", "s15850", "s35932",
+        "s38417", "s38584",
+    ]
+}
+
+/// The eight circuits of the paper's evaluation tables.
+#[must_use]
+pub fn paper_benchmarks() -> Vec<&'static str> {
+    vec![
+        "c2670", "c3540", "c5315", "c6288", "s1423", "s13207", "s15850", "s35932",
+    ]
+}
+
+/// Loads a built-in circuit by name.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] for names not in [`names`].
+pub fn load(name: &str) -> Result<Netlist, CircuitError> {
+    match name {
+        "c17" => Ok(iscas::c17()),
+        "c6288" => Ok(multiplier::multiplier("c6288", 16)),
+        other => {
+            let profile = synth::CircuitProfile::for_name(other).ok_or_else(|| {
+                CircuitError {
+                    name: other.to_owned(),
+                }
+            })?;
+            Ok(synth::generate(&profile))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_load_and_validate() {
+        for name in names() {
+            let nl = load(name).unwrap();
+            assert!(nl.validate().is_ok(), "{name} invalid");
+            assert_eq!(nl.name(), name);
+        }
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = htforge_netlist::bench::write(&load("c2670").unwrap());
+        let b = htforge_netlist::bench::write(&load("c2670").unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = load("c9999").unwrap_err();
+        assert!(err.to_string().contains("c9999"));
+    }
+
+    #[test]
+    fn profiles_match_published_io_counts() {
+        let expect: &[(&str, usize, usize, usize)] = &[
+            ("c2670", 233, 140, 0),
+            ("c3540", 50, 22, 0),
+            ("c5315", 178, 123, 0),
+            ("c6288", 32, 32, 0),
+            ("s1423", 17, 5, 74),
+            ("s13207", 62, 152, 638),
+            ("s15850", 77, 150, 534),
+            ("s35932", 35, 320, 1728),
+        ];
+        for &(name, pis, pos, dffs) in expect {
+            let nl = load(name).unwrap();
+            assert_eq!(nl.inputs().len(), pis, "{name} PIs");
+            assert_eq!(nl.outputs().len(), pos, "{name} POs");
+            assert_eq!(nl.dffs().len(), dffs, "{name} DFFs");
+        }
+    }
+}

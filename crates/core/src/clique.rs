@@ -1,0 +1,506 @@
+//! Enumeration of complete subgraphs (cliques) of the compatibility
+//! graph — the `find_cliques(G, q, N)` step of Algorithm 2.
+//!
+//! The enumerator performs an ordered depth-first extension search: a
+//! clique `{v₁ < v₂ < … }` is only ever extended with vertices greater
+//! than its maximum, so every size-`q` clique is produced exactly once.
+//! Candidate sets are bit-packed rows of the compatibility matrix, making
+//! the intersection step a handful of word ANDs. The search stops as soon
+//! as `limit` cliques are found — the paper's Table IV caps range from
+//! 1 000 to ~22 000 subgraphs per circuit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use htforge_atpg::Cube;
+
+use crate::compat::CompatGraph;
+
+/// A complete subgraph of the compatibility graph: the trigger-node set
+/// of one trojan instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clique {
+    /// Vertex indices into [`CompatGraph::events`].
+    pub members: Vec<usize>,
+    /// The merged test cube that simultaneously drives every member to
+    /// its rare value — the trojan's (never-applied) activation vector.
+    pub activation_cube: Cube,
+}
+
+impl Clique {
+    /// Clique size (the trojan's trigger-node count `q`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the clique is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Enumerates up to `limit` cliques of size exactly `size`.
+///
+/// `order_seed` permutes the vertex visiting order: different seeds find
+/// different (overlapping) clique families first, which is how the
+/// framework diversifies the `N` trojan instances it emits.
+///
+/// Returns fewer than `limit` cliques (possibly zero) when the graph does
+/// not contain them.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+#[must_use]
+pub fn enumerate_cliques(
+    graph: &CompatGraph,
+    size: usize,
+    limit: usize,
+    order_seed: u64,
+) -> Vec<Clique> {
+    assert!(size > 0, "clique size must be positive");
+    let n = graph.len();
+    let mut out = Vec::new();
+    if n < size || limit == 0 {
+        return out;
+    }
+
+    // Visit vertices in a seeded random order, but keep extension
+    // candidates in ascending index order for exactly-once enumeration.
+    let mut roots: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    roots.shuffle(&mut rng);
+
+    let words = n.div_ceil(64);
+    let mut stack_members: Vec<usize> = Vec::with_capacity(size);
+
+    // Iterative DFS with explicit candidate sets.
+    fn extend(
+        graph: &CompatGraph,
+        members: &mut Vec<usize>,
+        candidates: &[u64],
+        size: usize,
+        limit: usize,
+        out: &mut Vec<Clique>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if members.len() == size {
+            let cube = graph
+                .merged_cube(members)
+                .expect("clique members are pairwise compatible");
+            out.push(Clique {
+                members: members.clone(),
+                activation_cube: cube,
+            });
+            return;
+        }
+        // Prune: not enough candidates left to reach `size`.
+        let remaining: usize = candidates.iter().map(|w| w.count_ones() as usize).sum();
+        if members.len() + remaining < size {
+            return;
+        }
+        let base = *members.last().expect("extend called with nonempty clique");
+        for (w, &word) in candidates.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = w * 64 + b;
+                if v <= base {
+                    continue; // ascending order ⇒ exactly-once
+                }
+                let row = graph.row(v);
+                let next: Vec<u64> = candidates
+                    .iter()
+                    .zip(row)
+                    .map(|(&c, &r)| c & r)
+                    .collect();
+                members.push(v);
+                extend(graph, members, &next, size, limit, out);
+                members.pop();
+                if out.len() >= limit {
+                    return;
+                }
+            }
+        }
+    }
+
+    for &root in &roots {
+        if out.len() >= limit {
+            break;
+        }
+        stack_members.clear();
+        stack_members.push(root);
+        if size == 1 {
+            let cube = graph.merged_cube(&stack_members).expect("single member");
+            out.push(Clique {
+                members: vec![root],
+                activation_cube: cube,
+            });
+            continue;
+        }
+        // Candidates: neighbors of root with index > root (ascending-order
+        // discipline also applies to the root so each clique is rooted at
+        // its minimum vertex).
+        let row = graph.row(root);
+        let mut candidates = vec![0u64; words];
+        candidates.copy_from_slice(row);
+        // Mask out indices <= root.
+        for w in 0..words {
+            let lo = w * 64;
+            if lo + 64 <= root + 1 {
+                candidates[w] = 0;
+            } else if lo <= root {
+                candidates[w] &= !((1u64 << (root - lo + 1)) - 1);
+            }
+        }
+        extend(graph, &mut stack_members, &candidates, size, limit, &mut out);
+    }
+    out
+}
+
+/// Samples up to `count` *distinct* cliques of size exactly `size` by
+/// randomized greedy growth with restarts.
+///
+/// Unlike [`enumerate_cliques`] this is not exhaustive — it may return
+/// fewer cliques than exist — but it never risks the exponential
+/// backtracking that exact search incurs when `size` approaches the
+/// graph's clique number. The framework uses it for large trigger
+/// counts; Table IV's exhaustive counts use [`enumerate_cliques`].
+#[must_use]
+pub fn sample_cliques(
+    graph: &CompatGraph,
+    size: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Clique> {
+    assert!(size > 0, "clique size must be positive");
+    let n = graph.len();
+    let mut out: Vec<Clique> = Vec::new();
+    if n < size || count == 0 {
+        return out;
+    }
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut push = |members: Vec<usize>, out: &mut Vec<Clique>| {
+        let mut key = members.clone();
+        key.sort_unstable();
+        if seen.insert(key) {
+            let cube = graph
+                .merged_cube(&members)
+                .expect("greedy members are pairwise compatible");
+            out.push(Clique {
+                members,
+                activation_cube: cube,
+            });
+        }
+    };
+
+    // Pass 1: deterministic greedy from every start vertex (shuffled).
+    // This is the same construction [`max_feasible_size`] probes with, so
+    // any size that probe reports is guaranteed to be sampleable here.
+    let mut starts: Vec<usize> = (0..n).collect();
+    starts.shuffle(&mut rng);
+    for &start in &starts {
+        if out.len() >= count {
+            return out;
+        }
+        let members = greedy_clique(graph, start, size);
+        if members.len() == size {
+            push(members, &mut out);
+        }
+    }
+
+    // Pass 2: randomized tie-breaking restarts for additional diversity.
+    let budget = count.saturating_mul(20).max(64);
+    for _ in 0..budget {
+        if out.len() >= count {
+            break;
+        }
+        let start = rng.gen_range(0..n);
+        let members = greedy_clique_randomized(graph, start, size, &mut rng);
+        if members.len() == size {
+            push(members, &mut out);
+        }
+    }
+    out
+}
+
+/// Greedy growth with randomized tie-breaking among the best few
+/// candidates (diversifies the cliques found across restarts).
+fn greedy_clique_randomized(
+    graph: &CompatGraph,
+    start: usize,
+    cap: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = graph.len();
+    if start >= n || cap == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<u64> = graph.row(start).to_vec();
+    let mut members = vec![start];
+    while members.len() < cap {
+        // Score every candidate by surviving-candidate count, keep top 3.
+        let mut top: Vec<(usize, usize)> = Vec::new(); // (vertex, surviving)
+        for (w, &word) in candidates.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = w * 64 + b;
+                let surviving: usize = candidates
+                    .iter()
+                    .zip(graph.row(v))
+                    .map(|(&c, &r)| (c & r).count_ones() as usize)
+                    .sum();
+                top.push((v, surviving));
+                top.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+                top.truncate(3);
+            }
+        }
+        if top.is_empty() {
+            break;
+        }
+        let (v, _) = top[rng.gen_range(0..top.len())];
+        for (c, &r) in candidates.iter_mut().zip(graph.row(v)) {
+            *c &= r;
+        }
+        members.push(v);
+    }
+    members
+}
+
+/// Greedily grows one clique from `start`: repeatedly adds the candidate
+/// with the largest remaining candidate intersection. Returns the member
+/// set (a genuine clique, not necessarily maximum).
+#[must_use]
+pub fn greedy_clique(graph: &CompatGraph, start: usize, cap: usize) -> Vec<usize> {
+    let n = graph.len();
+    if start >= n || cap == 0 {
+        return Vec::new();
+    }
+    let words = n.div_ceil(64);
+    let mut candidates: Vec<u64> = graph.row(start).to_vec();
+    let mut members = vec![start];
+    while members.len() < cap {
+        // Pick the candidate keeping the most future candidates alive.
+        let mut best: Option<(usize, usize)> = None; // (vertex, surviving)
+        for (w, &word) in candidates.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = w * 64 + b;
+                let surviving: usize = candidates
+                    .iter()
+                    .zip(graph.row(v))
+                    .map(|(&c, &r)| (c & r).count_ones() as usize)
+                    .sum();
+                if best.map_or(true, |(_, s)| surviving > s) {
+                    best = Some((v, surviving));
+                }
+            }
+        }
+        let Some((v, _)) = best else { break };
+        for (c, &r) in candidates.iter_mut().zip(graph.row(v)) {
+            *c &= r;
+        }
+        let _ = words;
+        members.push(v);
+    }
+    members
+}
+
+/// Reports a *feasible* clique size — the best greedy clique found from a
+/// spread of start vertices, capped at `upper_bound`. Because the size is
+/// witnessed by an actual clique, [`enumerate_cliques`] at this size is
+/// guaranteed to succeed; unlike a maximum-clique search, no
+/// (worst-case-exponential) nonexistence proofs are ever attempted.
+/// The framework uses this to report the per-circuit trigger-node ranges
+/// of the paper's Table III.
+#[must_use]
+pub fn max_feasible_size(graph: &CompatGraph, upper_bound: usize, seed: u64) -> usize {
+    let n = graph.len();
+    if n == 0 || upper_bound == 0 {
+        return 0;
+    }
+    let mut starts: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    starts.shuffle(&mut rng);
+    let mut best = 0usize;
+    for &start in starts.iter().take(16) {
+        let size = greedy_clique(graph, start, upper_bound).len();
+        best = best.max(size);
+        if best >= upper_bound {
+            break;
+        }
+    }
+    best.min(upper_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_atpg::PodemConfig;
+    use htforge_netlist::bench;
+    use htforge_sim::{PatternSet, RareNodeExtractor};
+
+    /// Four independent AND cones: all outputs mutually compatible.
+    const FOUR_CONES: &str = "\
+INPUT(a1)
+INPUT(a2)
+INPUT(b1)
+INPUT(b2)
+INPUT(c1)
+INPUT(c2)
+INPUT(d1)
+INPUT(d2)
+OUTPUT(w)
+OUTPUT(x)
+OUTPUT(y)
+OUTPUT(z)
+w = AND(a1, a2)
+x = AND(b1, b2)
+y = AND(c1, c2)
+z = AND(d1, d2)
+";
+
+    fn graph() -> CompatGraph {
+        let nl = bench::parse(FOUR_CONES, "t").unwrap();
+        let ps = PatternSet::random(8, 10_000, 1);
+        let rare = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        CompatGraph::build(&nl, &rare, PodemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_clique_counts() {
+        let g = graph();
+        assert_eq!(g.len(), 4);
+        // K4: C(4,2)=6 pairs, C(4,3)=4 triples, 1 quad.
+        assert_eq!(enumerate_cliques(&g, 2, 100, 0).len(), 6);
+        assert_eq!(enumerate_cliques(&g, 3, 100, 0).len(), 4);
+        assert_eq!(enumerate_cliques(&g, 4, 100, 0).len(), 1);
+        assert_eq!(enumerate_cliques(&g, 5, 100, 0).len(), 0);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let g = graph();
+        assert_eq!(enumerate_cliques(&g, 2, 3, 0).len(), 3);
+        assert_eq!(enumerate_cliques(&g, 2, 0, 0).len(), 0);
+    }
+
+    #[test]
+    fn cliques_are_unique() {
+        let g = graph();
+        let cliques = enumerate_cliques(&g, 3, 100, 7);
+        for (i, a) in cliques.iter().enumerate() {
+            let mut sa = a.members.clone();
+            sa.sort_unstable();
+            for b in &cliques[i + 1..] {
+                let mut sb = b.members.clone();
+                sb.sort_unstable();
+                assert_ne!(sa, sb, "duplicate clique");
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_pairwise_compatible() {
+        let g = graph();
+        for c in enumerate_cliques(&g, 3, 100, 3) {
+            for (i, &a) in c.members.iter().enumerate() {
+                for &b in &c.members[i + 1..] {
+                    assert!(g.compatible(a, b));
+                }
+            }
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_discovery_order() {
+        let g = graph();
+        let a = enumerate_cliques(&g, 2, 2, 0);
+        let b = enumerate_cliques(&g, 2, 2, 99);
+        // Same universe, possibly different first finds; both valid.
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn max_feasible_size_probes_down() {
+        let g = graph();
+        assert_eq!(max_feasible_size(&g, 10, 0), 4);
+        assert_eq!(max_feasible_size(&g, 3, 0), 3);
+    }
+
+    #[test]
+    fn sampled_cliques_are_valid_and_distinct() {
+        let g = graph();
+        let cliques = sample_cliques(&g, 3, 10, 1);
+        assert!(!cliques.is_empty());
+        let mut keys: Vec<Vec<usize>> = cliques
+            .iter()
+            .map(|c| {
+                let mut k = c.members.clone();
+                k.sort_unstable();
+                k
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "sampled cliques must be distinct");
+        for c in &cliques {
+            assert_eq!(c.len(), 3);
+            for (i, &a) in c.members.iter().enumerate() {
+                for &b in &c.members[i + 1..] {
+                    assert!(g.compatible(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probed_size_is_always_sampleable() {
+        // Regression guard: `max_feasible_size` must report only sizes
+        // that `sample_cliques` can actually produce (the pair once
+        // disagreed, sending the framework into exponential fallback).
+        let g = graph();
+        for seed in 0..5 {
+            let q = max_feasible_size(&g, 10, seed);
+            assert!(q > 0);
+            assert!(
+                !sample_cliques(&g, q, 1, seed).is_empty(),
+                "probe said q={q} but sampling failed (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_clique_members_are_compatible() {
+        let g = graph();
+        for start in 0..g.len() {
+            let members = greedy_clique(&g, start, 10);
+            assert!(!members.is_empty());
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    assert!(g.compatible(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_one_cliques() {
+        let g = graph();
+        assert_eq!(enumerate_cliques(&g, 1, 100, 0).len(), 4);
+    }
+}

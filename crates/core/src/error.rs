@@ -1,0 +1,83 @@
+//! Error type for the insertion framework.
+
+use std::fmt;
+
+use htforge_netlist::NetlistError;
+
+/// Errors produced by the insertion pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InsertionError {
+    /// Fewer usable rare nodes than requested trigger nodes.
+    NotEnoughRareNodes {
+        /// Rare nodes with a usable test cube.
+        found: usize,
+        /// Trigger nodes requested (`q`).
+        needed: usize,
+    },
+    /// The compatibility graph contains no clique of the requested size.
+    NoCliques {
+        /// Requested clique size (`q`).
+        size: usize,
+    },
+    /// No payload net satisfies the acyclicity constraint.
+    NoPayloadNet,
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for InsertionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertionError::NotEnoughRareNodes { found, needed } => write!(
+                f,
+                "only {found} rare nodes with test cubes, but {needed} trigger nodes requested"
+            ),
+            InsertionError::NoCliques { size } => {
+                write!(f, "compatibility graph has no clique of size {size}")
+            }
+            InsertionError::NoPayloadNet => {
+                write!(f, "no payload net satisfies the acyclicity constraint")
+            }
+            InsertionError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InsertionError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for InsertionError {
+    fn from(e: NetlistError) -> Self {
+        InsertionError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = InsertionError::NotEnoughRareNodes {
+            found: 3,
+            needed: 10,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("10"));
+        assert!(InsertionError::NoCliques { size: 4 }.to_string().contains("4"));
+    }
+
+    #[test]
+    fn netlist_error_is_source() {
+        use std::error::Error;
+        let e = InsertionError::from(NetlistError::InvalidNodeId(5));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,574 @@
+//! End-to-end orchestration of the insertion pipeline (§III).
+//!
+//! [`InsertionFramework`] ties together rare-node extraction
+//! (Algorithm 1), compatibility-graph construction (Algorithm 2), clique
+//! enumeration, trigger synthesis (Fig. 1) and HT-infected netlist
+//! generation (Algorithm 3), reporting per-phase wall-clock timings —
+//! the quantities of the paper's Tables III and IV.
+
+use std::time::{Duration, Instant};
+
+use htforge_atpg::PodemConfig;
+use htforge_netlist::{netlist::NodeId, Netlist};
+use htforge_scoap::Scoap;
+use htforge_sim::{PatternSet, RareNodeExtractor, RareNodeSet};
+
+use crate::clique::{enumerate_cliques, Clique};
+use crate::compat::CompatGraph;
+use crate::error::InsertionError;
+use crate::insert::{insert_trojan_with, TrojanInstance};
+use crate::payload::{choose_payload, PayloadKind, PayloadStrategy};
+use crate::trigger::TriggerPlan;
+
+/// User-facing configuration of the framework — the paper's inputs:
+/// rareness threshold `θ_RN`, vector-set size `|V|`, trigger-node count
+/// `q`, instance count `N`, plus engineering knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertionConfig {
+    /// Rareness threshold θ_RN as a fraction of the vector count
+    /// (paper default: 0.20).
+    pub theta: f64,
+    /// Random-vector count |V| for rare-node profiling
+    /// (paper default: 10 000).
+    pub num_vectors: usize,
+    /// Trigger nodes per trojan (`q`).
+    pub trigger_nodes: usize,
+    /// Trojan instances to generate (`N`).
+    pub num_instances: usize,
+    /// Maximum fan-in of inserted trigger gates (`k`).
+    pub max_fanin: usize,
+    /// Master seed: drives profiling vectors, clique ordering, and the
+    /// random payload strategy.
+    pub seed: u64,
+    /// PODEM configuration for cube generation.
+    pub podem: PodemConfig,
+    /// Payload-net selection strategy.
+    pub payload: PayloadStrategy,
+    /// Payload effect applied when the trigger fires.
+    pub payload_kind: PayloadKind,
+}
+
+impl Default for InsertionConfig {
+    fn default() -> Self {
+        InsertionConfig {
+            theta: 0.20,
+            num_vectors: 10_000,
+            trigger_nodes: 8,
+            num_instances: 1,
+            max_fanin: 4,
+            seed: 0x4AC4,
+            podem: PodemConfig::default(),
+            payload: PayloadStrategy::MostObservable,
+            payload_kind: PayloadKind::Flip,
+        }
+    }
+}
+
+/// Wall-clock time spent in each phase of one [`InsertionFramework::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Scan-cut + levelization.
+    pub preprocess: Duration,
+    /// Algorithm 1 (simulation + classification).
+    pub rare_extraction: Duration,
+    /// PODEM cube generation + pairwise compatibility (Algorithm 2).
+    pub compat_graph: Duration,
+    /// Clique enumeration.
+    pub clique_enumeration: Duration,
+    /// Trigger synthesis + Algorithm 3 for all instances.
+    pub insertion: Duration,
+}
+
+impl PhaseTimings {
+    /// Total pipeline time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.preprocess
+            + self.rare_extraction
+            + self.compat_graph
+            + self.clique_enumeration
+            + self.insertion
+    }
+}
+
+/// One generated HT-infected design.
+#[derive(Debug, Clone)]
+pub struct InfectedDesign {
+    /// The infected netlist (host + trigger tree + payload XOR).
+    pub netlist: Netlist,
+    /// Metadata about the inserted trojan.
+    pub trojan: TrojanInstance,
+}
+
+/// Everything produced by one framework run.
+#[derive(Debug, Clone)]
+pub struct InsertionOutcome {
+    /// The infected designs, one per clique used (≤ `N`).
+    pub infected: Vec<InfectedDesign>,
+    /// The rare-node profile (Algorithm 1 output).
+    pub rare_nodes: RareNodeSet,
+    /// Vertices/edges of the compatibility graph and cliques found.
+    pub graph_stats: GraphStats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+/// Summary statistics of the compatibility graph and clique search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Compatibility-graph vertex count (rare events with cubes).
+    pub vertices: usize,
+    /// Rare events dropped (no PODEM cube).
+    pub dropped: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Cliques of size `q` found (≤ requested `N`).
+    pub cliques: usize,
+}
+
+/// The compatibility-graph-assisted insertion framework.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Clone)]
+pub struct InsertionFramework {
+    config: InsertionConfig,
+}
+
+impl InsertionFramework {
+    /// Creates a framework with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `[0, 1]`, `trigger_nodes == 0`, or
+    /// `max_fanin < 2`.
+    #[must_use]
+    pub fn new(config: InsertionConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.theta),
+            "theta must be in [0, 1]"
+        );
+        assert!(config.trigger_nodes > 0, "need at least one trigger node");
+        assert!(config.max_fanin >= 2, "trigger fan-in must be at least 2");
+        InsertionFramework { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &InsertionConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `nl` (combinational or sequential; DFFs
+    /// are scan-cut internally, and trojans are inserted into the
+    /// *original* netlist, whose node ids the analysis shares).
+    ///
+    /// # Errors
+    ///
+    /// * [`InsertionError::NotEnoughRareNodes`] — fewer usable rare nodes
+    ///   than `trigger_nodes`,
+    /// * [`InsertionError::NoCliques`] — the compatibility graph has no
+    ///   clique of size `trigger_nodes`,
+    /// * [`InsertionError::NoPayloadNet`] — no acyclicity-safe payload,
+    /// * [`InsertionError::Netlist`] — structural failures.
+    pub fn run(&self, nl: &Netlist) -> Result<InsertionOutcome, InsertionError> {
+        let cfg = &self.config;
+        let mut timings = PhaseTimings::default();
+
+        // Phase 0: combinational model.
+        let t0 = Instant::now();
+        let comb = if nl.dffs().is_empty() {
+            nl.clone()
+        } else {
+            nl.scan_cut()
+        };
+        let scoap = Scoap::compute(nl)?;
+        timings.preprocess = t0.elapsed();
+
+        // Phase 1: rare nodes (Algorithm 1).
+        let t1 = Instant::now();
+        let patterns = PatternSet::random(comb.inputs().len(), cfg.num_vectors, cfg.seed);
+        let rare = RareNodeExtractor::new(cfg.theta).extract(&comb, &patterns)?;
+        timings.rare_extraction = t1.elapsed();
+        if rare.len() < cfg.trigger_nodes {
+            return Err(InsertionError::NotEnoughRareNodes {
+                found: rare.len(),
+                needed: cfg.trigger_nodes,
+            });
+        }
+
+        // Phase 2: compatibility graph (Algorithm 2).
+        let t2 = Instant::now();
+        let graph = CompatGraph::build(&comb, &rare, cfg.podem)?;
+        timings.compat_graph = t2.elapsed();
+        if graph.len() < cfg.trigger_nodes {
+            return Err(InsertionError::NotEnoughRareNodes {
+                found: graph.len(),
+                needed: cfg.trigger_nodes,
+            });
+        }
+
+        // Phase 3: clique selection. Small trigger counts use exhaustive
+        // enumeration (cheap and maximally diverse); large ones use
+        // greedy sampling, because exact search near the graph's clique
+        // number degenerates into exponential nonexistence proofs.
+        let t3 = Instant::now();
+        let cliques = if cfg.trigger_nodes <= 8 {
+            enumerate_cliques(
+                &graph,
+                cfg.trigger_nodes,
+                cfg.num_instances,
+                cfg.seed ^ 0x5EED,
+            )
+        } else {
+            crate::clique::sample_cliques(
+                &graph,
+                cfg.trigger_nodes,
+                cfg.num_instances,
+                cfg.seed ^ 0x5EED,
+            )
+        };
+        timings.clique_enumeration = t3.elapsed();
+        if cliques.is_empty() {
+            return Err(InsertionError::NoCliques {
+                size: cfg.trigger_nodes,
+            });
+        }
+
+        // Phase 4: trigger synthesis + insertion (Algorithm 3).
+        let t4 = Instant::now();
+        let mut infected = Vec::with_capacity(cliques.len());
+        for (i, clique) in cliques.iter().enumerate() {
+            match self.insert_one(nl, &graph, clique, &scoap, i) {
+                Ok(design) => infected.push(design),
+                // A clique without a safe payload is skipped, not fatal —
+                // unless *no* clique works.
+                Err(InsertionError::NoPayloadNet) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        timings.insertion = t4.elapsed();
+        if infected.is_empty() {
+            return Err(InsertionError::NoPayloadNet);
+        }
+
+        let graph_stats = GraphStats {
+            vertices: graph.len(),
+            dropped: graph.dropped(),
+            edges: graph.edge_count(),
+            cliques: cliques.len(),
+        };
+        Ok(InsertionOutcome {
+            infected,
+            rare_nodes: rare,
+            graph_stats,
+            timings,
+        })
+    }
+
+    /// Like [`InsertionFramework::run`], but inserts all `N` trojans into
+    /// **one** netlist (the paper's "single or multiple HT instances"
+    /// configuration). Instances are added sequentially; an instance
+    /// whose payload would create a cycle with previously inserted
+    /// trojan logic is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InsertionFramework::run`]; additionally returns
+    /// [`InsertionError::NoPayloadNet`] if *no* instance can be placed.
+    pub fn run_combined(
+        &self,
+        nl: &Netlist,
+    ) -> Result<(Netlist, Vec<TrojanInstance>), InsertionError> {
+        let outcome = self.run(nl)?;
+        let mut combined = nl.clone();
+        combined.set_name(format!("{}_multi", nl.name()));
+        let mut instances = Vec::new();
+        for (i, design) in outcome.infected.iter().enumerate() {
+            let trigger_nodes: Vec<NodeId> = design
+                .trojan
+                .trigger_inputs
+                .iter()
+                .map(|&(n, _)| n)
+                .collect();
+            // Re-check payload safety against the *evolving* netlist: a
+            // previous instance may have made this victim unsafe.
+            let candidates =
+                crate::payload::safe_payload_candidates(&combined, &trigger_nodes);
+            let payload = if candidates.contains(&design.trojan.payload_net) {
+                design.trojan.payload_net
+            } else {
+                match candidates.first() {
+                    Some(&p) => p,
+                    None => continue,
+                }
+            };
+            let rare_values: Vec<bool> = design
+                .trojan
+                .trigger_inputs
+                .iter()
+                .map(|&(_, v)| v)
+                .collect();
+            let plan = TriggerPlan::synthesize(&rare_values, self.config.max_fanin);
+            let (next, trojan) = insert_trojan_with(
+                &combined,
+                &design.trojan.trigger_inputs,
+                &plan,
+                payload,
+                self.config.payload_kind,
+                &format!("m{i}"),
+                design.trojan.activation_cube.clone(),
+            )?;
+            combined = next;
+            instances.push(trojan);
+        }
+        if instances.is_empty() {
+            return Err(InsertionError::NoPayloadNet);
+        }
+        Ok((combined, instances))
+    }
+
+    fn insert_one(
+        &self,
+        nl: &Netlist,
+        graph: &CompatGraph,
+        clique: &Clique,
+        scoap: &Scoap,
+        index: usize,
+    ) -> Result<InfectedDesign, InsertionError> {
+        let rare_values: Vec<bool> = clique
+            .members
+            .iter()
+            .map(|&m| graph.events()[m].rare_value)
+            .collect();
+        let plan = TriggerPlan::synthesize(&rare_values, self.config.max_fanin);
+        let trigger_nodes: Vec<NodeId> = clique
+            .members
+            .iter()
+            .map(|&m| graph.events()[m].node)
+            .collect();
+        let strategy = match self.config.payload {
+            PayloadStrategy::Random(s) => {
+                PayloadStrategy::Random(s.wrapping_add(index as u64))
+            }
+            other => other,
+        };
+        let payload = choose_payload(nl, scoap, &trigger_nodes, strategy)
+            .ok_or(InsertionError::NoPayloadNet)?;
+        let leaves: Vec<(NodeId, bool)> = clique
+            .members
+            .iter()
+            .map(|&m| {
+                let e = &graph.events()[m];
+                (e.node, e.rare_value)
+            })
+            .collect();
+        let (netlist, trojan) = insert_trojan_with(
+            nl,
+            &leaves,
+            &plan,
+            payload,
+            self.config.payload_kind,
+            &index.to_string(),
+            clique.activation_cube.clone(),
+        )?;
+        Ok(InfectedDesign { netlist, trojan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_sim::simulator::BoundSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config(q: usize, n: usize) -> InsertionConfig {
+        InsertionConfig {
+            theta: 0.20,
+            num_vectors: 2_000,
+            trigger_nodes: q,
+            num_instances: n,
+            seed: 42,
+            podem: PodemConfig::justify(),
+            ..InsertionConfig::default()
+        }
+    }
+
+    #[test]
+    fn c17_insertion_works_end_to_end() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        assert!(!outcome.infected.is_empty());
+        for design in &outcome.infected {
+            assert!(design.netlist.validate().is_ok());
+            assert_eq!(design.trojan.trigger_node_count(), 2);
+        }
+        assert!(outcome.graph_stats.vertices >= 2);
+    }
+
+    #[test]
+    fn multiple_instances_are_distinct() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 4)
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        let mut trigger_sets: Vec<Vec<NodeId>> = outcome
+            .infected
+            .iter()
+            .map(|d| {
+                let mut v: Vec<NodeId> =
+                    d.trojan.trigger_inputs.iter().map(|&(n, _)| n).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        trigger_sets.sort();
+        trigger_sets.dedup();
+        assert_eq!(
+            trigger_sets.len(),
+            outcome.infected.len(),
+            "each instance must use a distinct trigger set"
+        );
+    }
+
+    #[test]
+    fn activation_cube_fires_every_instance() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for design in &outcome.infected {
+            let sim = BoundSimulator::new(&design.netlist).unwrap();
+            let v = design.trojan.activation_cube.fill_random(&mut rng);
+            let ps = PatternSet::from_vectors(nl.inputs().len(), &[v]);
+            let vals = sim.run(&ps);
+            assert!(
+                vals.value(design.trojan.trigger_output, 0),
+                "activation cube must fire the trigger"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_trigger_nodes_error() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(100, 1)
+        };
+        match InsertionFramework::new(cfg).run(&nl) {
+            Err(InsertionError::NotEnoughRareNodes { needed: 100, .. }) => {}
+            other => panic!("expected NotEnoughRareNodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 1)
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        assert!(outcome.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn sequential_host_is_supported() {
+        let profile = htforge_circuits::synth::CircuitProfile {
+            name: "seq_mini".into(),
+            inputs: 12,
+            outputs: 4,
+            gates: 220,
+            dffs: 12,
+            seed: 31,
+        };
+        let nl = htforge_circuits::synth::generate(&profile);
+        let cfg = InsertionConfig {
+            theta: 0.20,
+            num_vectors: 1_000,
+            trigger_nodes: 4,
+            num_instances: 2,
+            seed: 7,
+            podem: PodemConfig::justify(),
+            ..InsertionConfig::default()
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        assert!(!outcome.infected.is_empty());
+        for design in &outcome.infected {
+            assert!(design.netlist.validate().is_ok());
+            // DFF count unchanged: the trojan is purely combinational.
+            assert_eq!(design.netlist.dffs().len(), nl.dffs().len());
+        }
+    }
+
+    #[test]
+    fn combined_insertion_places_multiple_trojans() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let (combined, instances) =
+            InsertionFramework::new(cfg).run_combined(&nl).unwrap();
+        assert!(combined.validate().is_ok());
+        assert!(!instances.is_empty());
+        let added: usize = instances.iter().map(|t| t.inserted_gate_count()).sum();
+        assert_eq!(combined.node_count(), nl.node_count() + added);
+        // Every instance's trigger fires under its own cube.
+        for t in &instances {
+            let sim = BoundSimulator::new(&combined).unwrap();
+            let v = t.activation_cube.fill_with(false);
+            let ps = PatternSet::from_vectors(nl.inputs().len(), &[v]);
+            assert!(sim.run(&ps).value(t.trigger_output, 0));
+        }
+    }
+
+    #[test]
+    fn force_payloads_have_expected_polarity() {
+        for (kind, expect_when_triggered) in [
+            (PayloadKind::ForceZero, false),
+            (PayloadKind::ForceOne, true),
+        ] {
+            let nl = htforge_circuits::load("c17").unwrap();
+            let cfg = InsertionConfig {
+                theta: 0.30,
+                payload_kind: kind,
+                ..quick_config(2, 1)
+            };
+            let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+            let design = &outcome.infected[0];
+            assert_eq!(design.trojan.payload_kind, kind);
+            let sim = BoundSimulator::new(&design.netlist).unwrap();
+            let v = design.trojan.activation_cube.fill_with(false);
+            let ps = PatternSet::from_vectors(nl.inputs().len(), &[v]);
+            let vals = sim.run(&ps);
+            assert!(vals.value(design.trojan.trigger_output, 0));
+            assert_eq!(
+                vals.value(design.trojan.payload_gate, 0),
+                expect_when_triggered,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_panics() {
+        let _ = InsertionFramework::new(InsertionConfig {
+            theta: 2.0,
+            ..InsertionConfig::default()
+        });
+    }
+}

@@ -1,0 +1,329 @@
+//! Sequential ("time-bomb") trojans: a counter armed by the
+//! combinational trigger.
+//!
+//! The paper's instances are purely combinational; its related work
+//! (TRIT, Trust-Hub) also ships *sequential* trojans whose payload fires
+//! only after the trigger condition has been observed `2^k` times. This
+//! module extends the framework with that activation mechanism:
+//!
+//! * the combinational trigger tree is synthesized exactly as in Fig. 1,
+//! * a `k`-bit ripple counter (DFF + XOR/AND increment logic) counts
+//!   trigger events,
+//! * the payload asserts when the counter saturates (all-ones) *and*
+//!   the trigger holds — so even a tester lucky enough to hit the trigger
+//!   combination once sees nothing.
+//!
+//! Detection implications: under full-scan assumptions the counter flops
+//! are cut and controllable, so scan-based schemes degrade the trojan to
+//! its combinational core; in functional (non-scan) operation the trojan
+//! is strictly stealthier than its combinational counterpart. Both facts
+//! are asserted in the tests via [`htforge_sim::sequential`].
+
+use htforge_atpg::Cube;
+use htforge_netlist::{netlist::NodeId, GateKind, Netlist};
+
+use crate::error::InsertionError;
+use crate::insert::TrojanInstance;
+use crate::payload::PayloadKind;
+use crate::trigger::{PlanSignal, TriggerPlan};
+
+/// Metadata for one inserted sequential trojan.
+#[derive(Debug, Clone)]
+pub struct SequentialTrojan {
+    /// The combinational part (trigger tree, payload, cube). The
+    /// `trigger_output` field holds the *armed* output: counter-saturated
+    /// AND trigger.
+    pub combinational: TrojanInstance,
+    /// The raw combinational trigger output (pre-counter).
+    pub raw_trigger: NodeId,
+    /// Counter flop nodes, LSB first.
+    pub counter_flops: Vec<NodeId>,
+    /// Number of trigger events needed to arm the payload: `2^k - 1`
+    /// prior events, firing on the `2^k`-th.
+    pub events_to_arm: u64,
+}
+
+/// Inserts a sequential trojan: `counter_bits`-bit event counter over the
+/// combinational trigger defined by `leaves`/`plan`, payload spliced on
+/// `payload_net`.
+///
+/// # Errors
+///
+/// Returns [`InsertionError::Netlist`] if instantiation produces an
+/// invalid netlist (e.g. an unsafe payload net).
+///
+/// # Panics
+///
+/// Panics if `plan.num_leaves() != leaves.len()` or `counter_bits == 0`.
+pub fn insert_sequential_trojan(
+    nl: &Netlist,
+    leaves: &[(NodeId, bool)],
+    plan: &TriggerPlan,
+    payload_net: NodeId,
+    payload_kind: PayloadKind,
+    counter_bits: usize,
+    tag: &str,
+    activation_cube: Cube,
+) -> Result<(Netlist, SequentialTrojan), InsertionError> {
+    assert!(counter_bits > 0, "counter needs at least one bit");
+    assert_eq!(
+        plan.num_leaves(),
+        leaves.len(),
+        "trigger plan and leaf set disagree on q"
+    );
+    let mut out = nl.clone();
+    out.set_name(format!("{}_{tag}", nl.name()));
+
+    // Combinational trigger tree (identical to Algorithm 3's).
+    let mut gate_ids: Vec<NodeId> = Vec::with_capacity(plan.gates().len());
+    for (k, gate) in plan.gates().iter().enumerate() {
+        let fanins: Vec<NodeId> = gate
+            .inputs
+            .iter()
+            .map(|s| match *s {
+                PlanSignal::Leaf(i) => leaves[i].0,
+                PlanSignal::Gate(g) => gate_ids[g],
+            })
+            .collect();
+        let id = out
+            .add_gate(format!("ht{tag}_t{k}"), gate.kind, fanins)
+            .map_err(InsertionError::Netlist)?;
+        gate_ids.push(id);
+    }
+    let raw_trigger = match plan.output() {
+        PlanSignal::Leaf(i) => leaves[i].0,
+        PlanSignal::Gate(g) => gate_ids[g],
+    };
+
+    // k-bit ripple counter clocked by the system clock, incremented when
+    // the raw trigger holds: q_i' = q_i ⊕ carry_i, carry_0 = T,
+    // carry_{i+1} = carry_i ∧ q_i.
+    let mut flops = Vec::with_capacity(counter_bits);
+    for b in 0..counter_bits {
+        let q = out
+            .add_dff_deferred(format!("ht{tag}_cnt{b}"))
+            .map_err(InsertionError::Netlist)?;
+        flops.push(q);
+    }
+    let mut carry = raw_trigger;
+    for (b, &q) in flops.iter().enumerate() {
+        let d = out
+            .add_gate(format!("ht{tag}_d{b}"), GateKind::Xor, vec![q, carry])
+            .map_err(InsertionError::Netlist)?;
+        out.connect_dff(q, d).map_err(InsertionError::Netlist)?;
+        if b + 1 < counter_bits {
+            carry = out
+                .add_gate(format!("ht{tag}_c{b}"), GateKind::And, vec![carry, q])
+                .map_err(InsertionError::Netlist)?;
+        }
+    }
+
+    // Armed = all counter bits set AND the trigger held this cycle.
+    let mut armed_inputs = flops.clone();
+    armed_inputs.push(raw_trigger);
+    let armed = out
+        .add_gate(format!("ht{tag}_armed"), GateKind::And, armed_inputs)
+        .map_err(InsertionError::Netlist)?;
+
+    // Payload splice (same as the combinational flow, driven by `armed`).
+    let payload_gate = match payload_kind {
+        PayloadKind::Flip => out
+            .add_gate(
+                format!("ht{tag}_payload"),
+                GateKind::Xor,
+                vec![payload_net, armed],
+            )
+            .map_err(InsertionError::Netlist)?,
+        PayloadKind::ForceOne => out
+            .add_gate(
+                format!("ht{tag}_payload"),
+                GateKind::Or,
+                vec![payload_net, armed],
+            )
+            .map_err(InsertionError::Netlist)?,
+        PayloadKind::ForceZero => {
+            let ninv = out
+                .add_gate(format!("ht{tag}_ninv"), GateKind::Not, vec![armed])
+                .map_err(InsertionError::Netlist)?;
+            out.add_gate(
+                format!("ht{tag}_payload"),
+                GateKind::And,
+                vec![payload_net, ninv],
+            )
+            .map_err(InsertionError::Netlist)?
+        }
+    };
+    out.splice_driver(payload_net, payload_gate);
+    out.validate().map_err(InsertionError::Netlist)?;
+
+    let mut trigger_gates = gate_ids;
+    trigger_gates.push(armed);
+    Ok((
+        out,
+        SequentialTrojan {
+            combinational: TrojanInstance {
+                trigger_inputs: leaves.to_vec(),
+                trigger_gates,
+                trigger_output: armed,
+                payload_net,
+                payload_kind,
+                payload_gate,
+                activation_cube,
+            },
+            raw_trigger,
+            counter_flops: flops,
+            events_to_arm: (1u64 << counter_bits) - 1,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique::enumerate_cliques;
+    use crate::compat::CompatGraph;
+    use crate::payload::choose_payload;
+    use htforge_atpg::PodemConfig;
+    use htforge_netlist::bench;
+    use htforge_sim::sequential::SequentialSimulator;
+    use htforge_sim::{PatternSet, RareNodeExtractor};
+
+    const HOST: &str = "\
+INPUT(a1)
+INPUT(a2)
+INPUT(b1)
+INPUT(b2)
+OUTPUT(w)
+OUTPUT(x)
+OUTPUT(o)
+w = AND(a1, a2)
+x = AND(b1, b2)
+o = XOR(a1, b1)
+";
+
+    fn build(counter_bits: usize) -> (Netlist, Netlist, SequentialTrojan) {
+        let nl = bench::parse(HOST, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 1);
+        let rare = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        let graph = CompatGraph::build(&nl, &rare, PodemConfig::justify()).unwrap();
+        let cliques = enumerate_cliques(&graph, 2, 1, 0);
+        let clique = &cliques[0];
+        let leaves: Vec<(htforge_netlist::netlist::NodeId, bool)> = clique
+            .members
+            .iter()
+            .map(|&m| {
+                let e = &graph.events()[m];
+                (e.node, e.rare_value)
+            })
+            .collect();
+        let rare_values: Vec<bool> = leaves.iter().map(|&(_, v)| v).collect();
+        let plan = TriggerPlan::synthesize(&rare_values, 4);
+        let scoap = htforge_scoap::Scoap::compute(&nl).unwrap();
+        let trigger_nodes: Vec<_> = leaves.iter().map(|&(n, _)| n).collect();
+        let payload = choose_payload(
+            &nl,
+            &scoap,
+            &trigger_nodes,
+            crate::PayloadStrategy::MostObservable,
+        )
+        .unwrap();
+        let (infected, trojan) = insert_sequential_trojan(
+            &nl,
+            &leaves,
+            &plan,
+            payload,
+            PayloadKind::Flip,
+            counter_bits,
+            "s0",
+            clique.activation_cube.clone(),
+        )
+        .unwrap();
+        (nl, infected, trojan)
+    }
+
+    #[test]
+    fn structure_is_valid_and_sequential() {
+        let (nl, infected, trojan) = build(2);
+        assert!(infected.validate().is_ok());
+        assert_eq!(infected.dffs().len(), nl.dffs().len() + 2);
+        assert_eq!(trojan.counter_flops.len(), 2);
+        assert_eq!(trojan.events_to_arm, 3);
+    }
+
+    #[test]
+    fn payload_fires_only_on_the_2k_th_event() {
+        let (_, infected, trojan) = build(2);
+        let mut sim = SequentialSimulator::new(&infected).unwrap();
+
+        // The activation vector for the combinational trigger.
+        let trigger_vec = trojan.combinational.activation_cube.fill_with(false);
+        let idle_vec = vec![false; 4]; // a1=a2=0 keeps w (and the trigger) low
+
+        // Events 1..3 arm the counter without firing the payload.
+        for event in 1..=3u64 {
+            sim.step(&trigger_vec).unwrap();
+            assert_eq!(
+                sim.value(trojan.combinational.trigger_output),
+                Some(false),
+                "armed too early at event {event}"
+            );
+            // Idle cycles in between must not advance the counter.
+            sim.step(&idle_vec).unwrap();
+        }
+        // Counter is now 3 (saturated); the 4th event fires the payload.
+        sim.step(&trigger_vec).unwrap();
+        assert_eq!(sim.value(trojan.combinational.trigger_output), Some(true));
+        assert_eq!(sim.value(trojan.raw_trigger), Some(true));
+    }
+
+    #[test]
+    fn idle_cycles_never_arm() {
+        let (_, infected, trojan) = build(2);
+        let mut sim = SequentialSimulator::new(&infected).unwrap();
+        for _ in 0..20 {
+            sim.step(&[false, true, false, true]).unwrap();
+            assert_eq!(sim.value(trojan.combinational.trigger_output), Some(false));
+        }
+        assert!(sim.state().iter().all(|&s| !s), "counter must stay at 0");
+    }
+
+    #[test]
+    fn single_bit_counter_fires_on_second_event() {
+        let (_, infected, trojan) = build(1);
+        assert_eq!(trojan.events_to_arm, 1);
+        let mut sim = SequentialSimulator::new(&infected).unwrap();
+        let trigger_vec = trojan.combinational.activation_cube.fill_with(false);
+        sim.step(&trigger_vec).unwrap();
+        assert_eq!(sim.value(trojan.combinational.trigger_output), Some(false));
+        sim.step(&trigger_vec).unwrap();
+        assert_eq!(sim.value(trojan.combinational.trigger_output), Some(true));
+    }
+
+    #[test]
+    fn functional_outputs_clean_until_armed() {
+        let (nl, infected, trojan) = build(2);
+        let mut golden = SequentialSimulator::new(&nl).unwrap();
+        let mut suspect = SequentialSimulator::new(&infected).unwrap();
+        let trigger_vec = trojan.combinational.activation_cube.fill_with(true);
+        for cycle in 0..3 {
+            golden.step(&trigger_vec).unwrap();
+            suspect.step(&trigger_vec).unwrap();
+            for (&go, &io) in nl.outputs().iter().zip(infected.outputs()) {
+                assert_eq!(
+                    golden.value(go),
+                    suspect.value(io),
+                    "output diverged before arming (cycle {cycle})"
+                );
+            }
+        }
+        // 4th consecutive trigger event: divergence allowed (payload on).
+        golden.step(&trigger_vec).unwrap();
+        suspect.step(&trigger_vec).unwrap();
+        let diverged = nl
+            .outputs()
+            .iter()
+            .zip(infected.outputs())
+            .any(|(&go, &io)| golden.value(go) != suspect.value(io));
+        assert!(diverged, "armed payload must corrupt an output");
+    }
+}

@@ -1,0 +1,239 @@
+//! Trigger-Coverage / Detection-Coverage evaluation (the Table II
+//! metrics).
+//!
+//! Given the golden design, a batch of HT-infected designs, and a test
+//! set, the evaluator simulates everything bit-parallel and reports per
+//! design whether the trojan *triggered* (TC) and whether its effect was
+//! *observable* at a primary output (DC). By construction of the XOR
+//! payload, `DC ⊆ TC`.
+
+use htforge_core::InfectedDesign;
+use htforge_netlist::{Netlist, NetlistError};
+use htforge_sim::{PatternSet, Simulator};
+
+/// Verdict for one infected design under one test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignVerdict {
+    /// The trigger fired for at least one test vector.
+    pub triggered: bool,
+    /// At least one primary output differed from the golden response.
+    pub detected: bool,
+}
+
+/// Aggregated coverage over a batch of infected designs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Per-design verdicts, in input order.
+    pub verdicts: Vec<DesignVerdict>,
+}
+
+impl CoverageReport {
+    /// Number of designs evaluated.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Designs whose trigger fired (TC numerator).
+    #[must_use]
+    pub fn triggered(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.triggered).count()
+    }
+
+    /// Designs detected at an output (DC numerator).
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.detected).count()
+    }
+
+    /// Trigger coverage in percent.
+    #[must_use]
+    pub fn trigger_coverage(&self) -> f64 {
+        percent(self.triggered(), self.total())
+    }
+
+    /// Detection coverage in percent.
+    #[must_use]
+    pub fn detection_coverage(&self) -> f64 {
+        percent(self.detected(), self.total())
+    }
+}
+
+fn percent(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Evaluates `designs` against `tests` generated for `golden`.
+///
+/// Sequential designs are scan-cut internally; `tests` must be sized for
+/// the scan-cut input count (which is what every
+/// [`DetectionScheme`](crate::DetectionScheme) in this crate produces
+/// when handed the scan-cut golden netlist).
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] for cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if a design's scan-cut output count differs from the golden's
+/// (they are the same design modulo the trojan, so this indicates a bug).
+pub fn evaluate_designs(
+    golden: &Netlist,
+    designs: &[InfectedDesign],
+    tests: &PatternSet,
+) -> Result<CoverageReport, NetlistError> {
+    let golden_cut = if golden.dffs().is_empty() {
+        golden.clone()
+    } else {
+        golden.scan_cut()
+    };
+    let golden_sim = Simulator::new(&golden_cut)?;
+    let golden_vals = golden_sim.run_on(&golden_cut, tests);
+
+    let mut verdicts = Vec::with_capacity(designs.len());
+    for design in designs {
+        let infected_cut = if design.netlist.dffs().is_empty() {
+            design.netlist.clone()
+        } else {
+            design.netlist.scan_cut()
+        };
+        assert_eq!(
+            infected_cut.outputs().len(),
+            golden_cut.outputs().len(),
+            "infected design must preserve the output interface"
+        );
+        let sim = Simulator::new(&infected_cut)?;
+        let vals = sim.run_on(&infected_cut, tests);
+
+        let trigger = design.trojan.trigger_output;
+        let triggered = vals.words(trigger).iter().any(|&w| w != 0);
+
+        let mut detected = false;
+        'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs())
+        {
+            let gw = golden_vals.words(go);
+            let iw = vals.words(io);
+            for (a, b) in gw.iter().zip(iw) {
+                if a != b {
+                    detected = true;
+                    break 'outer;
+                }
+            }
+        }
+        verdicts.push(DesignVerdict {
+            triggered,
+            detected,
+        });
+    }
+    Ok(CoverageReport { verdicts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::DetectionScheme;
+    use htforge_core::{InsertionConfig, InsertionFramework};
+    use htforge_sim::RareNodeExtractor;
+
+    fn infected_c17() -> (Netlist, Vec<InfectedDesign>) {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            num_vectors: 2_000,
+            trigger_nodes: 2,
+            num_instances: 2,
+            seed: 42,
+            podem: htforge_atpg::PodemConfig::justify(),
+            ..InsertionConfig::default()
+        };
+        let outcome = InsertionFramework::new(cfg).run(&nl).unwrap();
+        (nl, outcome.infected)
+    }
+
+    #[test]
+    fn activation_vector_is_both_triggered_and_detected() {
+        let (nl, designs) = infected_c17();
+        // Build a test set containing each design's activation vector.
+        let mut tests = PatternSet::zeros(nl.inputs().len(), 0);
+        for d in &designs {
+            tests.push(&d.trojan.activation_cube.fill_with(false));
+            tests.push(&d.trojan.activation_cube.fill_with(true));
+        }
+        let report = evaluate_designs(&nl, &designs, &tests).unwrap();
+        assert_eq!(report.total(), designs.len());
+        assert_eq!(report.triggered(), designs.len(), "all triggers fire");
+        // DC ⊆ TC always.
+        assert!(report.detected() <= report.triggered());
+        // The payload is chosen for observability: expect detection too.
+        assert!(report.detected() > 0);
+    }
+
+    #[test]
+    fn empty_test_set_yields_no_coverage() {
+        let (nl, designs) = infected_c17();
+        let tests = PatternSet::zeros(nl.inputs().len(), 0);
+        let report = evaluate_designs(&nl, &designs, &tests).unwrap();
+        assert_eq!(report.triggered(), 0);
+        assert_eq!(report.detected(), 0);
+        assert_eq!(report.trigger_coverage(), 0.0);
+    }
+
+    #[test]
+    fn dc_is_subset_of_tc_under_random_tests() {
+        let (nl, designs) = infected_c17();
+        let tests = PatternSet::random(nl.inputs().len(), 4_096, 5);
+        let report = evaluate_designs(&nl, &designs, &tests).unwrap();
+        for v in &report.verdicts {
+            if v.detected {
+                assert!(v.triggered, "detection implies triggering");
+            }
+        }
+    }
+
+    #[test]
+    fn mero_on_c17_trojans() {
+        // On a 5-input circuit every rare combination is reachable, so a
+        // decent test set should trigger the 2-node trojans.
+        let (nl, designs) = infected_c17();
+        let profile = PatternSet::random(5, 2_000, 1);
+        let rare = RareNodeExtractor::new(0.3).extract(&nl, &profile).unwrap();
+        let tests = crate::MeroDetection::new(10, 500, 3)
+            .generate_tests(&nl, &rare)
+            .unwrap();
+        let report = evaluate_designs(&nl, &designs, &tests).unwrap();
+        // c17 is tiny: MERO should trigger these trojans (the paper's
+        // evasion results require the large-q trojans of real circuits).
+        assert!(report.triggered() > 0);
+    }
+
+    #[test]
+    fn percentages() {
+        let report = CoverageReport {
+            verdicts: vec![
+                DesignVerdict {
+                    triggered: true,
+                    detected: true,
+                },
+                DesignVerdict {
+                    triggered: true,
+                    detected: false,
+                },
+                DesignVerdict {
+                    triggered: false,
+                    detected: false,
+                },
+                DesignVerdict {
+                    triggered: false,
+                    detected: false,
+                },
+            ],
+        };
+        assert!((report.trigger_coverage() - 50.0).abs() < 1e-9);
+        assert!((report.detection_coverage() - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,230 @@
+//! MERO — Multiple Excitation of Rare Occurrences
+//! (Chakraborty, Wolff, Paul, Papachristou, Bhunia — CHES 2009).
+//!
+//! MERO refines random patterns so that every rare event (rare node at
+//! its rare value) is excited at least `N` times, on the statistical
+//! principle that repeated excitation of individual rare conditions
+//! raises the chance of hitting an unknown trigger *combination*.
+//!
+//! Implementation notes: the classic algorithm flips one input bit at a
+//! time, accepting a flip when it increases the number of satisfied rare
+//! events. We batch 64 candidate flips into one bit-parallel simulation
+//! and accept the best flip of each batch — the same greedy hill-climb,
+//! one simulation per 64 candidate bits.
+
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
+use htforge_sim::{PatternSet, RareNodeSet, Simulator};
+
+use crate::scheme::DetectionScheme;
+
+/// The MERO test generator.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_detect::{DetectionScheme, MeroDetection};
+/// use htforge_sim::{PatternSet, RareNodeExtractor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = htforge_circuits::load("c17")?;
+/// let profile = PatternSet::random(nl.inputs().len(), 2_000, 1);
+/// let rare = RareNodeExtractor::new(0.3).extract(&nl, &profile)?;
+/// let tests = MeroDetection::new(5, 200, 42).generate_tests(&nl, &rare)?;
+/// assert!(!tests.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeroDetection {
+    /// N-detect target: each rare event excited at least this often.
+    n: usize,
+    /// Initial random-vector pool size.
+    initial_vectors: usize,
+    seed: u64,
+}
+
+impl MeroDetection {
+    /// MERO with N-detect target `n` over `initial_vectors` random seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `initial_vectors == 0`.
+    #[must_use]
+    pub fn new(n: usize, initial_vectors: usize, seed: u64) -> Self {
+        assert!(n > 0, "N-detect target must be positive");
+        assert!(initial_vectors > 0, "need at least one initial vector");
+        MeroDetection {
+            n,
+            initial_vectors,
+            seed,
+        }
+    }
+
+    /// Number of rare events satisfied by the node values of one pattern.
+    fn count_satisfied(
+        values: &htforge_sim::NodeValues,
+        pattern: usize,
+        events: &[(NodeId, bool)],
+    ) -> usize {
+        events
+            .iter()
+            .filter(|&&(node, want)| values.value(node, pattern) == want)
+            .count()
+    }
+}
+
+impl DetectionScheme for MeroDetection {
+    fn name(&self) -> &str {
+        "MERO"
+    }
+
+    fn generate_tests(
+        &self,
+        golden: &Netlist,
+        rare: &RareNodeSet,
+    ) -> Result<PatternSet, NetlistError> {
+        let events: Vec<(NodeId, bool)> =
+            rare.iter().map(|r| (r.node, r.rare_value)).collect();
+        let num_inputs = golden.inputs().len();
+        let sim = Simulator::new(golden)?;
+
+        // Seed pool, sorted by satisfied-event count (descending) as in
+        // the original algorithm.
+        let pool = PatternSet::random(num_inputs, self.initial_vectors, self.seed);
+        let pool_values = sim.run_on(golden, &pool);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        if !events.is_empty() {
+            let mut scores: Vec<usize> = Vec::with_capacity(pool.len());
+            for p in 0..pool.len() {
+                scores.push(Self::count_satisfied(&pool_values, p, &events));
+            }
+            order.sort_by_key(|&p| std::cmp::Reverse(scores[p]));
+        }
+
+        let mut counts = vec![0usize; events.len()];
+        let mut tests = PatternSet::zeros(num_inputs, 0);
+
+        for &p in &order {
+            if !events.is_empty() && counts.iter().all(|&c| c >= self.n) {
+                break;
+            }
+            let mut vector = pool.pattern(p);
+            if !events.is_empty() {
+                let mut current = {
+                    let ps = PatternSet::from_vectors(num_inputs, &[vector.clone()]);
+                    let vals = sim.run_on(golden, &ps);
+                    Self::count_satisfied(&vals, 0, &events)
+                };
+                // Hill-climb over input bits, 64 candidate flips per sim.
+                for chunk_start in (0..num_inputs).step_by(64) {
+                    let chunk_end = (chunk_start + 64).min(num_inputs);
+                    let mut batch = PatternSet::zeros(num_inputs, 0);
+                    for i in chunk_start..chunk_end {
+                        let mut flipped = vector.clone();
+                        flipped[i] = !flipped[i];
+                        batch.push(&flipped);
+                    }
+                    let vals = sim.run_on(golden, &batch);
+                    let mut best: Option<(usize, usize)> = None; // (bit, score)
+                    for (k, i) in (chunk_start..chunk_end).enumerate() {
+                        let score = Self::count_satisfied(&vals, k, &events);
+                        if score > current && best.map_or(true, |(_, s)| score > s) {
+                            best = Some((i, score));
+                        }
+                    }
+                    if let Some((bit, score)) = best {
+                        vector[bit] = !vector[bit];
+                        current = score;
+                    }
+                }
+            }
+
+            // Keep the vector if it advances any event's N-detect count.
+            let ps = PatternSet::from_vectors(num_inputs, &[vector.clone()]);
+            let vals = sim.run_on(golden, &ps);
+            let mut useful = events.is_empty();
+            for (e, &(node, want)) in events.iter().enumerate() {
+                if vals.value(node, 0) == want && counts[e] < self.n {
+                    useful = true;
+                }
+            }
+            if useful {
+                for (e, &(node, want)) in events.iter().enumerate() {
+                    if vals.value(node, 0) == want {
+                        counts[e] += 1;
+                    }
+                }
+                tests.push(&vector);
+            }
+        }
+
+        if tests.is_empty() {
+            // Degenerate profile (no rare events): fall back to the pool.
+            return Ok(pool);
+        }
+        Ok(tests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_sim::RareNodeExtractor;
+
+    fn setup() -> (Netlist, RareNodeSet) {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let profile = PatternSet::random(5, 2_000, 1);
+        let rare = RareNodeExtractor::new(0.3).extract(&nl, &profile).unwrap();
+        (nl, rare)
+    }
+
+    #[test]
+    fn covers_each_rare_event_n_times() {
+        let (nl, rare) = setup();
+        assert!(!rare.is_empty(), "c17 should have rare nodes at θ=0.3");
+        let n = 5;
+        let tests = MeroDetection::new(n, 500, 7).generate_tests(&nl, &rare).unwrap();
+        // Re-simulate and count excitations.
+        let sim = Simulator::new(&nl).unwrap();
+        let vals = sim.run_on(&nl, &tests);
+        for r in rare.iter() {
+            let mut hits = 0;
+            for p in 0..tests.len() {
+                if vals.value(r.node, p) == r.rare_value {
+                    hits += 1;
+                }
+            }
+            assert!(
+                hits >= n,
+                "rare event {}={} hit only {hits} < {n} times",
+                nl.node(r.node).name(),
+                r.rare_value
+            );
+        }
+    }
+
+    #[test]
+    fn compact_compared_to_pool() {
+        let (nl, rare) = setup();
+        let tests = MeroDetection::new(3, 500, 7).generate_tests(&nl, &rare).unwrap();
+        assert!(tests.len() < 500, "MERO should select a small subset");
+        assert!(!tests.is_empty());
+    }
+
+    #[test]
+    fn empty_rare_profile_falls_back_to_random() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let tests = MeroDetection::new(3, 50, 9)
+            .generate_tests(&nl, &RareNodeSet::default())
+            .unwrap();
+        assert_eq!(tests.len(), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (nl, rare) = setup();
+        let a = MeroDetection::new(3, 200, 5).generate_tests(&nl, &rare).unwrap();
+        let b = MeroDetection::new(3, 200, 5).generate_tests(&nl, &rare).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,70 @@
+//! Random-pattern detection — the weakest baseline of Table II.
+
+use htforge_netlist::{Netlist, NetlistError};
+use htforge_sim::{PatternSet, RareNodeSet};
+
+use crate::scheme::DetectionScheme;
+
+/// Uniform random test patterns.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_detect::{DetectionScheme, RandomDetection};
+/// use htforge_sim::RareNodeSet;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = htforge_circuits::load("c17")?;
+/// let tests = RandomDetection::new(1_000, 7)
+///     .generate_tests(&nl, &RareNodeSet::default())?;
+/// assert_eq!(tests.len(), 1_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDetection {
+    count: usize,
+    seed: u64,
+}
+
+impl RandomDetection {
+    /// `count` random vectors from `seed`.
+    #[must_use]
+    pub fn new(count: usize, seed: u64) -> Self {
+        RandomDetection { count, seed }
+    }
+}
+
+impl DetectionScheme for RandomDetection {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn generate_tests(
+        &self,
+        golden: &Netlist,
+        _rare: &RareNodeSet,
+    ) -> Result<PatternSet, NetlistError> {
+        Ok(PatternSet::random(
+            golden.inputs().len(),
+            self.count,
+            self.seed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let rare = RareNodeSet::default();
+        let a = RandomDetection::new(100, 1).generate_tests(&nl, &rare).unwrap();
+        let b = RandomDetection::new(100, 1).generate_tests(&nl, &rare).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.num_inputs(), 5);
+    }
+}

@@ -1,0 +1,489 @@
+//! Parser and writer for the ISCAS `.bench` netlist format.
+//!
+//! This is the format the ISCAS-85/89 benchmark circuits are distributed
+//! in, e.g.:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! The parser is two-pass so signals may be referenced before definition
+//! (common in real ISCAS files). DFFs are supported for ISCAS-89.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+
+#[derive(Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Gate {
+        name: String,
+        kind: GateKind,
+        fanins: Vec<String>,
+        line: usize,
+    },
+    Dff {
+        name: String,
+        d: String,
+    },
+}
+
+fn parse_line(line_no: usize, raw: &str) -> Result<Option<Stmt>, NetlistError> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+
+    let parse_call = |s: &str| -> Result<(String, Vec<String>), NetlistError> {
+        let open = s.find('(').ok_or(NetlistError::Parse {
+            line: line_no,
+            message: "expected `(`".into(),
+        })?;
+        let close = s.rfind(')').ok_or(NetlistError::Parse {
+            line: line_no,
+            message: "expected `)`".into(),
+        })?;
+        if close < open {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "mismatched parentheses".into(),
+            });
+        }
+        let head = s[..open].trim().to_owned();
+        let args: Vec<String> = s[open + 1..close]
+            .split(',')
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+        Ok((head, args))
+    };
+
+    if let Some(eq) = line.find('=') {
+        let name = line[..eq].trim().to_owned();
+        if name.is_empty() {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "missing signal name before `=`".into(),
+            });
+        }
+        let (head, args) = parse_call(&line[eq + 1..])?;
+        if head.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("DFF takes 1 argument, got {}", args.len()),
+                });
+            }
+            return Ok(Some(Stmt::Dff {
+                name,
+                d: args.into_iter().next().expect("len checked"),
+            }));
+        }
+        let kind: GateKind = head.parse().map_err(|_| NetlistError::UnknownGateKind {
+            line: line_no,
+            keyword: head.clone(),
+        })?;
+        if args.is_empty() {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "gate with no fan-ins".into(),
+            });
+        }
+        return Ok(Some(Stmt::Gate {
+            name,
+            kind,
+            fanins: args,
+            line: line_no,
+        }));
+    }
+
+    let (head, args) = parse_call(line)?;
+    let one_arg = |mut args: Vec<String>| -> Result<String, NetlistError> {
+        if args.len() != 1 {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("expected 1 argument, got {}", args.len()),
+            });
+        }
+        Ok(args.remove(0))
+    };
+    if head.eq_ignore_ascii_case("INPUT") {
+        Ok(Some(Stmt::Input(one_arg(args)?)))
+    } else if head.eq_ignore_ascii_case("OUTPUT") {
+        Ok(Some(Stmt::Output(one_arg(args)?)))
+    } else {
+        Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("unrecognized statement `{head}`"),
+        })
+    }
+}
+
+/// Parses a `.bench` source into a [`Netlist`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] describing the first syntactic or semantic
+/// problem (unknown gate kind, undefined signal, duplicate definition,
+/// combinational cycle, …).
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// INPUT(a)\n\
+/// INPUT(b)\n\
+/// OUTPUT(y)\n\
+/// y = NAND(a, b)\n";
+/// let nl = htforge_netlist::bench::parse(src, "tiny")?;
+/// assert_eq!(nl.node_count(), 3);
+/// # Ok::<(), htforge_netlist::NetlistError>(())
+/// ```
+pub fn parse(source: &str, name: &str) -> Result<Netlist, NetlistError> {
+    let mut stmts = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        if let Some(stmt) = parse_line(i + 1, raw)? {
+            stmts.push(stmt);
+        }
+    }
+
+    let mut nl = Netlist::new(name);
+
+    // Pass 1: declare all signal-producing nodes so forward references
+    // resolve. Gates are declared in file order; their fan-ins are
+    // connected in pass 2 via a rebuild.
+    #[derive(Clone)]
+    struct PendingGate {
+        name: String,
+        kind: GateKind,
+        fanins: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<PendingGate> = Vec::new();
+    let mut dffs: Vec<(String, String)> = Vec::new();
+
+    for stmt in stmts {
+        match stmt {
+            Stmt::Input(n) => inputs.push(n),
+            Stmt::Output(n) => outputs.push(n),
+            Stmt::Gate {
+                name,
+                kind,
+                fanins,
+                line,
+            } => gates.push(PendingGate {
+                name,
+                kind,
+                fanins,
+                line,
+            }),
+            Stmt::Dff { name, d } => dffs.push((name, d)),
+        }
+    }
+
+    for n in &inputs {
+        nl.try_add_input(n.clone())?;
+    }
+    for (q, _) in &dffs {
+        nl.add_dff_deferred(q.clone())?;
+    }
+
+    // Topologically insert gates: repeatedly add gates whose fan-ins are
+    // all defined. Detects cycles/undefined signals.
+    let mut remaining = gates;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut still: Vec<PendingGate> = Vec::new();
+        for g in remaining {
+            let resolved: Option<Vec<NodeId>> =
+                g.fanins.iter().map(|f| nl.find(f)).collect();
+            match resolved {
+                Some(ids) => {
+                    nl.add_gate(g.name.clone(), g.kind, ids)?;
+                }
+                None => still.push(g),
+            }
+        }
+        if still.len() == before {
+            // No progress: either an undefined signal or a cycle.
+            let g = &still[0];
+            let missing = g
+                .fanins
+                .iter()
+                .find(|f| nl.find(f).is_none())
+                .cloned()
+                .unwrap_or_default();
+            let defined_later = still.iter().any(|other| other.name == missing);
+            if defined_later {
+                return Err(NetlistError::CombinationalCycle { witness: missing });
+            }
+            return Err(NetlistError::Parse {
+                line: g.line,
+                message: format!("undefined signal `{missing}`"),
+            });
+        }
+        remaining = still;
+    }
+
+    for (q, d) in &dffs {
+        let q_id = nl.find(q).expect("dff declared in pass 1");
+        let d_id = nl
+            .find(d)
+            .ok_or_else(|| NetlistError::UndefinedSignal(d.clone()))?;
+        nl.connect_dff(q_id, d_id)?;
+    }
+
+    for n in &outputs {
+        let id = nl
+            .find(n)
+            .ok_or_else(|| NetlistError::UndefinedSignal(n.clone()))?;
+        nl.mark_output(id);
+    }
+
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// Serializes a [`Netlist`] to `.bench` source text.
+///
+/// The output parses back to a structurally identical netlist (same
+/// signal names, kinds and connections); see the round-trip tests.
+#[must_use]
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", nl.name());
+    for &i in nl.inputs() {
+        // Skip pseudo-inputs that are DFFs in disguise (none after build,
+        // but scan_cut outputs are legal netlists too).
+        let _ = writeln!(out, "INPUT({})", nl.node(i).name());
+    }
+    for &o in nl.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", nl.node(o).name());
+    }
+    // Emit in topological order so the file is also human-followable.
+    let order = crate::graph::topo_order(nl).expect("netlist is validated");
+    let mut dff_lines: Vec<String> = Vec::new();
+    for id in order {
+        let node = nl.node(id);
+        match node.kind() {
+            NodeKind::Input => {}
+            NodeKind::Dff => {
+                let d = node.fanins()[0];
+                dff_lines.push(format!("{} = DFF({})", node.name(), nl.node(d).name()));
+            }
+            NodeKind::Gate(kind) => {
+                let args: Vec<&str> =
+                    node.fanins().iter().map(|&f| nl.node(f).name()).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    node.name(),
+                    kind.bench_keyword(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    for line in dff_lines {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Structural statistics of a netlist, as reported by the benchmark tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary-input count (excluding scan pseudo-inputs).
+    pub inputs: usize,
+    /// Primary-output count.
+    pub outputs: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// DFF count.
+    pub dffs: usize,
+    /// Total node count.
+    pub nodes: usize,
+}
+
+/// Computes [`NetlistStats`] for a netlist.
+#[must_use]
+pub fn stats(nl: &Netlist) -> NetlistStats {
+    NetlistStats {
+        inputs: nl.inputs().len() - 0,
+        outputs: nl.outputs().len(),
+        gates: nl.gate_count(),
+        dffs: nl.dffs().len(),
+        nodes: nl.node_count(),
+    }
+}
+
+/// Builds an index from signal name to [`NodeId`] (convenience for tools
+/// that need many lookups).
+#[must_use]
+pub fn name_index(nl: &Netlist) -> HashMap<String, NodeId> {
+    nl.iter()
+        .map(|(id, n)| (n.name().to_owned(), id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 — smallest ISCAS-85 circuit
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parse_c17() {
+        let nl = parse(C17, "c17").unwrap();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.gate_count(), 6);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let nl = parse(C17, "c17").unwrap();
+        let text = write(&nl);
+        let nl2 = parse(&text, "c17").unwrap();
+        assert_eq!(nl.node_count(), nl2.node_count());
+        assert_eq!(nl.inputs().len(), nl2.inputs().len());
+        assert_eq!(nl.outputs().len(), nl2.outputs().len());
+        for (id, node) in nl.iter() {
+            let id2 = nl2.find(node.name()).unwrap();
+            let node2 = nl2.node(id2);
+            assert_eq!(node.kind(), node2.kind(), "kind of {}", node.name());
+            let fanins: Vec<&str> =
+                node.fanins().iter().map(|&f| nl.node(f).name()).collect();
+            let fanins2: Vec<&str> =
+                node2.fanins().iter().map(|&f| nl2.node(f).name()).collect();
+            assert_eq!(fanins, fanins2, "fanins of {}", node.name());
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = BUF(a)
+";
+        let nl = parse(src, "fwd").unwrap();
+        assert_eq!(nl.gate_count(), 2);
+    }
+
+    #[test]
+    fn dff_parses_and_round_trips() {
+        let src = "\
+INPUT(a)
+OUTPUT(g)
+g = XOR(a, q)
+q = DFF(g)
+";
+        let nl = parse(src, "seq").unwrap();
+        assert_eq!(nl.dffs().len(), 1);
+        let text = write(&nl);
+        let nl2 = parse(&text, "seq").unwrap();
+        assert_eq!(nl2.dffs().len(), 1);
+        let q = nl2.find("q").unwrap();
+        assert_eq!(nl2.node(nl2.node(q).fanins()[0]).name(), "g");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+# full-line comment
+
+INPUT(a)  # trailing comment
+OUTPUT(y)
+y = BUF(a)
+";
+        let nl = parse(src, "c").unwrap();
+        assert_eq!(nl.node_count(), 2);
+    }
+
+    #[test]
+    fn unknown_gate_kind_is_reported_with_line() {
+        let src = "INPUT(a)\ny = MAJ(a, a, a)\n";
+        match parse(src, "bad") {
+            Err(NetlistError::UnknownGateKind { line, keyword }) => {
+                assert_eq!(line, 2);
+                assert_eq!(keyword, "MAJ");
+            }
+            other => panic!("expected UnknownGateKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_signal_is_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        assert!(parse(src, "bad").is_err());
+    }
+
+    #[test]
+    fn combinational_cycle_is_reported() {
+        let src = "\
+INPUT(a)
+OUTPUT(p)
+p = AND(a, q)
+q = AND(a, p)
+";
+        assert!(matches!(
+            parse(src, "cyc"),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_match() {
+        let nl = parse(C17, "c17").unwrap();
+        let s = stats(&nl);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.dffs, 0);
+        assert_eq!(s.nodes, 11);
+    }
+
+    #[test]
+    fn bad_syntax_reports_line() {
+        let src = "INPUT(a)\nthis is not bench\n";
+        match parse(src, "bad") {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+}

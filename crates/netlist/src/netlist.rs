@@ -1,0 +1,649 @@
+//! The [`Netlist`] data structure: an indexed DAG of gates.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Identifier of a node (signal) within one [`Netlist`].
+///
+/// Node ids are dense indices assigned in creation order and remain stable
+/// across [`Netlist::scan_cut`] and trojan insertion (which only appends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Useful for iterating over all nodes of a netlist; passing an index
+    /// that is out of range for the netlist it is used with will surface as
+    /// [`NetlistError::InvalidNodeId`] or a panic in indexing operations.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node *is*: a primary input, a combinational gate, or a DFF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Primary input (no fan-ins).
+    Input,
+    /// Combinational gate of the given kind.
+    Gate(GateKind),
+    /// D flip-flop; the node models the Q output, its single fan-in is D.
+    Dff,
+}
+
+impl NodeKind {
+    /// Returns the gate kind if this node is a combinational gate.
+    #[must_use]
+    pub fn gate_kind(self) -> Option<GateKind> {
+        match self {
+            NodeKind::Gate(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// One signal-producing element of a netlist.
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    kind: NodeKind,
+    fanins: Vec<NodeId>,
+    fanouts: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's signal name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Fan-in node ids, in gate-input order.
+    #[must_use]
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// Fan-out node ids (consumers of this signal).
+    #[must_use]
+    pub fn fanouts(&self) -> &[NodeId] {
+        &self.fanouts
+    }
+}
+
+/// A gate-level netlist: a named DAG of [`Node`]s with designated primary
+/// inputs and outputs.
+///
+/// Sequential circuits (ISCAS-89) contain [`NodeKind::Dff`] nodes; call
+/// [`Netlist::scan_cut`] to obtain the full-scan combinational model used
+/// by simulation and ATPG, as is standard in the MERO / ND-ATPG literature.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::{Netlist, GateKind};
+///
+/// # fn main() -> Result<(), htforge_netlist::NetlistError> {
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let sum = nl.add_gate("sum", GateKind::Xor, vec![a, b])?;
+/// let carry = nl.add_gate("carry", GateKind::And, vec![a, b])?;
+/// nl.mark_output(sum);
+/// nl.mark_output(carry);
+/// assert_eq!(nl.inputs().len(), 2);
+/// assert_eq!(nl.outputs().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    by_name: HashMap<String, NodeId>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    dffs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            dffs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total number of nodes (inputs + gates + DFFs).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of combinational gates (excludes inputs and DFFs).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Gate(_)))
+            .count()
+    }
+
+    /// Primary inputs, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// D flip-flop nodes, in declaration order.
+    #[must_use]
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Looks up a node by signal name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over `(NodeId, &Node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All node ids in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    fn fresh_name(&mut self, name: impl Into<String>) -> Result<String, NetlistError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        Ok(name)
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(node.name.clone(), id);
+        for &f in &node.fanins {
+            self.nodes[f.index()].fanouts.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken (inputs come first in practice;
+    /// use [`Netlist::try_add_input`] for a fallible variant).
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        self.try_add_input(name)
+            .expect("duplicate primary input name")
+    }
+
+    /// Adds a primary input, failing on a duplicate name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let name = self.fresh_name(name)?;
+        let id = self.push_node(Node {
+            name,
+            kind: NodeKind::Input,
+            fanins: Vec::new(),
+            fanouts: Vec::new(),
+        });
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a combinational gate driven by `fanins`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken,
+    /// [`NetlistError::BadArity`] if the fan-in count is illegal for
+    /// `kind`, or [`NetlistError::InvalidNodeId`] if a fan-in id is out of
+    /// range.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanins: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
+        let name = self.fresh_name(name)?;
+        if !kind.arity_ok(fanins.len()) {
+            return Err(NetlistError::BadArity {
+                gate: name,
+                kind: kind.bench_keyword(),
+                got: fanins.len(),
+            });
+        }
+        for &f in &fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::InvalidNodeId(f.0));
+            }
+        }
+        Ok(self.push_node(Node {
+            name,
+            kind: NodeKind::Gate(kind),
+            fanins,
+            fanouts: Vec::new(),
+        }))
+    }
+
+    /// Adds a D flip-flop whose D input is `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] on a name clash or
+    /// [`NetlistError::InvalidNodeId`] if `d` is out of range.
+    pub fn add_dff(
+        &mut self,
+        name: impl Into<String>,
+        d: NodeId,
+    ) -> Result<NodeId, NetlistError> {
+        let name = self.fresh_name(name)?;
+        if d.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNodeId(d.0));
+        }
+        let id = self.push_node(Node {
+            name,
+            kind: NodeKind::Dff,
+            fanins: vec![d],
+            fanouts: Vec::new(),
+        });
+        self.dffs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a D flip-flop whose D driver will be connected later with
+    /// [`Netlist::connect_dff`]. Needed by parsers because `.bench` files
+    /// may reference a DFF's Q before defining its D driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] on a name clash.
+    pub fn add_dff_deferred(
+        &mut self,
+        name: impl Into<String>,
+    ) -> Result<NodeId, NetlistError> {
+        let name = self.fresh_name(name)?;
+        let id = self.push_node(Node {
+            name,
+            kind: NodeKind::Dff,
+            fanins: Vec::new(),
+            fanouts: Vec::new(),
+        });
+        self.dffs.push(id);
+        Ok(id)
+    }
+
+    /// Connects the D input of a deferred DFF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNodeId`] if either id is out of range
+    /// or `dff` is not a DFF with an unconnected D input.
+    pub fn connect_dff(&mut self, dff: NodeId, d: NodeId) -> Result<(), NetlistError> {
+        if dff.index() >= self.nodes.len() || d.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNodeId(dff.0.max(d.0)));
+        }
+        {
+            let node = &self.nodes[dff.index()];
+            if node.kind != NodeKind::Dff || !node.fanins.is_empty() {
+                return Err(NetlistError::InvalidNodeId(dff.0));
+            }
+        }
+        self.nodes[dff.index()].fanins.push(d);
+        self.nodes[d.index()].fanouts.push(dff);
+        Ok(())
+    }
+
+    /// Marks a node as a primary output. A node may be marked at most once;
+    /// repeated marks are ignored.
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Returns `true` if `id` is a primary output.
+    #[must_use]
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Produces the *full-scan* combinational model: every DFF becomes a
+    /// pseudo primary input (its Q), and its D driver becomes a pseudo
+    /// primary output. Node ids are preserved.
+    ///
+    /// The returned netlist contains no `Dff` nodes, so it is a pure DAG of
+    /// gates suitable for bit-parallel simulation and PODEM.
+    #[must_use]
+    pub fn scan_cut(&self) -> Netlist {
+        let mut out = self.clone();
+        out.name = format!("{}_scan", self.name);
+        // Drop DFF fan-in edges first (removes Q←D edges and the fanout
+        // back-references), then retype DFFs as inputs.
+        for &dff in &self.dffs {
+            let d = out.nodes[dff.index()].fanins.first().copied();
+            out.nodes[dff.index()].fanins.clear();
+            if let Some(d) = d {
+                out.nodes[d.index()].fanouts.retain(|&x| x != dff);
+                // D driver becomes a pseudo-PO.
+                if !out.outputs.contains(&d) {
+                    out.outputs.push(d);
+                }
+            }
+            out.nodes[dff.index()].kind = NodeKind::Input;
+            out.inputs.push(dff);
+        }
+        out.dffs.clear();
+        out
+    }
+
+    /// Splices a new driver in front of all existing fan-outs of `victim`:
+    /// every gate that consumed `victim` now consumes `new_driver` instead.
+    /// Primary-output markings on `victim` transfer to `new_driver`.
+    ///
+    /// This is the payload-insertion primitive: insert an XOR of
+    /// `(victim, trigger)` and splice it over `victim`.
+    ///
+    /// The fan-outs rewritten are those that existed *before* `new_driver`
+    /// itself was added, so `new_driver` may (and typically does) take
+    /// `victim` as one of its own fan-ins without creating a self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or if `victim == new_driver`.
+    pub fn splice_driver(&mut self, victim: NodeId, new_driver: NodeId) {
+        assert_ne!(victim, new_driver, "cannot splice a node over itself");
+        let consumers: Vec<NodeId> = self.nodes[victim.index()]
+            .fanouts
+            .iter()
+            .copied()
+            .filter(|&c| c != new_driver)
+            .collect();
+        for c in &consumers {
+            for f in &mut self.nodes[c.index()].fanins {
+                if *f == victim {
+                    *f = new_driver;
+                }
+            }
+            self.nodes[new_driver.index()].fanouts.push(*c);
+        }
+        self.nodes[victim.index()]
+            .fanouts
+            .retain(|&c| c == new_driver);
+        if let Some(pos) = self.outputs.iter().position(|&o| o == victim) {
+            if self.outputs.contains(&new_driver) {
+                self.outputs.remove(pos);
+            } else {
+                self.outputs[pos] = new_driver;
+            }
+        }
+    }
+
+    /// Validates structural invariants: every fan-in id in range, fan-out
+    /// lists consistent with fan-ins, DFFs fully connected, and the
+    /// combinational part acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, node) in self.iter() {
+            for &f in &node.fanins {
+                if f.index() >= self.nodes.len() {
+                    return Err(NetlistError::InvalidNodeId(f.0));
+                }
+                if !self.nodes[f.index()].fanouts.contains(&id) {
+                    return Err(NetlistError::UndefinedSignal(node.name.clone()));
+                }
+            }
+            match node.kind {
+                NodeKind::Input => {
+                    if !node.fanins.is_empty() {
+                        return Err(NetlistError::BadArity {
+                            gate: node.name.clone(),
+                            kind: "INPUT",
+                            got: node.fanins.len(),
+                        });
+                    }
+                }
+                NodeKind::Dff => {
+                    if node.fanins.len() != 1 {
+                        return Err(NetlistError::BadArity {
+                            gate: node.name.clone(),
+                            kind: "DFF",
+                            got: node.fanins.len(),
+                        });
+                    }
+                }
+                NodeKind::Gate(k) => {
+                    if !k.arity_ok(node.fanins.len()) {
+                        return Err(NetlistError::BadArity {
+                            gate: node.name.clone(),
+                            kind: k.bench_keyword(),
+                            got: node.fanins.len(),
+                        });
+                    }
+                }
+            }
+        }
+        // Acyclicity of the combinational part (DFF edges are cut).
+        crate::graph::topo_order(self).map(|_| ())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, {} dffs",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.gate_count(),
+            self.dffs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_gate("s", GateKind::Xor, vec![a, b]).unwrap();
+        let c = nl.add_gate("c", GateKind::And, vec![a, b]).unwrap();
+        nl.mark_output(s);
+        nl.mark_output(c);
+        nl
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let nl = half_adder();
+        assert_eq!(nl.node_count(), 4);
+        assert_eq!(nl.gate_count(), 2);
+        let s = nl.find("s").unwrap();
+        assert_eq!(nl.node(s).kind(), NodeKind::Gate(GateKind::Xor));
+        assert_eq!(nl.node(s).fanins().len(), 2);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        assert_eq!(
+            nl.add_gate("a", GateKind::Buf, vec![a]),
+            Err(NetlistError::DuplicateName("a".into()))
+        );
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        assert!(matches!(
+            nl.add_gate("g", GateKind::Not, vec![a, b]),
+            Err(NetlistError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn fanouts_are_maintained() {
+        let nl = half_adder();
+        let a = nl.find("a").unwrap();
+        assert_eq!(nl.node(a).fanouts().len(), 2);
+    }
+
+    #[test]
+    fn scan_cut_preserves_ids_and_cuts_dffs() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff_deferred("q").unwrap();
+        let g = nl.add_gate("g", GateKind::Nand, vec![a, q]).unwrap();
+        nl.connect_dff(q, g).unwrap();
+        nl.mark_output(g);
+        assert!(nl.validate().is_ok());
+
+        let cut = nl.scan_cut();
+        assert!(cut.validate().is_ok());
+        assert_eq!(cut.dffs().len(), 0);
+        assert_eq!(cut.inputs().len(), 2); // a + pseudo-input q
+        assert!(cut.outputs().contains(&g)); // g is both PO and pseudo-PO
+        assert_eq!(cut.node(q).kind(), NodeKind::Input);
+        // Ids stable:
+        assert_eq!(cut.find("q"), Some(q));
+        assert_eq!(cut.find("g"), Some(g));
+    }
+
+    #[test]
+    fn scan_cut_adds_pseudo_po_for_d_driver() {
+        let mut nl = Netlist::new("seq2");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate("inv", GateKind::Not, vec![a]).unwrap();
+        let q = nl.add_dff("q", inv).unwrap();
+        let out = nl.add_gate("out", GateKind::Buf, vec![q]).unwrap();
+        nl.mark_output(out);
+        let cut = nl.scan_cut();
+        assert!(cut.outputs().contains(&inv));
+        assert!(cut.outputs().contains(&out));
+    }
+
+    #[test]
+    fn splice_driver_rewires_consumers_and_outputs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let v = nl.add_gate("v", GateKind::And, vec![a, b]).unwrap();
+        let sink = nl.add_gate("sink", GateKind::Not, vec![v]).unwrap();
+        nl.mark_output(v);
+        nl.mark_output(sink);
+        // payload: xor of (v, b) spliced over v
+        let xor = nl.add_gate("xor", GateKind::Xor, vec![v, b]).unwrap();
+        nl.splice_driver(v, xor);
+        assert_eq!(nl.node(sink).fanins(), &[xor]);
+        assert!(nl.is_output(xor));
+        assert!(!nl.is_output(v));
+        // v still feeds the xor itself
+        assert_eq!(nl.node(v).fanouts(), &[xor]);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate("g1", GateKind::And, vec![a, a]).unwrap();
+        let g2 = nl.add_gate("g2", GateKind::Or, vec![g1]).unwrap();
+        // Manually create a cycle g1 <- g2.
+        nl.nodes[g1.index()].fanins.push(g2);
+        nl.nodes[g2.index()].fanouts.push(g1);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn display_summary() {
+        let nl = half_adder();
+        let s = nl.to_string();
+        assert!(s.contains("2 inputs"));
+        assert!(s.contains("2 gates"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Netlist cleanup passes: dead-gate sweeping and constant folding.
+//!
+//! These are hygiene utilities for imported netlists (hand-written or
+//! machine-generated `.bench`/Verilog can contain unreferenced logic or
+//! constant subtrees). The trojan-insertion flow itself never needs
+//! them — inserted logic is always live by construction — but a
+//! benchmark-generation toolkit that re-emits netlists should be able to
+//! normalize its inputs.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+
+/// Statistics from one cleanup pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Gates removed because nothing observable consumes them.
+    pub dead_gates_removed: usize,
+    /// Gates whose output was proven constant and folded away.
+    pub constants_folded: usize,
+}
+
+/// Removes every gate that cannot reach a primary output or a DFF data
+/// input (dead logic). Inputs are always kept, even when unused, so the
+/// interface is preserved. Returns the swept netlist and statistics.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if the input netlist is structurally invalid.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::{opt, Netlist, GateKind};
+///
+/// # fn main() -> Result<(), htforge_netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let live = nl.add_gate("live", GateKind::Not, vec![a])?;
+/// let _dead = nl.add_gate("dead", GateKind::Buf, vec![a])?;
+/// nl.mark_output(live);
+/// let (swept, stats) = opt::sweep_dead_gates(&nl)?;
+/// assert_eq!(stats.dead_gates_removed, 1);
+/// assert_eq!(swept.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_dead_gates(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistError> {
+    nl.validate()?;
+    // Live = transitive fan-in of the primary outputs; D-input cones of
+    // *live* DFFs are added by the fixed-point loop below (a DFF that
+    // nothing observable consumes is dead along with its cone).
+    let seeds: Vec<NodeId> = nl.outputs().to_vec();
+    let live = crate::graph::transitive_fanin(nl, &seeds);
+
+    let mut out = Netlist::new(nl.name());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut removed = 0usize;
+    // DFF D-cones cross sequential boundaries: iterate liveness until
+    // fixed point (a live DFF makes its D cone live).
+    let mut live = live;
+    loop {
+        let mut extra_seeds = Vec::new();
+        for &dff in nl.dffs() {
+            if live[dff.index()] {
+                for &d in nl.node(dff).fanins() {
+                    if !live[d.index()] {
+                        extra_seeds.push(d);
+                    }
+                }
+            }
+        }
+        if extra_seeds.is_empty() {
+            break;
+        }
+        let more = crate::graph::transitive_fanin(nl, &extra_seeds);
+        for (l, m) in live.iter_mut().zip(more) {
+            *l |= m;
+        }
+    }
+
+    for &i in nl.inputs() {
+        map.insert(i, out.try_add_input(nl.node(i).name().to_owned())?);
+    }
+    for &dff in nl.dffs() {
+        if live[dff.index()] {
+            map.insert(dff, out.add_dff_deferred(nl.node(dff).name().to_owned())?);
+        }
+    }
+    for id in crate::graph::topo_order(nl)? {
+        let node = nl.node(id);
+        match node.kind() {
+            NodeKind::Gate(kind) => {
+                if !live[id.index()] {
+                    removed += 1;
+                    continue;
+                }
+                let fanins: Vec<NodeId> =
+                    node.fanins().iter().map(|f| map[f]).collect();
+                map.insert(id, out.add_gate(node.name().to_owned(), kind, fanins)?);
+            }
+            NodeKind::Input | NodeKind::Dff => {}
+        }
+    }
+    for &dff in nl.dffs() {
+        if live[dff.index()] {
+            let d = nl.node(dff).fanins()[0];
+            out.connect_dff(map[&dff], map[&d])?;
+        }
+    }
+    for &o in nl.outputs() {
+        out.mark_output(map[&o]);
+    }
+    out.validate()?;
+    Ok((
+        out,
+        SweepStats {
+            dead_gates_removed: removed,
+            constants_folded: 0,
+        },
+    ))
+}
+
+/// Value lattice for constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Const {
+    Zero,
+    One,
+    Unknown,
+}
+
+/// Folds gates whose output is provably constant (e.g. `AND(x, NOT x)`),
+/// replacing them with a canonical constant cell (`AND(i, NOT i)` /
+/// `OR(i, NOT i)` over the first input) shared by all folded gates.
+/// Follow with [`sweep_dead_gates`] to drop the disconnected cones.
+///
+/// Only *structural* constants are folded: a gate is constant when its
+/// evaluation over the constant lattice is definite, or when two of its
+/// fan-ins are complementary through a direct inverter.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] for invalid netlists, or if the netlist has
+/// no primary input to anchor the constant cells on.
+pub fn fold_constants(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistError> {
+    nl.validate()?;
+    let order = crate::graph::topo_order(nl)?;
+    let mut value = vec![Const::Unknown; nl.node_count()];
+
+    // inverter_of[x] = y when y = NOT(x).
+    let mut inverter_of: HashMap<NodeId, NodeId> = HashMap::new();
+    for (id, node) in nl.iter() {
+        if node.kind() == NodeKind::Gate(GateKind::Not) {
+            inverter_of.insert(node.fanins()[0], id);
+        }
+    }
+
+    let mut folded = 0usize;
+    for &id in &order {
+        let node = nl.node(id);
+        let kind = match node.kind() {
+            NodeKind::Gate(k) => k,
+            _ => continue,
+        };
+        let fanins = node.fanins();
+        // Complementary-pair rule for AND/NAND/OR/NOR.
+        let complementary = fanins.iter().any(|&a| {
+            fanins
+                .iter()
+                .any(|&b| inverter_of.get(&a) == Some(&b))
+        });
+        let vals: Vec<Const> = fanins.iter().map(|f| value[f.index()]).collect();
+        let out = match kind {
+            GateKind::And | GateKind::Nand => {
+                let any_zero = complementary || vals.contains(&Const::Zero);
+                let all_one = vals.iter().all(|&v| v == Const::One);
+                if any_zero {
+                    Some(kind == GateKind::Nand)
+                } else if all_one {
+                    Some(kind == GateKind::And)
+                } else {
+                    None
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let any_one = complementary || vals.contains(&Const::One);
+                let all_zero = vals.iter().all(|&v| v == Const::Zero);
+                if any_one {
+                    Some(kind == GateKind::Or)
+                } else if all_zero {
+                    Some(kind == GateKind::Nor)
+                } else {
+                    None
+                }
+            }
+            GateKind::Not => match vals[0] {
+                Const::Zero => Some(true),
+                Const::One => Some(false),
+                Const::Unknown => None,
+            },
+            GateKind::Buf => match vals[0] {
+                Const::Zero => Some(false),
+                Const::One => Some(true),
+                Const::Unknown => None,
+            },
+            GateKind::Xor | GateKind::Xnor => {
+                if vals.iter().all(|&v| v != Const::Unknown) {
+                    let parity = vals.iter().filter(|&&v| v == Const::One).count() % 2;
+                    Some((parity == 1) ^ (kind == GateKind::Xnor))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(b) = out {
+            value[id.index()] = if b { Const::One } else { Const::Zero };
+        }
+    }
+
+    // Rebuild, routing constant gates through shared constant cells.
+    let anchor = *nl
+        .inputs()
+        .first()
+        .ok_or_else(|| NetlistError::UndefinedSignal("<no inputs>".into()))?;
+    let mut out = Netlist::new(nl.name());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for &i in nl.inputs() {
+        map.insert(i, out.try_add_input(nl.node(i).name().to_owned())?);
+    }
+    for &dff in nl.dffs() {
+        map.insert(dff, out.add_dff_deferred(nl.node(dff).name().to_owned())?);
+    }
+    let mut const_cells: [Option<NodeId>; 2] = [None, None];
+    let mut cell = |out: &mut Netlist,
+                    map: &HashMap<NodeId, NodeId>,
+                    cells: &mut [Option<NodeId>; 2],
+                    which: bool|
+     -> Result<NodeId, NetlistError> {
+        let idx = usize::from(which);
+        if let Some(c) = cells[idx] {
+            return Ok(c);
+        }
+        let a = map[&anchor];
+        let na = match out.find("_const_inv") {
+            Some(n) => n,
+            None => out.add_gate("_const_inv", GateKind::Not, vec![a])?,
+        };
+        let c = if which {
+            out.add_gate("_const_one", GateKind::Or, vec![a, na])?
+        } else {
+            out.add_gate("_const_zero", GateKind::And, vec![a, na])?
+        };
+        cells[idx] = Some(c);
+        Ok(c)
+    };
+    for &id in &order {
+        let node = nl.node(id);
+        let kind = match node.kind() {
+            NodeKind::Gate(k) => k,
+            _ => continue,
+        };
+        let new_id = match value[id.index()] {
+            Const::Zero => {
+                folded += 1;
+                let c = cell(&mut out, &map, &mut const_cells, false)?;
+                out.add_gate(node.name().to_owned(), GateKind::Buf, vec![c])?
+            }
+            Const::One => {
+                folded += 1;
+                let c = cell(&mut out, &map, &mut const_cells, true)?;
+                out.add_gate(node.name().to_owned(), GateKind::Buf, vec![c])?
+            }
+            Const::Unknown => {
+                let fanins: Vec<NodeId> =
+                    node.fanins().iter().map(|f| map[f]).collect();
+                out.add_gate(node.name().to_owned(), kind, fanins)?
+            }
+        };
+        map.insert(id, new_id);
+    }
+    for &dff in nl.dffs() {
+        let d = nl.node(dff).fanins()[0];
+        out.connect_dff(map[&dff], map[&d])?;
+    }
+    for &o in nl.outputs() {
+        out.mark_output(map[&o]);
+    }
+    out.validate()?;
+    Ok((
+        out,
+        SweepStats {
+            dead_gates_removed: 0,
+            constants_folded: folded,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn sweep_keeps_live_cone_only() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+d1 = NOT(a)
+d2 = OR(d1, b)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (swept, stats) = sweep_dead_gates(&nl).unwrap();
+        assert_eq!(stats.dead_gates_removed, 2);
+        assert_eq!(swept.gate_count(), 1);
+        assert_eq!(swept.inputs().len(), 2);
+        assert!(swept.find("y").is_some());
+        assert!(swept.find("d2").is_none());
+    }
+
+    #[test]
+    fn sweep_keeps_dff_feedback() {
+        let src = "\
+INPUT(a)
+OUTPUT(o)
+g = XOR(a, q)
+q = DFF(g)
+o = BUF(q)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (swept, stats) = sweep_dead_gates(&nl).unwrap();
+        assert_eq!(stats.dead_gates_removed, 0);
+        assert_eq!(swept.dffs().len(), 1);
+        assert_eq!(swept.gate_count(), 2);
+    }
+
+    #[test]
+    fn sweep_drops_dead_dff_cone() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+g = BUF(a)
+q = DFF(g)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (swept, _) = sweep_dead_gates(&nl).unwrap();
+        assert_eq!(swept.dffs().len(), 0);
+        assert!(swept.find("g").is_none());
+        assert_eq!(swept.gate_count(), 1);
+    }
+
+    #[test]
+    fn fold_complementary_and() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+na = NOT(a)
+c = AND(a, na)
+y = OR(c, b)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (folded, stats) = fold_constants(&nl).unwrap();
+        assert_eq!(stats.constants_folded, 1);
+        // c is now a BUF of the shared constant-zero cell.
+        let c = folded.find("c").unwrap();
+        assert_eq!(
+            folded.node(c).kind(),
+            crate::NodeKind::Gate(GateKind::Buf)
+        );
+        assert!(folded.find("_const_zero").is_some());
+        assert!(folded.validate().is_ok());
+    }
+
+    #[test]
+    fn fold_propagates_through_chains() {
+        // zero = AND(a, na); one = NOT(zero); y = AND(one, b) → y ≡ b
+        // (y itself is not constant, but `one` is folded).
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+na = NOT(a)
+zero = AND(a, na)
+one = NOT(zero)
+y = AND(one, b)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (folded, stats) = fold_constants(&nl).unwrap();
+        assert_eq!(stats.constants_folded, 2); // zero and one
+        assert!(folded.validate().is_ok());
+        // Functional check over both inputs.
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let eval = |nl: &Netlist| {
+                let order = crate::graph::topo_order(nl).unwrap();
+                let mut vals = vec![false; nl.node_count()];
+                for (pos, &i) in nl.inputs().iter().enumerate() {
+                    vals[i.index()] = [a, b][pos];
+                }
+                for id in order {
+                    if let crate::NodeKind::Gate(kind) = nl.node(id).kind() {
+                        let ins: Vec<bool> = nl
+                            .node(id)
+                            .fanins()
+                            .iter()
+                            .map(|f| vals[f.index()])
+                            .collect();
+                        vals[id.index()] = kind.eval_bool(&ins);
+                    }
+                }
+                vals[nl.outputs()[0].index()]
+            };
+            assert_eq!(eval(&nl), eval(&folded), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn fold_then_sweep_shrinks() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+na = NOT(a)
+zero = AND(a, na)
+one = NOT(zero)
+y = AND(one, b)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let (folded, _) = fold_constants(&nl).unwrap();
+        let (swept, _) = sweep_dead_gates(&folded).unwrap();
+        assert!(swept.gate_count() < nl.gate_count() + 3);
+        assert!(swept.validate().is_ok());
+    }
+
+    #[test]
+    fn no_constants_is_identity_shaped() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
+        let nl = bench::parse(src, "t").unwrap();
+        let (folded, stats) = fold_constants(&nl).unwrap();
+        assert_eq!(stats.constants_folded, 0);
+        assert_eq!(folded.gate_count(), nl.gate_count());
+    }
+}

@@ -1,0 +1,291 @@
+//! Bit-packed input-pattern sets.
+//!
+//! A [`PatternSet`] holds `len` input vectors for a circuit with
+//! `num_inputs` primary inputs, packed 64 patterns per machine word so the
+//! simulator evaluates 64 vectors per gate visit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of input vectors, bit-packed per input.
+///
+/// Storage layout: `bits[input][word]`, where bit `p % 64` of
+/// `bits[input][p / 64]` is the value of `input` in pattern `p`.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_sim::PatternSet;
+///
+/// let mut ps = PatternSet::zeros(3, 4);
+/// ps.set(1, 2, true);
+/// assert!(ps.get(1, 2));
+/// assert!(!ps.get(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    num_inputs: usize,
+    len: usize,
+    bits: Vec<Vec<u64>>,
+}
+
+impl PatternSet {
+    /// Number of 64-bit words needed for `len` patterns.
+    #[must_use]
+    pub(crate) fn words_for(len: usize) -> usize {
+        len.div_ceil(64)
+    }
+
+    /// Creates a set of `len` all-zero vectors for `num_inputs` inputs.
+    #[must_use]
+    pub fn zeros(num_inputs: usize, len: usize) -> Self {
+        PatternSet {
+            num_inputs,
+            len,
+            bits: vec![vec![0u64; Self::words_for(len)]; num_inputs],
+        }
+    }
+
+    /// Creates `len` uniformly random vectors from a fixed `seed`
+    /// (reproducible across runs and platforms).
+    #[must_use]
+    pub fn random(num_inputs: usize, len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = Self::words_for(len);
+        let mut bits = vec![vec![0u64; words]; num_inputs];
+        for input_bits in &mut bits {
+            for w in input_bits.iter_mut() {
+                *w = rng.gen();
+            }
+        }
+        let mut ps = PatternSet {
+            num_inputs,
+            len,
+            bits,
+        };
+        ps.mask_tail();
+        ps
+    }
+
+    /// Builds a pattern set from explicit vectors; each inner slice is one
+    /// pattern with one `bool` per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `num_inputs`.
+    #[must_use]
+    pub fn from_vectors(num_inputs: usize, vectors: &[Vec<bool>]) -> Self {
+        let mut ps = PatternSet::zeros(num_inputs, vectors.len());
+        for (p, v) in vectors.iter().enumerate() {
+            assert_eq!(v.len(), num_inputs, "pattern {p} has wrong width");
+            for (i, &bit) in v.iter().enumerate() {
+                if bit {
+                    ps.set(i, p, true);
+                }
+            }
+        }
+        ps
+    }
+
+    /// Zeroes any bits beyond `len` in the final word, so population counts
+    /// over whole words are exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            for input_bits in &mut self.bits {
+                if let Some(last) = input_bits.last_mut() {
+                    *last &= mask;
+                }
+            }
+        }
+    }
+
+    /// Number of input columns.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of patterns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no patterns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words of one input column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    #[must_use]
+    pub fn input_words(&self, input: usize) -> &[u64] {
+        &self.bits[input]
+    }
+
+    /// Value of `input` in pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn get(&self, input: usize, pattern: usize) -> bool {
+        assert!(pattern < self.len, "pattern {pattern} out of range");
+        (self.bits[input][pattern / 64] >> (pattern % 64)) & 1 == 1
+    }
+
+    /// Sets the value of `input` in pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, input: usize, pattern: usize, value: bool) {
+        assert!(pattern < self.len, "pattern {pattern} out of range");
+        let word = &mut self.bits[input][pattern / 64];
+        let mask = 1u64 << (pattern % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Extracts pattern `pattern` as a `Vec<bool>` (one entry per input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[must_use]
+    pub fn pattern(&self, pattern: usize) -> Vec<bool> {
+        (0..self.num_inputs).map(|i| self.get(i, pattern)).collect()
+    }
+
+    /// Appends every pattern of `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input counts differ.
+    pub fn extend_from(&mut self, other: &PatternSet) {
+        assert_eq!(self.num_inputs, other.num_inputs, "input count mismatch");
+        let old_len = self.len;
+        let new_len = old_len + other.len;
+        let words = Self::words_for(new_len);
+        for input_bits in &mut self.bits {
+            input_bits.resize(words, 0);
+        }
+        self.len = new_len;
+        for p in 0..other.len {
+            for i in 0..self.num_inputs {
+                if other.get(i, p) {
+                    self.set(i, old_len + p, true);
+                }
+            }
+        }
+    }
+
+    /// Appends a single pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != num_inputs`.
+    pub fn push(&mut self, vector: &[bool]) {
+        assert_eq!(vector.len(), self.num_inputs, "pattern has wrong width");
+        let p = self.len;
+        let words = Self::words_for(p + 1);
+        for input_bits in &mut self.bits {
+            input_bits.resize(words, 0);
+        }
+        self.len = p + 1;
+        for (i, &bit) in vector.iter().enumerate() {
+            if bit {
+                self.set(i, p, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_zero() {
+        let ps = PatternSet::zeros(4, 100);
+        assert_eq!(ps.len(), 100);
+        for p in 0..100 {
+            for i in 0..4 {
+                assert!(!ps.get(i, p));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut ps = PatternSet::zeros(2, 130);
+        ps.set(0, 0, true);
+        ps.set(1, 64, true);
+        ps.set(0, 129, true);
+        assert!(ps.get(0, 0));
+        assert!(ps.get(1, 64));
+        assert!(ps.get(0, 129));
+        assert!(!ps.get(1, 129));
+        ps.set(0, 0, false);
+        assert!(!ps.get(0, 0));
+    }
+
+    #[test]
+    fn random_is_reproducible_and_balanced() {
+        let a = PatternSet::random(8, 1000, 42);
+        let b = PatternSet::random(8, 1000, 42);
+        assert_eq!(a, b);
+        let c = PatternSet::random(8, 1000, 43);
+        assert_ne!(a, c);
+        // Roughly half ones per column.
+        for i in 0..8 {
+            let ones: u32 = a.input_words(i).iter().map(|w| w.count_ones()).sum();
+            assert!((300..700).contains(&ones), "column {i}: {ones} ones");
+        }
+    }
+
+    #[test]
+    fn random_tail_is_masked() {
+        let ps = PatternSet::random(3, 70, 7);
+        let last = *ps.input_words(0).last().unwrap();
+        // Patterns 64..70 occupy bits 0..6 of the last word.
+        assert_eq!(last >> 6, 0);
+    }
+
+    #[test]
+    fn from_vectors_and_pattern_round_trip() {
+        let vecs = vec![vec![true, false, true], vec![false, false, true]];
+        let ps = PatternSet::from_vectors(3, &vecs);
+        assert_eq!(ps.pattern(0), vecs[0]);
+        assert_eq!(ps.pattern(1), vecs[1]);
+    }
+
+    #[test]
+    fn extend_and_push() {
+        let mut a = PatternSet::from_vectors(2, &[vec![true, false]]);
+        let b = PatternSet::from_vectors(2, &[vec![false, true], vec![true, true]]);
+        a.extend_from(&b);
+        a.push(&[false, false]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.pattern(0), vec![true, false]);
+        assert_eq!(a.pattern(1), vec![false, true]);
+        assert_eq!(a.pattern(2), vec![true, true]);
+        assert_eq!(a.pattern(3), vec![false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let ps = PatternSet::zeros(1, 10);
+        let _ = ps.get(0, 10);
+    }
+}

@@ -1,0 +1,116 @@
+//! Signal-probability estimation via random simulation.
+//!
+//! The probability of a node being 1 under uniform random inputs is the
+//! quantity the rareness threshold θ_RN of Algorithm 1 is compared
+//! against, and is also one of the structural features used by the
+//! RL-baseline inserter.
+
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
+
+use crate::patterns::PatternSet;
+use crate::simulator::{NodeValues, Simulator};
+
+/// Per-node signal probabilities estimated from simulation.
+#[derive(Debug, Clone)]
+pub struct SignalProbabilities {
+    samples: usize,
+    ones: Vec<u64>,
+}
+
+impl SignalProbabilities {
+    /// Estimates probabilities by simulating `patterns` on `nl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the input count.
+    pub fn estimate(nl: &Netlist, patterns: &PatternSet) -> Result<Self, NetlistError> {
+        let sim = Simulator::new(nl)?;
+        let values = sim.run_on(nl, patterns);
+        Ok(Self::from_values(nl, &values))
+    }
+
+    /// Derives probabilities from already-simulated values.
+    #[must_use]
+    pub fn from_values(nl: &Netlist, values: &NodeValues) -> Self {
+        let ones = nl.node_ids().map(|id| values.count_ones(id)).collect();
+        SignalProbabilities {
+            samples: values.len(),
+            ones,
+        }
+    }
+
+    /// Number of simulated samples the estimate is based on.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Estimated probability that `node` is 1.
+    #[must_use]
+    pub fn p_one(&self, node: NodeId) -> f64 {
+        if self.samples == 0 {
+            0.5
+        } else {
+            self.ones[node.index()] as f64 / self.samples as f64
+        }
+    }
+
+    /// Estimated probability that `node` is 0.
+    #[must_use]
+    pub fn p_zero(&self, node: NodeId) -> f64 {
+        1.0 - self.p_one(node)
+    }
+
+    /// Raw count of patterns where `node` was 1.
+    #[must_use]
+    pub fn count_ones(&self, node: NodeId) -> u64 {
+        self.ones[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_netlist::bench;
+
+    #[test]
+    fn and_tree_probability_decays() {
+        // y = AND(a,b,c,d): P(1) = 1/16 under uniform inputs.
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+y = AND(a, b, c, d)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let ps = PatternSet::random(4, 20_000, 1);
+        let probs = SignalProbabilities::estimate(&nl, &ps).unwrap();
+        let y = nl.find("y").unwrap();
+        let p = probs.p_one(y);
+        assert!((p - 1.0 / 16.0).abs() < 0.01, "p = {p}");
+        assert!((probs.p_zero(y) - 15.0 / 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn input_probability_is_half() {
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
+        let ps = PatternSet::random(1, 50_000, 2);
+        let probs = SignalProbabilities::estimate(&nl, &ps).unwrap();
+        let a = nl.find("a").unwrap();
+        assert!((probs.p_one(a) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_samples_defaults_to_half() {
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
+        let probs =
+            SignalProbabilities::estimate(&nl, &PatternSet::zeros(1, 0)).unwrap();
+        assert_eq!(probs.p_one(nl.find("a").unwrap()), 0.5);
+    }
+}

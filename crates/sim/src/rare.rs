@@ -1,0 +1,319 @@
+//! Rare-node extraction — the paper's **Algorithm 1** (`Extraction_RN`).
+//!
+//! A node is *rare* at value `v` if, over a random vector set `V`, it
+//! reaches `v` at most `θ_RN · |V|` times. Rare nodes are the candidate
+//! trigger nodes for stealthy trojans: a trigger built from them fires
+//! only when every one of them simultaneously sits at its rare value.
+//!
+//! The paper selects θ_RN = 20 % and |V| = 10 000 (§IV-A, Figs. 2–3).
+
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError, NodeKind};
+
+use crate::patterns::PatternSet;
+use crate::simulator::Simulator;
+
+/// A node identified as rare, together with its rare value and how often
+/// it reached that value during profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RareNode {
+    /// The rare node.
+    pub node: NodeId,
+    /// The value the node rarely takes (the trojan trigger condition).
+    pub rare_value: bool,
+    /// Number of profiling patterns in which the node took `rare_value`.
+    pub count: u64,
+}
+
+impl RareNode {
+    /// The estimated probability of the rare event, given the profiling
+    /// set size.
+    #[must_use]
+    pub fn probability(&self, samples: usize) -> f64 {
+        if samples == 0 {
+            0.0
+        } else {
+            self.count as f64 / samples as f64
+        }
+    }
+}
+
+/// The result of Algorithm 1: the rare nodes of a circuit.
+///
+/// Matches the paper's split into `RN1` (rare at value 1) and `RN0`
+/// (rare at value 0); [`RareNodeSet::iter`] chains both.
+#[derive(Debug, Clone, Default)]
+pub struct RareNodeSet {
+    rn1: Vec<RareNode>,
+    rn0: Vec<RareNode>,
+    samples: usize,
+}
+
+impl RareNodeSet {
+    /// Nodes rare at logic 1 (the paper's `RN1`).
+    #[must_use]
+    pub fn rare_at_one(&self) -> &[RareNode] {
+        &self.rn1
+    }
+
+    /// Nodes rare at logic 0 (the paper's `RN0`).
+    #[must_use]
+    pub fn rare_at_zero(&self) -> &[RareNode] {
+        &self.rn0
+    }
+
+    /// All rare nodes (RN1 then RN0).
+    pub fn iter(&self) -> impl Iterator<Item = &RareNode> + '_ {
+        self.rn1.iter().chain(self.rn0.iter())
+    }
+
+    /// Total number of rare nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rn1.len() + self.rn0.len()
+    }
+
+    /// Whether no rare nodes were found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rn1.is_empty() && self.rn0.is_empty()
+    }
+
+    /// Number of profiling patterns used.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Finds the rare entry for a node, if the node is rare.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Option<&RareNode> {
+        self.iter().find(|r| r.node == node)
+    }
+}
+
+impl<'a> IntoIterator for &'a RareNodeSet {
+    type Item = &'a RareNode;
+    type IntoIter = std::iter::Chain<
+        std::slice::Iter<'a, RareNode>,
+        std::slice::Iter<'a, RareNode>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rn1.iter().chain(self.rn0.iter())
+    }
+}
+
+/// Configurable rare-node extractor (Algorithm 1).
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::bench;
+/// use htforge_sim::{PatternSet, RareNodeExtractor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n";
+/// let nl = bench::parse(src, "t")?;
+/// let patterns = PatternSet::random(3, 10_000, 7);
+/// // y is 1 only 1/8 of the time: rare at θ = 20 %.
+/// let rare = RareNodeExtractor::new(0.20).extract(&nl, &patterns)?;
+/// let y = nl.find("y").unwrap();
+/// assert!(rare.rare_at_one().iter().any(|r| r.node == y));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RareNodeExtractor {
+    theta: f64,
+    include_inputs: bool,
+    include_outputs: bool,
+}
+
+impl RareNodeExtractor {
+    /// Creates an extractor with rareness threshold `theta` (a fraction of
+    /// the vector-set size, e.g. `0.20` for the paper's 20 %).
+    ///
+    /// Primary inputs are excluded by default (they are never rare under
+    /// uniform random vectors and are not usable trigger nodes anyway);
+    /// primary outputs are included, matching the paper's node counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= theta <= 1.0`.
+    #[must_use]
+    pub fn new(theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+        RareNodeExtractor {
+            theta,
+            include_inputs: false,
+            include_outputs: true,
+        }
+    }
+
+    /// The rareness threshold.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Also consider primary inputs as rare-node candidates.
+    #[must_use]
+    pub fn with_inputs(mut self, include: bool) -> Self {
+        self.include_inputs = include;
+        self
+    }
+
+    /// Consider primary outputs as rare-node candidates (default `true`).
+    #[must_use]
+    pub fn with_outputs(mut self, include: bool) -> Self {
+        self.include_outputs = include;
+        self
+    }
+
+    /// Runs Algorithm 1: simulates `patterns` on `nl` and classifies each
+    /// node. A node with `count1 ≤ θ·|V|` goes to RN1; otherwise, if
+    /// `count0 ≤ θ·|V|`, to RN0 (the paper's if/else-if order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the input count.
+    pub fn extract(
+        &self,
+        nl: &Netlist,
+        patterns: &PatternSet,
+    ) -> Result<RareNodeSet, NetlistError> {
+        let sim = Simulator::new(nl)?;
+        let values = sim.run_on(nl, patterns);
+        let threshold = (self.theta * patterns.len() as f64).floor() as u64;
+
+        let mut set = RareNodeSet {
+            rn1: Vec::new(),
+            rn0: Vec::new(),
+            samples: patterns.len(),
+        };
+        for (id, node) in nl.iter() {
+            match node.kind() {
+                NodeKind::Input if !self.include_inputs => continue,
+                NodeKind::Dff => continue, // Q of an uncut DFF is not simulated
+                _ => {}
+            }
+            if !self.include_outputs && nl.is_output(id) {
+                continue;
+            }
+            let ones = values.count_ones(id);
+            let zeros = values.count_zeros(id);
+            if ones <= threshold {
+                set.rn1.push(RareNode {
+                    node: id,
+                    rare_value: true,
+                    count: ones,
+                });
+            } else if zeros <= threshold {
+                set.rn0.push(RareNode {
+                    node: id,
+                    rare_value: false,
+                    count: zeros,
+                });
+            }
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_netlist::bench;
+
+    const TREE: &str = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+m = AND(a, b)
+n = AND(c, d)
+y = AND(m, n)
+";
+
+    #[test]
+    fn and_tree_internal_nodes_classified() {
+        let nl = bench::parse(TREE, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 11);
+        let rare = RareNodeExtractor::new(0.20).extract(&nl, &ps).unwrap();
+        // P(m=1) = 1/4 > 0.2 ⇒ not rare-1; P(m=0) = 3/4 ⇒ not rare-0.
+        let m = nl.find("m").unwrap();
+        assert!(rare.get(m).is_none());
+        // P(y=1) = 1/16 ≤ 0.2 ⇒ rare at 1.
+        let y = nl.find("y").unwrap();
+        let entry = rare.get(y).expect("y should be rare");
+        assert!(entry.rare_value);
+        assert!(entry.probability(rare.samples()) < 0.1);
+    }
+
+    #[test]
+    fn larger_theta_finds_more_rare_nodes() {
+        let nl = bench::parse(TREE, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 11);
+        let small = RareNodeExtractor::new(0.05).extract(&nl, &ps).unwrap();
+        let large = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        assert!(large.len() >= small.len());
+        // At θ = 30 %, m and n (P = 1/4) become rare at 1.
+        assert!(large.get(nl.find("m").unwrap()).is_some());
+    }
+
+    #[test]
+    fn nor_output_is_rare_at_one_side_or_zero_side() {
+        // y = OR(a,b,c,d): P(y=0) = 1/16 ⇒ rare at 0.
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+y = OR(a, b, c, d)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 3);
+        let rare = RareNodeExtractor::new(0.20).extract(&nl, &ps).unwrap();
+        let y = nl.find("y").unwrap();
+        let entry = rare.get(y).expect("y should be rare");
+        assert!(!entry.rare_value);
+        assert!(rare.rare_at_zero().iter().any(|r| r.node == y));
+    }
+
+    #[test]
+    fn inputs_excluded_by_default_included_on_request() {
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
+        // All-zero patterns make `a` trivially "rare at 1".
+        let ps = PatternSet::zeros(1, 100);
+        let without = RareNodeExtractor::new(0.2).extract(&nl, &ps).unwrap();
+        assert!(without.get(nl.find("a").unwrap()).is_none());
+        let with = RareNodeExtractor::new(0.2)
+            .with_inputs(true)
+            .extract(&nl, &ps)
+            .unwrap();
+        assert!(with.get(nl.find("a").unwrap()).is_some());
+    }
+
+    #[test]
+    fn theta_zero_marks_constant_nodes_only() {
+        // y = AND(a, na) is constant 0 ⇒ count1 = 0 ≤ 0.
+        let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = AND(a, na)\n";
+        let nl = bench::parse(src, "t").unwrap();
+        let ps = PatternSet::random(1, 1000, 5);
+        let rare = RareNodeExtractor::new(0.0).extract(&nl, &ps).unwrap();
+        assert_eq!(rare.len(), 1);
+        assert_eq!(rare.rare_at_one()[0].node, nl.find("y").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_panics() {
+        let _ = RareNodeExtractor::new(1.5);
+    }
+}

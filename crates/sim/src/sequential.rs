@@ -1,0 +1,239 @@
+//! Cycle-accurate sequential simulation.
+//!
+//! The combinational machinery ([`crate::simulator`]) models full-scan
+//! testing; this module closes the loop for *functional* (non-scan)
+//! operation: DFF state is held across clock edges, one
+//! [`SequentialSimulator::step`] per cycle. It exists to exercise
+//! sequential trojans (counter-based "time-bomb" triggers) whose
+//! behaviour is invisible to purely combinational analysis.
+
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
+
+use crate::patterns::PatternSet;
+use crate::simulator::{NodeValues, Simulator};
+
+/// A sequential simulator: combinational core plus explicit DFF state.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::bench;
+/// use htforge_sim::sequential::SequentialSimulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 1-bit toggle: q flips whenever `en` is high.
+/// let src = "INPUT(en)\nOUTPUT(q)\nd = XOR(en, q)\nq = DFF(d)\n";
+/// let nl = bench::parse(src, "toggle")?;
+/// let mut sim = SequentialSimulator::new(&nl)?;
+/// assert_eq!(sim.state(), &[false]);
+/// sim.step(&[true])?;
+/// assert_eq!(sim.state(), &[true]);
+/// sim.step(&[false])?;
+/// assert_eq!(sim.state(), &[true]); // hold
+/// sim.step(&[true])?;
+/// assert_eq!(sim.state(), &[false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSimulator {
+    cut: Netlist,
+    sim: Simulator,
+    /// Current DFF states, in `netlist.dffs()` order.
+    state: Vec<bool>,
+    /// D drivers of each DFF (ids valid in `cut`).
+    d_drivers: Vec<NodeId>,
+    primary_inputs: usize,
+    last: Option<NodeValues>,
+}
+
+impl SequentialSimulator {
+    /// Builds a simulator for `nl`, with all flops initialized to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// part of `nl` is cyclic.
+    pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
+        let d_drivers: Vec<NodeId> = nl
+            .dffs()
+            .iter()
+            .map(|&q| nl.node(q).fanins()[0])
+            .collect();
+        let primary_inputs = nl.inputs().len();
+        let cut = nl.scan_cut();
+        let sim = Simulator::new(&cut)?;
+        Ok(SequentialSimulator {
+            cut,
+            sim,
+            state: vec![false; d_drivers.len()],
+            d_drivers,
+            primary_inputs,
+            last: None,
+        })
+    }
+
+    /// Current flop states, in `dffs()` order.
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overwrites the flop states (e.g. to model a non-zero reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the DFF count.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+        self.last = None;
+    }
+
+    /// Resets every flop to 0.
+    pub fn reset(&mut self) {
+        self.state.fill(false);
+        self.last = None;
+    }
+
+    /// Applies one clock cycle with the given primary-input values.
+    /// Combinational values settle, then every DFF captures its D input.
+    ///
+    /// # Errors
+    ///
+    /// This operation is infallible after construction; the `Result`
+    /// mirrors future-proofing of the trait-facing API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        assert_eq!(
+            inputs.len(),
+            self.primary_inputs,
+            "input width mismatch"
+        );
+        let mut full: Vec<bool> = Vec::with_capacity(inputs.len() + self.state.len());
+        full.extend_from_slice(inputs);
+        full.extend_from_slice(&self.state);
+        let ps = PatternSet::from_vectors(full.len(), &[full]);
+        let values = self.sim.run_on(&self.cut, &ps);
+        for (k, &d) in self.d_drivers.iter().enumerate() {
+            self.state[k] = values.value(d, 0);
+        }
+        self.last = Some(values);
+        Ok(())
+    }
+
+    /// The settled value of `node` after the most recent [`step`]
+    /// (`None` before the first step or after a state override).
+    ///
+    /// [`step`]: SequentialSimulator::step
+    #[must_use]
+    pub fn value(&self, node: NodeId) -> Option<bool> {
+        self.last.as_ref().map(|v| v.value(node, 0))
+    }
+
+    /// Runs a whole input sequence, returning the primary-output values
+    /// after each cycle.
+    ///
+    /// # Errors
+    ///
+    /// See [`SequentialSimulator::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatches.
+    pub fn run_sequence(
+        &mut self,
+        sequence: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, NetlistError> {
+        let mut outputs = Vec::with_capacity(sequence.len());
+        for inputs in sequence {
+            self.step(inputs)?;
+            let values = self.last.as_ref().expect("step stores values");
+            outputs.push(
+                self.cut
+                    .outputs()
+                    .iter()
+                    .map(|&o| values.value(o, 0))
+                    .collect(),
+            );
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_netlist::bench;
+
+    /// 2-bit counter that increments while `en` is high.
+    const COUNTER2: &str = "\
+INPUT(en)
+OUTPUT(q1)
+d0 = XOR(en, q0)
+c0 = AND(en, q0)
+d1 = XOR(c0, q1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+";
+
+    #[test]
+    fn counter_counts() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        let mut observed = Vec::new();
+        for _ in 0..5 {
+            sim.step(&[true]).unwrap();
+            let s = sim.state();
+            observed.push(u8::from(s[0]) + 2 * u8::from(s[1]));
+        }
+        assert_eq!(observed, vec![1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn enable_low_holds_state() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        sim.step(&[true]).unwrap();
+        let snapshot = sim.state().to_vec();
+        for _ in 0..3 {
+            sim.step(&[false]).unwrap();
+        }
+        assert_eq!(sim.state(), &snapshot[..]);
+    }
+
+    #[test]
+    fn set_state_and_reset() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        sim.set_state(&[true, true]);
+        sim.step(&[true]).unwrap();
+        assert_eq!(sim.state(), &[false, false], "3 + 1 wraps to 0");
+        sim.reset();
+        assert_eq!(sim.state(), &[false, false]);
+        assert!(sim.value(nl.find("d0").unwrap()).is_none());
+    }
+
+    #[test]
+    fn run_sequence_reports_outputs_per_cycle() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        let seq: Vec<Vec<bool>> = vec![vec![true]; 4];
+        let outs = sim.run_sequence(&seq).unwrap();
+        assert_eq!(outs.len(), 4);
+        // q1 (PO) over cycles: reading *pre-edge* q1 each cycle: 0,0,1,1.
+        let q1_trace: Vec<bool> = outs.iter().map(|o| o[0]).collect();
+        assert_eq!(q1_trace, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn combinational_netlist_works_with_zero_state() {
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        sim.step(&[false]).unwrap();
+        assert_eq!(sim.value(nl.find("y").unwrap()), Some(true));
+    }
+}
