@@ -203,7 +203,7 @@ impl Cube {
         self.bits
             .iter()
             .zip(v)
-            .all(|(&b, &bit)| b.to_bool().map_or(true, |c| c == bit))
+            .all(|(&b, &bit)| b.to_bool().is_none_or(|c| c == bit))
     }
 }
 

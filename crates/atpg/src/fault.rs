@@ -72,12 +72,7 @@ impl Fault {
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} s-a-{}",
-            self.node,
-            if self.stuck_at { 1 } else { 0 }
-        )
+        write!(f, "{} s-a-{}", self.node, if self.stuck_at { 1 } else { 0 })
     }
 }
 

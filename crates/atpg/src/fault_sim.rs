@@ -53,9 +53,7 @@ impl FaultSimReport {
 pub fn all_faults(nl: &Netlist) -> Vec<Fault> {
     nl.iter()
         .filter(|(_, node)| !matches!(node.kind(), NodeKind::Dff))
-        .flat_map(|(id, _)| {
-            [Fault::stuck_at(id, false), Fault::stuck_at(id, true)]
-        })
+        .flat_map(|(id, _)| [Fault::stuck_at(id, false), Fault::stuck_at(id, true)])
         .collect()
 }
 
@@ -81,15 +79,8 @@ pub fn fault_simulate(
     for (pos, &id) in order.iter().enumerate() {
         topo_pos[id.index()] = pos as u32;
     }
-    let words = tests.len().div_ceil(64);
-    let tail_mask = {
-        let rem = tests.len() % 64;
-        if rem == 0 {
-            u64::MAX
-        } else {
-            (1u64 << rem) - 1
-        }
-    };
+    let words = PatternSet::words_for(tests.len());
+    let tail_mask = PatternSet::tail_mask(tests.len());
 
     let mut detected = Vec::with_capacity(faults.len());
     // Scratch: faulty values for cone nodes only, keyed by node index.
@@ -101,7 +92,7 @@ pub fn fault_simulate(
         // Activation mask: patterns where the good value differs from the
         // stuck value — without activation there is nothing to propagate.
         let stuck_words = if fault.stuck_value() {
-            vec![u64::MAX & tail_mask; words]
+            vec![tail_mask; words]
         } else {
             vec![0u64; words]
         };
@@ -117,17 +108,13 @@ pub fn fault_simulate(
 
         // Event-driven cone simulation in topological order.
         let cone = graph::transitive_fanout(nl, &[site]);
-        let mut cone_nodes: Vec<NodeId> = nl
-            .node_ids()
-            .filter(|id| cone[id.index()])
-            .collect();
+        let mut cone_nodes: Vec<NodeId> = nl.node_ids().filter(|id| cone[id.index()]).collect();
         cone_nodes.sort_by_key(|id| topo_pos[id.index()]);
         for &id in &cone_nodes {
             in_cone[id.index()] = true;
         }
 
         faulty[site.index()] = stuck_words.clone();
-        let mut scratch: Vec<u64> = Vec::new();
         for &id in &cone_nodes {
             if id == site {
                 continue;
@@ -142,21 +129,45 @@ pub fn fault_simulate(
                     continue;
                 }
             };
-            let mut out = Vec::with_capacity(words);
-            for w in 0..words {
-                scratch.clear();
-                for &f in node.fanins() {
-                    scratch.push(if in_cone[f.index()] {
-                        faulty[f.index()][w]
-                    } else {
-                        good.words(f)[w]
-                    });
+            // Columnar evaluation: seed from the first fanin's column,
+            // fold the rest word-wise, then invert/mask. No per-word
+            // scratch — whole columns stream through the fold.
+            let fanins = node.fanins();
+            let src = |f: NodeId| -> &[u64] {
+                if in_cone[f.index()] {
+                    &faulty[f.index()]
+                } else {
+                    good.words(f)
                 }
-                let mut v = kind.eval_bits(&scratch);
-                if w + 1 == words {
-                    v &= tail_mask;
+            };
+            let mut out: Vec<u64> = src(fanins[0]).to_vec();
+            for &f in &fanins[1..] {
+                let fw = src(f);
+                match kind.fold_op() {
+                    htforge_netlist::FoldOp::And => {
+                        for (o, &v) in out.iter_mut().zip(fw) {
+                            *o &= v;
+                        }
+                    }
+                    htforge_netlist::FoldOp::Or => {
+                        for (o, &v) in out.iter_mut().zip(fw) {
+                            *o |= v;
+                        }
+                    }
+                    htforge_netlist::FoldOp::Xor => {
+                        for (o, &v) in out.iter_mut().zip(fw) {
+                            *o ^= v;
+                        }
+                    }
                 }
-                out.push(v);
+            }
+            if kind.is_inverting() {
+                for o in &mut out {
+                    *o = !*o;
+                }
+            }
+            if let Some(last) = out.last_mut() {
+                *last &= tail_mask;
             }
             faulty[id.index()] = out;
         }
@@ -235,10 +246,7 @@ OUTPUT(23)
             let TestResult::Test(cube) = podem.generate(fault) else {
                 panic!("{fault} should be testable");
             };
-            let tests = PatternSet::from_vectors(
-                5,
-                &[cube.fill_with(false), cube.fill_with(true)],
-            );
+            let tests = PatternSet::from_vectors(5, &[cube.fill_with(false), cube.fill_with(true)]);
             let report = fault_simulate(&nl, &[fault], &tests).unwrap();
             assert_eq!(report.detected(), 1, "{fault} cube {cube}");
         }
@@ -251,8 +259,7 @@ OUTPUT(23)
         let nl = bench::parse(src, "t").unwrap();
         let y = nl.find("y").unwrap();
         let tests = PatternSet::from_vectors(1, &[vec![false], vec![true]]);
-        let report =
-            fault_simulate(&nl, &[Fault::stuck_at(y, true)], &tests).unwrap();
+        let report = fault_simulate(&nl, &[Fault::stuck_at(y, true)], &tests).unwrap();
         assert_eq!(report.detected(), 0);
     }
 
@@ -263,12 +270,10 @@ OUTPUT(23)
         let y = nl.find("y").unwrap();
         let tests = PatternSet::from_vectors(1, &[vec![true], vec![true], vec![true]]);
         // y s-a-1 never differs when a is always 1.
-        let report =
-            fault_simulate(&nl, &[Fault::stuck_at(y, true)], &tests).unwrap();
+        let report = fault_simulate(&nl, &[Fault::stuck_at(y, true)], &tests).unwrap();
         assert_eq!(report.detected(), 0);
         // y s-a-0 differs on every pattern.
-        let report =
-            fault_simulate(&nl, &[Fault::stuck_at(y, false)], &tests).unwrap();
+        let report = fault_simulate(&nl, &[Fault::stuck_at(y, false)], &tests).unwrap();
         assert_eq!(report.detected(), 1);
     }
 }

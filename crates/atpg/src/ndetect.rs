@@ -72,7 +72,10 @@ pub fn n_detect_cubes(
             break;
         }
         let cfg = PodemConfig {
-            random_seed: Some(seed.wrapping_add(k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            random_seed: Some(
+                seed.wrapping_add(k as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             ..base_config
         };
         let mut podem = Podem::new(nl, cfg)?;
@@ -103,14 +106,12 @@ mod tests {
         .unwrap();
         let y = nl.find("y").unwrap();
         let single =
-            n_detect_cubes(&nl, Fault::stuck_at(y, true), 5, PodemConfig::default(), 1)
-                .unwrap();
+            n_detect_cubes(&nl, Fault::stuck_at(y, true), 5, PodemConfig::default(), 1).unwrap();
         assert_eq!(single.len(), 1);
         assert_eq!(single[0].care_count(), 3);
 
         let multi =
-            n_detect_cubes(&nl, Fault::stuck_at(y, false), 3, PodemConfig::default(), 1)
-                .unwrap();
+            n_detect_cubes(&nl, Fault::stuck_at(y, false), 3, PodemConfig::default(), 1).unwrap();
         assert!(multi.len() > 1, "expected diverse cubes, got {multi:?}");
         for c in &multi {
             assert!(justifies(&nl, c.bits(), y, true).unwrap());
@@ -123,8 +124,7 @@ mod tests {
         let nl = bench::parse(src, "t").unwrap();
         let y = nl.find("y").unwrap();
         let cubes =
-            n_detect_cubes(&nl, Fault::stuck_at(y, true), 4, PodemConfig::default(), 2)
-                .unwrap();
+            n_detect_cubes(&nl, Fault::stuck_at(y, true), 4, PodemConfig::default(), 2).unwrap();
         assert!(cubes.is_empty());
     }
 
@@ -133,8 +133,7 @@ mod tests {
         let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
         let y = nl.find("y").unwrap();
         let cubes =
-            n_detect_cubes(&nl, Fault::stuck_at(y, false), 0, PodemConfig::default(), 3)
-                .unwrap();
+            n_detect_cubes(&nl, Fault::stuck_at(y, false), 0, PodemConfig::default(), 3).unwrap();
         assert!(cubes.is_empty());
     }
 
@@ -147,8 +146,7 @@ mod tests {
         .unwrap();
         let y = nl.find("y").unwrap();
         let cubes =
-            n_detect_cubes(&nl, Fault::stuck_at(y, true), 6, PodemConfig::default(), 4)
-                .unwrap();
+            n_detect_cubes(&nl, Fault::stuck_at(y, true), 6, PodemConfig::default(), 4).unwrap();
         for (i, a) in cubes.iter().enumerate() {
             for b in &cubes[i + 1..] {
                 assert_ne!(a, b);
@@ -156,7 +154,7 @@ mod tests {
         }
         // All cubes excite y = 0 (stuck-at-1 ⇒ excitation value 0).
         for c in &cubes {
-            assert!(c.bits().iter().any(|&b| b == Tri::Zero));
+            assert!(c.bits().contains(&Tri::Zero));
         }
     }
 }

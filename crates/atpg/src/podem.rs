@@ -304,8 +304,7 @@ impl Podem {
                 NodeKind::Gate(k) => k,
                 _ => continue,
             };
-            let out_definite =
-                self.good[id.index()].is_care() && self.faulty[id.index()].is_care();
+            let out_definite = self.good[id.index()].is_care() && self.faulty[id.index()].is_care();
             if out_definite {
                 continue;
             }
@@ -314,20 +313,22 @@ impl Podem {
                 let fv = self.faulty[f.index()];
                 g.is_care() && fv.is_care() && g != fv
             });
-            let has_x_input = node
-                .fanins()
-                .iter()
-                .any(|f| self.good[f.index()] == Tri::X);
+            let has_x_input = node.fanins().iter().any(|f| self.good[f.index()] == Tri::X);
             if has_fault_input && has_x_input {
                 let co = self.scoap.co(id);
-                if best.map_or(true, |(_, c)| co < c) {
+                if best.is_none_or(|(_, c)| co < c) {
                     best = Some((id, co));
                 }
                 let _ = kind;
             }
         }
         let (gate, _) = best?;
-        let kind = self.nl.node(gate).kind().gate_kind().expect("frontier gate");
+        let kind = self
+            .nl
+            .node(gate)
+            .kind()
+            .gate_kind()
+            .expect("frontier gate");
         // Objective: set one X input to the non-controlling value so the
         // fault effect passes through.
         let target = match kind.controlling_value() {
@@ -425,9 +426,7 @@ impl Podem {
                 let definite_parity = fanins
                     .iter()
                     .filter(|f| self.good[f.index()].is_care())
-                    .fold(false, |acc, f| {
-                        acc ^ (self.good[f.index()] == Tri::One)
-                    });
+                    .fold(false, |acc, f| acc ^ (self.good[f.index()] == Tri::One));
                 // Drive the chosen X input so that, assuming the remaining
                 // X inputs settle at 0, the parity works out.
                 let chosen = if let Some(rng) = self.rng.as_mut() {
@@ -483,8 +482,7 @@ impl Podem {
                     let g = eval_gate_tri(kind, &scratch_g);
                     let f = if detect {
                         scratch_f.clear();
-                        scratch_f
-                            .extend(node.fanins().iter().map(|f| self.faulty[f.index()]));
+                        scratch_f.extend(node.fanins().iter().map(|f| self.faulty[f.index()]));
                         eval_gate_tri(kind, &scratch_f)
                     } else {
                         Tri::X
@@ -551,11 +549,7 @@ OUTPUT(23)
         for (pos, &id) in nl.inputs().iter().enumerate() {
             faulty[id.index()] = cube.bits()[pos];
         }
-        if nl
-            .inputs()
-            .iter()
-            .any(|&i| i == fault.node())
-        {
+        if nl.inputs().iter().any(|&i| i == fault.node()) {
             faulty[fault.node().index()] = Tri::from_bool(fault.stuck_value());
         }
         for id in order {
@@ -581,11 +575,7 @@ OUTPUT(23)
 
     #[test]
     fn justify_and_gate_output_one() {
-        let nl = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
         let y = nl.find("y").unwrap();
         let mut podem = Podem::new(&nl, PodemConfig::justify()).unwrap();
         let cube = podem
@@ -645,7 +635,10 @@ OUTPUT(23)
         let nl = bench::parse(src, "t").unwrap();
         let y = nl.find("y").unwrap();
         let mut podem = Podem::new(&nl, PodemConfig::default()).unwrap();
-        assert_eq!(podem.generate(Fault::stuck_at(y, true)), TestResult::Untestable);
+        assert_eq!(
+            podem.generate(Fault::stuck_at(y, true)),
+            TestResult::Untestable
+        );
     }
 
     #[test]
@@ -655,7 +648,10 @@ OUTPUT(23)
         let nl = bench::parse(src, "t").unwrap();
         let g = nl.find("g").unwrap();
         let mut podem = Podem::new(&nl, PodemConfig::default()).unwrap();
-        assert_eq!(podem.generate(Fault::stuck_at(g, false)), TestResult::Untestable);
+        assert_eq!(
+            podem.generate(Fault::stuck_at(g, false)),
+            TestResult::Untestable
+        );
         // ...but justifiable in justify mode.
         let mut jpodem = Podem::new(&nl, PodemConfig::justify()).unwrap();
         assert!(jpodem.generate(Fault::stuck_at(g, false)).is_test());

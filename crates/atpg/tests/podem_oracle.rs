@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use htforge_atpg::{Fault, Podem, PodemConfig, PodemMode, TestResult};
+use htforge_atpg::{Fault, Podem, PodemConfig, TestResult};
 use htforge_netlist::{GateKind, Netlist, NodeId};
 use htforge_sim::simulator::BoundSimulator;
 use htforge_sim::PatternSet;
@@ -23,9 +23,7 @@ fn build_random_netlist(num_inputs: usize, script: &[u8]) -> Netlist {
         let kind = GateKind::ALL[(chunk[0] % 8) as usize];
         let a = pool[(chunk[1] as usize) % pool.len()];
         let b = pool[(chunk[2] as usize) % pool.len()];
-        let fanins = if kind.is_unary() {
-            vec![a]
-        } else if a == b {
+        let fanins = if kind.is_unary() || a == b {
             vec![a]
         } else {
             vec![a, b]
@@ -61,7 +59,7 @@ fn exhaustive_verdict(nl: &Netlist, fault: Fault, detect: bool) -> bool {
     // Faulty circuit: rebuild with the node's function replaced by the
     // stuck value, simulated via a scalar pass.
     let order = htforge_netlist::graph::topo_order(nl).expect("acyclic");
-    for p in 0..total {
+    for (p, vector) in vectors.iter().enumerate() {
         if good.value(fault.node(), p) != fault.excitation_value() {
             continue;
         }
@@ -71,7 +69,7 @@ fn exhaustive_verdict(nl: &Netlist, fault: Fault, detect: bool) -> bool {
         // Scalar faulty simulation for pattern p.
         let mut vals = vec![false; nl.node_count()];
         for (pos, &input) in nl.inputs().iter().enumerate() {
-            vals[input.index()] = vectors[p][pos];
+            vals[input.index()] = vector[pos];
         }
         for &id in &order {
             if let htforge_netlist::NodeKind::Gate(kind) = nl.node(id).kind() {
@@ -104,7 +102,7 @@ fn cube_achieves(nl: &Netlist, cube: &htforge_atpg::Cube, fault: Fault, detect: 
     for fill in [false, true] {
         let v = cube.fill_with(fill);
         let sim = BoundSimulator::new(nl).expect("valid");
-        let ps = PatternSet::from_vectors(nl.inputs().len(), &[v.clone()]);
+        let ps = PatternSet::from_vectors(nl.inputs().len(), std::slice::from_ref(&v));
         let good = sim.run(&ps);
         if good.value(fault.node(), 0) != fault.excitation_value() {
             return false;

@@ -123,8 +123,7 @@ impl RandomInserter {
                 needed: self.trigger_nodes,
             });
         }
-        let pool: Vec<(NodeId, bool)> =
-            rare.iter().map(|r| (r.node, r.rare_value)).collect();
+        let pool: Vec<(NodeId, bool)> = rare.iter().map(|r| (r.node, r.rare_value)).collect();
 
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
         let mut infected = Vec::new();
@@ -149,8 +148,7 @@ impl RandomInserter {
 
                 let rare_values: Vec<bool> = candidate.iter().map(|&(_, v)| v).collect();
                 let plan = TriggerPlan::synthesize(&rare_values, self.max_fanin);
-                let trigger_nodes: Vec<NodeId> =
-                    candidate.iter().map(|&(n, _)| n).collect();
+                let trigger_nodes: Vec<NodeId> = candidate.iter().map(|&(n, _)| n).collect();
                 let Some(payload) = choose_payload(
                     nl,
                     &scoap,
@@ -160,8 +158,7 @@ impl RandomInserter {
                     rejected += 1;
                     continue;
                 };
-                let cube =
-                    Cube::from_tris(vector.iter().map(|&b| Tri::from_bool(b)).collect());
+                let cube = Cube::from_tris(vector.iter().map(|&b| Tri::from_bool(b)).collect());
                 let (netlist, trojan) = insert_trojan_at(
                     nl,
                     &candidate,

@@ -140,8 +140,7 @@ impl RlInserter {
                 needed: cfg.trigger_nodes,
             });
         }
-        let pool: Vec<(NodeId, bool)> =
-            rare.iter().map(|r| (r.node, r.rare_value)).collect();
+        let pool: Vec<(NodeId, bool)> = rare.iter().map(|r| (r.node, r.rare_value)).collect();
 
         // Q-values seeded from SCOAP controllability toward the rare value
         // (normalized): harder nodes start more attractive.
@@ -154,7 +153,9 @@ impl RlInserter {
             .collect();
 
         let mut rng = StdRng::seed_from_u64(seed ^ 0x93A4);
-        let mut successes: Vec<(Vec<(NodeId, bool)>, Vec<bool>)> = Vec::new();
+        // (validated trigger set, witness joint-trigger vector)
+        type Success = (Vec<(NodeId, bool)>, Vec<bool>);
+        let mut successes: Vec<Success> = Vec::new();
         let mut rejected = 0usize;
 
         for episode in 0..cfg.episodes {
@@ -313,8 +314,7 @@ mod tests {
             .infected
             .iter()
             .map(|d| {
-                let mut s: Vec<NodeId> =
-                    d.trojan.trigger_inputs.iter().map(|&(n, _)| n).collect();
+                let mut s: Vec<NodeId> = d.trojan.trigger_inputs.iter().map(|&(n, _)| n).collect();
                 s.sort_unstable();
                 s
             })

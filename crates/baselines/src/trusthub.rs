@@ -165,14 +165,8 @@ impl TrustHubInserter {
                 }
                 None => Cube::all_x(comb.inputs().len()),
             };
-            let (netlist, trojan) = insert_trojan_at(
-                nl,
-                &window,
-                &plan,
-                payload,
-                &format!("th{instance}"),
-                cube,
-            )?;
+            let (netlist, trojan) =
+                insert_trojan_at(nl, &window, &plan, payload, &format!("th{instance}"), cube)?;
             infected.push(InfectedDesign { netlist, trojan });
         }
 

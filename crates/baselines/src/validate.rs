@@ -56,10 +56,10 @@ pub fn find_joint_trigger(
         let ps = PatternSet::random(num_inputs, count, batch_seed);
         let vals = sim.run_on(nl, &ps);
         // Joint hit: AND over all target columns (value-adjusted).
-        let words = count.div_ceil(64);
+        let words = PatternSet::words_for(count);
         'word: for w in 0..words {
-            let mut hit = if w + 1 == words && count % 64 != 0 {
-                (1u64 << (count % 64)) - 1
+            let mut hit = if w + 1 == words {
+                PatternSet::tail_mask(count)
             } else {
                 u64::MAX
             };
@@ -75,7 +75,9 @@ pub fn find_joint_trigger(
             return Ok(Some(ps.pattern(pattern)));
         }
         tried += count;
-        batch_seed = batch_seed.wrapping_add(0x9E37_79B9).wrapping_mul(6364136223846793005);
+        batch_seed = batch_seed
+            .wrapping_add(0x9E37_79B9)
+            .wrapping_mul(6364136223846793005);
     }
     Ok(None)
 }
@@ -98,15 +100,18 @@ pub fn count_joint_occurrences(
     vectors: usize,
     seed: u64,
 ) -> Result<usize, NetlistError> {
-    assert!(!targets.is_empty(), "stealth check needs at least one target");
+    assert!(
+        !targets.is_empty(),
+        "stealth check needs at least one target"
+    );
     let sim = Simulator::new(nl)?;
     let ps = PatternSet::random(nl.inputs().len(), vectors, seed);
     let vals = sim.run_on(nl, &ps);
-    let words = vectors.div_ceil(64);
+    let words = PatternSet::words_for(vectors);
     let mut hits = 0usize;
     for w in 0..words {
-        let mut hit = if w + 1 == words && vectors % 64 != 0 {
-            (1u64 << (vectors % 64)) - 1
+        let mut hit = if w + 1 == words {
+            PatternSet::tail_mask(vectors)
         } else {
             u64::MAX
         };
@@ -158,12 +163,17 @@ y = AND(c, d)
         // x and nx are complementary: never jointly 1.
         let src = "INPUT(a)\nOUTPUT(y)\nx = BUF(a)\nnx = NOT(a)\ny = AND(x, nx)\n";
         let nl = bench::parse(src, "t").unwrap();
-        let targets = vec![(nl.find("x").unwrap(), true), (nl.find("nx").unwrap(), true)];
+        let targets = vec![
+            (nl.find("x").unwrap(), true),
+            (nl.find("nx").unwrap(), true),
+        ];
         let budget = ValidationBudget {
             vectors: 1_000,
             batch: 128,
         };
-        assert!(find_joint_trigger(&nl, &targets, budget, 2).unwrap().is_none());
+        assert!(find_joint_trigger(&nl, &targets, budget, 2)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -183,15 +193,8 @@ y = AND(c, d)
     #[test]
     fn occurrence_count_matches_probability() {
         // y = AND(a, b): P(joint) = 1/4 → ~256 hits in 1024 vectors.
-        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")
-            .unwrap();
-        let hits = count_joint_occurrences(
-            &nl,
-            &[(nl.find("y").unwrap(), true)],
-            1024,
-            5,
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let hits = count_joint_occurrences(&nl, &[(nl.find("y").unwrap(), true)], 1024, 5).unwrap();
         assert!((180..340).contains(&hits), "hits = {hits}");
     }
 
@@ -201,7 +204,10 @@ y = AND(c, d)
         let nl = bench::parse(src, "t").unwrap();
         let hits = count_joint_occurrences(
             &nl,
-            &[(nl.find("x").unwrap(), true), (nl.find("nx").unwrap(), true)],
+            &[
+                (nl.find("x").unwrap(), true),
+                (nl.find("nx").unwrap(), true),
+            ],
             1000,
             6,
         )

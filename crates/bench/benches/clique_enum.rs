@@ -12,8 +12,7 @@ fn bench_clique_enum(c: &mut Criterion) {
     let rare = RareNodeExtractor::new(0.20)
         .extract(&nl, &patterns)
         .expect("valid netlist");
-    let graph = CompatGraph::build(&nl, &rare, PodemConfig::justify())
-        .expect("combinational");
+    let graph = CompatGraph::build(&nl, &rare, PodemConfig::justify()).expect("combinational");
     let q = clique::max_feasible_size(&graph, 16, 1).max(2);
 
     let mut group = c.benchmark_group("clique_enum");

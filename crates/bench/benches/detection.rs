@@ -17,17 +17,32 @@ fn bench_detection(c: &mut Criterion) {
 
     group.bench_function("random/c2670/10k", |b| {
         let scheme = RandomDetection::new(10_000, 7);
-        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+        b.iter(|| {
+            scheme
+                .generate_tests(&nl, &rare)
+                .map(|t| t.len())
+                .unwrap_or(0)
+        });
     });
 
     group.bench_function("mero/c2670/n20", |b| {
         let scheme = MeroDetection::new(20, 500, 7);
-        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+        b.iter(|| {
+            scheme
+                .generate_tests(&nl, &rare)
+                .map(|t| t.len())
+                .unwrap_or(0)
+        });
     });
 
     group.bench_function("ndatpg/c2670/n2", |b| {
         let scheme = NdAtpgDetection::new(2, 7);
-        b.iter(|| scheme.generate_tests(&nl, &rare).map(|t| t.len()).unwrap_or(0));
+        b.iter(|| {
+            scheme
+                .generate_tests(&nl, &rare)
+                .map(|t| t.len())
+                .unwrap_or(0)
+        });
     });
 
     group.finish();

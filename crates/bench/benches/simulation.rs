@@ -1,10 +1,20 @@
 //! Criterion bench: bit-parallel simulation throughput — the substrate
 //! every phase (profiling, MERO, coverage evaluation) stands on.
+//!
+//! Four variants per circuit:
+//!
+//! * `scalar` — the reference gate-at-a-time interpreter
+//!   ([`htforge_bench::scalar`]), the pre-kernel baseline;
+//! * `compiled/1t`, `compiled/2t`, `compiled/max` — the
+//!   [`SimProgram`] instruction tape at fixed thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use htforge_sim::{simulator::BoundSimulator, PatternSet};
+use htforge_sim::{PatternSet, SimProgram};
 
 fn bench_simulation(c: &mut Criterion) {
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut group = c.benchmark_group("simulation");
     for name in ["c2670", "c6288", "s13207"] {
         let nl = htforge_circuits::load(name).expect("known circuit");
@@ -13,15 +23,22 @@ fn bench_simulation(c: &mut Criterion) {
         } else {
             nl.scan_cut()
         };
-        let sim = BoundSimulator::new(&comb).expect("combinational");
-        let vectors = 4_096usize;
+        let prog = SimProgram::compile(&comb).expect("combinational");
+        let vectors = 16_384usize;
         let patterns = PatternSet::random(comb.inputs().len(), vectors, 9);
-        group.throughput(Throughput::Elements(
-            (vectors * comb.gate_count()) as u64,
-        ));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
-            b.iter(|| sim.run(&patterns).len());
+        group.throughput(Throughput::Elements((vectors * comb.gate_count()) as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", name), &comb, |b, comb| {
+            b.iter(|| htforge_bench::scalar::simulate(comb, &patterns).len());
         });
+        for (label, threads) in [
+            ("compiled/1t", 1),
+            ("compiled/2t", 2),
+            ("compiled/max", max_threads),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &prog, |b, prog| {
+                b.iter(|| prog.run_with_threads(&patterns, threads).len());
+            });
+        }
     }
     group.finish();
 }

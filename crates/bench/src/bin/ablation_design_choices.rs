@@ -46,9 +46,17 @@ fn main() {
     // ---------------------------------------------------------------
     println!("1. PODEM cube mode → compatibility-graph shape");
     let mut t1 = Table::new(vec![
-        "mode", "vertices", "dropped", "edges", "density %", "build (s)",
+        "mode",
+        "vertices",
+        "dropped",
+        "edges",
+        "density %",
+        "build (s)",
     ]);
-    for (label, mode) in [("justify", PodemMode::Justify), ("detect", PodemMode::Detect)] {
+    for (label, mode) in [
+        ("justify", PodemMode::Justify),
+        ("detect", PodemMode::Detect),
+    ] {
         let config = PodemConfig {
             mode,
             ..PodemConfig::default()
@@ -100,8 +108,7 @@ fn main() {
             tests.push(&d.trojan.activation_cube.fill_with(false));
             tests.push(&d.trojan.activation_cube.fill_with(true));
         }
-        let report =
-            evaluate_designs(&nl, &outcome.infected, &tests).expect("valid designs");
+        let report = evaluate_designs(&nl, &outcome.infected, &tests).expect("valid designs");
         let dc_given_tc = if report.triggered() == 0 {
             0.0
         } else {

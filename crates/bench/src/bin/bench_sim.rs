@@ -1,0 +1,97 @@
+//! Simulation-kernel throughput baseline: writes `BENCH_sim.json` at the
+//! repository root.
+//!
+//! For each circuit, measures patterns/second of the reference
+//! gate-at-a-time interpreter ([`htforge_bench::scalar`]) and of the
+//! compiled [`SimProgram`] kernel at 1, 2 and `available_parallelism`
+//! threads, over 16 384 random patterns. The compiled/max row on a
+//! ≥2000-gate circuit is the number the kernel's ≥2× acceptance bar is
+//! checked against.
+//!
+//! Run with `cargo run --release -p htforge-bench --bin bench_sim`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htforge_sim::{PatternSet, SimProgram};
+
+const VECTORS: usize = 16_384;
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+/// Median seconds per run over `runs` timed repetitions (after one
+/// untimed warm-up).
+fn time_median<F: FnMut() -> usize>(runs: usize, mut f: F) -> f64 {
+    let _ = f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            let sink = f();
+            let dt = t.elapsed().as_secs_f64();
+            assert!(sink > 0);
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+
+    for name in ["c2670", "c5315", "c6288", "s13207"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let comb = if nl.dffs().is_empty() {
+            nl.clone()
+        } else {
+            nl.scan_cut()
+        };
+        let prog = SimProgram::compile(&comb).expect("combinational");
+        let patterns = PatternSet::random(comb.inputs().len(), VECTORS, 9);
+
+        let runs = if comb.gate_count() > 5_000 { 5 } else { 9 };
+        let scalar = time_median(runs, || {
+            htforge_bench::scalar::simulate(&comb, &patterns).len()
+        });
+        let t1 = time_median(runs, || prog.run_with_threads(&patterns, 1).len());
+        let t2 = time_median(runs, || prog.run_with_threads(&patterns, 2).len());
+        let tmax = time_median(runs, || prog.run_with_threads(&patterns, max_threads).len());
+
+        let pps = |sec: f64| VECTORS as f64 / sec;
+        eprintln!(
+            "{name}: {} gates | scalar {:.2e} pat/s | compiled 1t {:.2e} ({:.2}x) | 2t {:.2e} ({:.2}x) | {max_threads}t {:.2e} ({:.2}x)",
+            comb.gate_count(),
+            pps(scalar),
+            pps(t1),
+            scalar / t1,
+            pps(t2),
+            scalar / t2,
+            pps(tmax),
+            scalar / tmax,
+        );
+
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {VECTORS},\n      \"patterns_per_sec\": {{\n        \"scalar\": {:.1},\n        \"compiled_1t\": {:.1},\n        \"compiled_2t\": {:.1},\n        \"compiled_max\": {:.1}\n      }},\n      \"speedup_vs_scalar\": {{\n        \"compiled_1t\": {:.2},\n        \"compiled_2t\": {:.2},\n        \"compiled_max\": {:.2}\n      }}\n    }}",
+            comb.gate_count(),
+            pps(scalar),
+            pps(t1),
+            pps(t2),
+            pps(tmax),
+            scalar / t1,
+            scalar / t2,
+            scalar / tmax,
+        );
+        rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"simulation-kernel\",\n  \"command\": \"cargo run --release -p htforge-bench --bin bench_sim\",\n  \"max_threads\": {max_threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {OUT_PATH}");
+}

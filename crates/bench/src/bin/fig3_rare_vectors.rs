@@ -47,7 +47,10 @@ fn main() {
         let (a, b) = last_two;
         let drift = (a.abs_diff(b)) as f64 / b.max(1) as f64;
         if drift > 0.02 {
-            println!("note: {name} still drifting {:.1}% at the tail", drift * 100.0);
+            println!(
+                "note: {name} still drifting {:.1}% at the tail",
+                drift * 100.0
+            );
         }
     }
     println!("{}", table.render());

@@ -41,7 +41,10 @@ fn extrapolate(elapsed: Duration, produced: usize) -> (String, f64) {
         // below 3/observations at 95 % confidence, so the expected time
         // to one success exceeds elapsed/3.
         let lower = elapsed.as_secs_f64() / 3.0 * TARGET_INSTANCES as f64;
-        (format!(">{}", minutes(Duration::from_secs_f64(lower))), lower / 60.0)
+        (
+            format!(">{}", minutes(Duration::from_secs_f64(lower))),
+            lower / 60.0,
+        )
     } else {
         let t = elapsed.as_secs_f64() / produced as f64 * TARGET_INSTANCES as f64;
         (minutes(Duration::from_secs_f64(t)), t / 60.0)
@@ -62,9 +65,7 @@ fn main() {
         batch: 4_096,
     };
 
-    println!(
-        "Table III: extrapolated time to {TARGET_INSTANCES} validated instances"
-    );
+    println!("Table III: extrapolated time to {TARGET_INSTANCES} validated instances");
     println!("(baselines time-boxed to {time_box:?} per circuit)\n");
     let mut table = Table::new(vec![
         "circuit",

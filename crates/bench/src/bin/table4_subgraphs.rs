@@ -39,7 +39,13 @@ fn main() {
 
     println!("Table IV: number of complete subgraphs and generation time\n");
     let mut table = Table::new(vec![
-        "circuit", "rare", "vertices", "edges", "q", "subgraphs", "time (s)",
+        "circuit",
+        "rare",
+        "vertices",
+        "edges",
+        "q",
+        "subgraphs",
+        "time (s)",
     ]);
 
     for name in &circuits {

@@ -42,12 +42,9 @@ impl HarnessOpts {
                     let list = args
                         .next()
                         .expect("--circuits requires a comma-separated list");
-                    opts.circuits =
-                        Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+                    opts.circuits = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
                 }
-                other => panic!(
-                    "unknown flag `{other}` (supported: --full, --circuits a,b,c)"
-                ),
+                other => panic!("unknown flag `{other}` (supported: --full, --circuits a,b,c)"),
             }
         }
         opts
@@ -130,6 +127,62 @@ impl Table {
 #[must_use]
 pub fn minutes(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64() / 60.0)
+}
+
+pub mod scalar {
+    //! Reference gate-at-a-time interpreter.
+    //!
+    //! This is the pre-kernel `Simulator::run_on` loop, preserved here as
+    //! the *baseline* the compiled [`htforge_sim::SimProgram`] is
+    //! benchmarked against (`benches/simulation.rs`, `bin/bench_sim.rs`).
+    //! It re-dispatches on the gate kind and re-fills a scratch `Vec` for
+    //! every gate × word visit — exactly the overhead the instruction
+    //! tape eliminates — but its output is bit-identical to the kernel's.
+
+    use htforge_netlist::{Netlist, NodeKind};
+    use htforge_sim::PatternSet;
+
+    /// Simulates `patterns` gate-at-a-time; returns node-major packed
+    /// words (`words[node * words_per_node + w]`), tails masked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nl` is cyclic or the pattern width does not match.
+    #[must_use]
+    pub fn simulate(nl: &Netlist, patterns: &PatternSet) -> Vec<u64> {
+        assert_eq!(patterns.num_inputs(), nl.inputs().len());
+        let order = htforge_netlist::graph::topo_order(nl).expect("acyclic netlist");
+        let words_per_node = PatternSet::words_for(patterns.len());
+        let tail_mask = PatternSet::tail_mask(patterns.len());
+        let mut words = vec![0u64; nl.node_count() * words_per_node];
+
+        for (pos, &node) in nl.inputs().iter().enumerate() {
+            let base = node.index() * words_per_node;
+            words[base..base + words_per_node].copy_from_slice(patterns.input_words(pos));
+        }
+
+        let mut scratch: Vec<u64> = Vec::new();
+        for &id in &order {
+            let node = nl.node(id);
+            let kind = match node.kind() {
+                NodeKind::Gate(k) => k,
+                NodeKind::Input | NodeKind::Dff => continue,
+            };
+            let fanins = node.fanins();
+            for w in 0..words_per_node {
+                scratch.clear();
+                for &f in fanins {
+                    scratch.push(words[f.index() * words_per_node + w]);
+                }
+                let mut v = kind.eval_bits(&scratch);
+                if w + 1 == words_per_node {
+                    v &= tail_mask;
+                }
+                words[id.index() * words_per_node + w] = v;
+            }
+        }
+        words
+    }
 }
 
 #[cfg(test)]

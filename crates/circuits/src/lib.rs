@@ -58,9 +58,8 @@ impl std::error::Error for CircuitError {}
 #[must_use]
 pub fn names() -> Vec<&'static str> {
     vec![
-        "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
-        "c6288", "c7552", "s1423", "s5378", "s9234", "s13207", "s15850", "s35932",
-        "s38417", "s38584",
+        "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+        "c7552", "s1423", "s5378", "s9234", "s13207", "s15850", "s35932", "s38417", "s38584",
     ]
 }
 
@@ -82,10 +81,8 @@ pub fn load(name: &str) -> Result<Netlist, CircuitError> {
         "c17" => Ok(iscas::c17()),
         "c6288" => Ok(multiplier::multiplier("c6288", 16)),
         other => {
-            let profile = synth::CircuitProfile::for_name(other).ok_or_else(|| {
-                CircuitError {
-                    name: other.to_owned(),
-                }
+            let profile = synth::CircuitProfile::for_name(other).ok_or_else(|| CircuitError {
+                name: other.to_owned(),
             })?;
             Ok(synth::generate(&profile))
         }

@@ -91,11 +91,7 @@ pub fn multiplier(name: &str, bits: usize) -> Netlist {
         let mut new_acc: Vec<NodeId> = Vec::with_capacity(bits);
         let mut carry: Option<NodeId> = None;
         for j in 0..bits {
-            let addend1: Option<NodeId> = if j + 1 < bits {
-                Some(acc[j + 1])
-            } else {
-                high
-            };
+            let addend1: Option<NodeId> = if j + 1 < bits { Some(acc[j + 1]) } else { high };
             let addend2 = pp(&mut nl, i, j);
             let tag = format!("fa_{i}_{j}");
             let (sum, cout) = match (addend1, carry) {
@@ -152,7 +148,7 @@ pub fn multiplier(name: &str, bits: usize) -> Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htforge_sim::{PatternSet, simulator::BoundSimulator};
+    use htforge_sim::{simulator::BoundSimulator, PatternSet};
 
     fn check_products(bits: usize, cases: &[(u64, u64)]) {
         let nl = multiplier("m", bits);
@@ -187,8 +183,7 @@ mod tests {
 
     #[test]
     fn mult4_exhaustive() {
-        let cases: Vec<(u64, u64)> =
-            (0..16).flat_map(|x| (0..16).map(move |y| (x, y))).collect();
+        let cases: Vec<(u64, u64)> = (0..16).flat_map(|x| (0..16).map(move |y| (x, y))).collect();
         check_products(4, &cases);
     }
 

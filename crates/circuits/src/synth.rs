@@ -236,7 +236,11 @@ pub fn generate(profile: &CircuitProfile) -> Netlist {
             } else {
                 GateKind::Or
             };
-            let kind = if fanins.len() == 1 { GateKind::Buf } else { kind };
+            let kind = if fanins.len() == 1 {
+                GateKind::Buf
+            } else {
+                kind
+            };
             let id = nl
                 .add_gate(format!("po_col{o}_{collector_count}"), kind, fanins)
                 .expect("fresh collector name");
@@ -336,11 +340,7 @@ mod tests {
         // Every non-output node has a fanout.
         for (id, node) in nl.iter() {
             if !nl.is_output(id) {
-                assert!(
-                    !node.fanouts().is_empty(),
-                    "{} is dangling",
-                    node.name()
-                );
+                assert!(!node.fanouts().is_empty(), "{} is dangling", node.name());
             }
         }
     }
@@ -367,7 +367,9 @@ mod tests {
 
     #[test]
     fn known_profiles_exist() {
-        for name in ["c2670", "c3540", "c5315", "s1423", "s13207", "s15850", "s35932"] {
+        for name in [
+            "c2670", "c3540", "c5315", "s1423", "s13207", "s15850", "s35932",
+        ] {
             assert!(CircuitProfile::for_name(name).is_some(), "{name}");
         }
         assert!(CircuitProfile::for_name("c6288").is_none());

@@ -115,11 +115,7 @@ pub fn enumerate_cliques(
                     continue; // ascending order ⇒ exactly-once
                 }
                 let row = graph.row(v);
-                let next: Vec<u64> = candidates
-                    .iter()
-                    .zip(row)
-                    .map(|(&c, &r)| c & r)
-                    .collect();
+                let next: Vec<u64> = candidates.iter().zip(row).map(|(&c, &r)| c & r).collect();
                 members.push(v);
                 extend(graph, members, &next, size, limit, out);
                 members.pop();
@@ -151,15 +147,22 @@ pub fn enumerate_cliques(
         let mut candidates = vec![0u64; words];
         candidates.copy_from_slice(row);
         // Mask out indices <= root.
-        for w in 0..words {
+        for (w, cand) in candidates.iter_mut().enumerate() {
             let lo = w * 64;
             if lo + 64 <= root + 1 {
-                candidates[w] = 0;
+                *cand = 0;
             } else if lo <= root {
-                candidates[w] &= !((1u64 << (root - lo + 1)) - 1);
+                *cand &= !((1u64 << (root - lo + 1)) - 1);
             }
         }
-        extend(graph, &mut stack_members, &candidates, size, limit, &mut out);
+        extend(
+            graph,
+            &mut stack_members,
+            &candidates,
+            size,
+            limit,
+            &mut out,
+        );
     }
     out
 }
@@ -173,12 +176,7 @@ pub fn enumerate_cliques(
 /// graph's clique number. The framework uses it for large trigger
 /// counts; Table IV's exhaustive counts use [`enumerate_cliques`].
 #[must_use]
-pub fn sample_cliques(
-    graph: &CompatGraph,
-    size: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<Clique> {
+pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64) -> Vec<Clique> {
     assert!(size > 0, "clique size must be positive");
     let n = graph.len();
     let mut out: Vec<Clique> = Vec::new();
@@ -302,7 +300,7 @@ pub fn greedy_clique(graph: &CompatGraph, start: usize, cap: usize) -> Vec<usize
                     .zip(graph.row(v))
                     .map(|(&c, &r)| (c & r).count_ones() as usize)
                     .sum();
-                if best.map_or(true, |(_, s)| surviving > s) {
+                if best.is_none_or(|(_, s)| surviving > s) {
                     best = Some((v, surviving));
                 }
             }

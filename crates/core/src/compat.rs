@@ -12,7 +12,6 @@ use htforge_atpg::{Cube, Fault, Podem, PodemConfig, PodemMode, TestResult};
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
 use htforge_sim::RareNodeSet;
 
-
 /// Per-thread cube generator: a detect-mode engine with a justify-mode
 /// fallback (a justification cube is all a trigger needs).
 struct CubeWorker {
@@ -59,12 +58,10 @@ impl CubeWorker {
         match self.podem.generate(fault) {
             TestResult::Test(cube) => Some(cube),
             TestResult::Untestable | TestResult::Aborted => {
-                self.justify
-                    .as_mut()
-                    .and_then(|p| match p.generate(fault) {
-                        TestResult::Test(cube) => Some(cube),
-                        _ => None,
-                    })
+                self.justify.as_mut().and_then(|p| match p.generate(fault) {
+                    TestResult::Test(cube) => Some(cube),
+                    _ => None,
+                })
             }
         }
     }
@@ -157,12 +154,11 @@ impl CompatGraph {
             let mut workers: Vec<CubeWorker> = (0..threads.min(rare_list.len()))
                 .map(|_| CubeWorker::new(nl, podem_config))
                 .collect::<Result<_, _>>()?;
-            let chunks: Vec<(usize, &[(htforge_netlist::netlist::NodeId, bool)])> =
-                rare_list
-                    .chunks(chunk_size)
-                    .enumerate()
-                    .map(|(k, c)| (k * chunk_size, c))
-                    .collect();
+            let chunks: Vec<(usize, &[(htforge_netlist::netlist::NodeId, bool)])> = rare_list
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(k, c)| (k * chunk_size, c))
+                .collect();
             let results: Vec<Vec<Option<Cube>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()

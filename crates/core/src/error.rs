@@ -71,7 +71,9 @@ mod tests {
         };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("10"));
-        assert!(InsertionError::NoCliques { size: 4 }.to_string().contains("4"));
+        assert!(InsertionError::NoCliques { size: 4 }
+            .to_string()
+            .contains("4"));
     }
 
     #[test]

@@ -294,8 +294,7 @@ impl InsertionFramework {
                 .collect();
             // Re-check payload safety against the *evolving* netlist: a
             // previous instance may have made this victim unsafe.
-            let candidates =
-                crate::payload::safe_payload_candidates(&combined, &trigger_nodes);
+            let candidates = crate::payload::safe_payload_candidates(&combined, &trigger_nodes);
             let payload = if candidates.contains(&design.trojan.payload_net) {
                 design.trojan.payload_net
             } else {
@@ -349,9 +348,7 @@ impl InsertionFramework {
             .map(|&m| graph.events()[m].node)
             .collect();
         let strategy = match self.config.payload {
-            PayloadStrategy::Random(s) => {
-                PayloadStrategy::Random(s.wrapping_add(index as u64))
-            }
+            PayloadStrategy::Random(s) => PayloadStrategy::Random(s.wrapping_add(index as u64)),
             other => other,
         };
         let payload = choose_payload(nl, scoap, &trigger_nodes, strategy)
@@ -424,8 +421,7 @@ mod tests {
             .infected
             .iter()
             .map(|d| {
-                let mut v: Vec<NodeId> =
-                    d.trojan.trigger_inputs.iter().map(|&(n, _)| n).collect();
+                let mut v: Vec<NodeId> = d.trojan.trigger_inputs.iter().map(|&(n, _)| n).collect();
                 v.sort_unstable();
                 v
             })
@@ -520,8 +516,7 @@ mod tests {
             theta: 0.30,
             ..quick_config(2, 3)
         };
-        let (combined, instances) =
-            InsertionFramework::new(cfg).run_combined(&nl).unwrap();
+        let (combined, instances) = InsertionFramework::new(cfg).run_combined(&nl).unwrap();
         assert!(combined.validate().is_ok());
         assert!(!instances.is_empty());
         let added: usize = instances.iter().map(|t| t.inserted_gate_count()).sum();

@@ -299,8 +299,11 @@ o = XOR(a1, b1)
             .map(|&m| graph.events()[m].rare_value)
             .collect();
         let plan = TriggerPlan::synthesize(&rare_values, 4);
-        let trigger_nodes: Vec<NodeId> =
-            clique.members.iter().map(|&m| graph.events()[m].node).collect();
+        let trigger_nodes: Vec<NodeId> = clique
+            .members
+            .iter()
+            .map(|&m| graph.events()[m].node)
+            .collect();
         let scoap = htforge_scoap::Scoap::compute(&nl).unwrap();
         let payload = crate::payload::choose_payload(
             &nl,
@@ -309,8 +312,7 @@ o = XOR(a1, b1)
             crate::PayloadStrategy::MostObservable,
         )
         .unwrap();
-        let (infected, trojan) =
-            insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
+        let (infected, trojan) = insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
         assert!(infected.validate().is_ok());
         assert_eq!(
             infected.node_count(),
@@ -328,8 +330,11 @@ o = XOR(a1, b1)
             .map(|&m| graph.events()[m].rare_value)
             .collect();
         let plan = TriggerPlan::synthesize(&rare_values, 4);
-        let trigger_nodes: Vec<NodeId> =
-            clique.members.iter().map(|&m| graph.events()[m].node).collect();
+        let trigger_nodes: Vec<NodeId> = clique
+            .members
+            .iter()
+            .map(|&m| graph.events()[m].node)
+            .collect();
         let scoap = htforge_scoap::Scoap::compute(&nl).unwrap();
         let payload = crate::payload::choose_payload(
             &nl,
@@ -338,8 +343,7 @@ o = XOR(a1, b1)
             crate::PayloadStrategy::MostObservable,
         )
         .unwrap();
-        let (infected, trojan) =
-            insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
+        let (infected, trojan) = insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
 
         let mut rng = StdRng::seed_from_u64(9);
         let vector = trojan.activation_cube.fill_random(&mut rng);
@@ -370,8 +374,11 @@ o = XOR(a1, b1)
             .map(|&m| graph.events()[m].rare_value)
             .collect();
         let plan = TriggerPlan::synthesize(&rare_values, 4);
-        let trigger_nodes: Vec<NodeId> =
-            clique.members.iter().map(|&m| graph.events()[m].node).collect();
+        let trigger_nodes: Vec<NodeId> = clique
+            .members
+            .iter()
+            .map(|&m| graph.events()[m].node)
+            .collect();
         let scoap = htforge_scoap::Scoap::compute(&nl).unwrap();
         let payload = crate::payload::choose_payload(
             &nl,
@@ -380,8 +387,7 @@ o = XOR(a1, b1)
             crate::PayloadStrategy::MostObservable,
         )
         .unwrap();
-        let (infected, trojan) =
-            insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
+        let (infected, trojan) = insert_trojan(&nl, &graph, &clique, &plan, payload, "0").unwrap();
 
         let golden_sim = BoundSimulator::new(&nl).unwrap();
         let infected_sim = BoundSimulator::new(&infected).unwrap();

@@ -58,6 +58,6 @@ pub use framework::{
     InfectedDesign, InsertionConfig, InsertionFramework, InsertionOutcome, PhaseTimings,
 };
 pub use insert::TrojanInstance;
-pub use sequential_trigger::{insert_sequential_trojan, SequentialTrojan};
 pub use payload::{PayloadKind, PayloadStrategy};
+pub use sequential_trigger::{insert_sequential_trojan, SequentialTrojan};
 pub use trigger::TriggerPlan;

@@ -93,9 +93,7 @@ pub fn choose_payload(
         return None;
     }
     match strategy {
-        PayloadStrategy::MostObservable => {
-            candidates.into_iter().min_by_key(|&id| scoap.co(id))
-        }
+        PayloadStrategy::MostObservable => candidates.into_iter().min_by_key(|&id| scoap.co(id)),
         PayloadStrategy::Random(seed) => {
             let mut rng = StdRng::seed_from_u64(seed);
             candidates.shuffle(&mut rng);
@@ -159,8 +157,7 @@ y = NAND(g1, g2)
         let nl = bench::parse(CHAIN, "t").unwrap();
         let scoap = Scoap::compute(&nl).unwrap();
         let g2 = nl.find("g2").unwrap();
-        let choice =
-            choose_payload(&nl, &scoap, &[g2], PayloadStrategy::MostObservable).unwrap();
+        let choice = choose_payload(&nl, &scoap, &[g2], PayloadStrategy::MostObservable).unwrap();
         // y is a PO (CO = 0) and safe — must be chosen.
         assert_eq!(choice, nl.find("y").unwrap());
     }

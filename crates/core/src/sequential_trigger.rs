@@ -55,6 +55,7 @@ pub struct SequentialTrojan {
 /// # Panics
 ///
 /// Panics if `plan.num_leaves() != leaves.len()` or `counter_bits == 0`.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the paper's parameter list
 pub fn insert_sequential_trojan(
     nl: &Netlist,
     leaves: &[(NodeId, bool)],

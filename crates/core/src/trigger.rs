@@ -85,16 +85,15 @@ impl TriggerPlan {
             .map(|(i, &v)| (PlanSignal::Leaf(i), v))
             .collect();
 
-        let push_gate =
-            |gates: &mut Vec<PlannedGate>, kind: GateKind, inputs: Vec<PlanSignal>| {
-                let activation_value = kind.rare_output().expect("bias-disciplined kind");
-                gates.push(PlannedGate {
-                    kind,
-                    inputs,
-                    activation_value,
-                });
-                (PlanSignal::Gate(gates.len() - 1), activation_value)
-            };
+        let push_gate = |gates: &mut Vec<PlannedGate>, kind: GateKind, inputs: Vec<PlanSignal>| {
+            let activation_value = kind.rare_output().expect("bias-disciplined kind");
+            gates.push(PlannedGate {
+                kind,
+                inputs,
+                activation_value,
+            });
+            (PlanSignal::Gate(gates.len() - 1), activation_value)
+        };
 
         loop {
             if signals.len() == 1 {
@@ -263,10 +262,7 @@ mod tests {
         assert!(q <= 16, "exhaustive check limited to 16 leaves");
         for pattern in 0u32..(1 << q) {
             let leaves: Vec<bool> = (0..q).map(|i| (pattern >> i) & 1 == 1).collect();
-            let expected = leaves
-                .iter()
-                .zip(rare_values)
-                .all(|(&l, &r)| l == r);
+            let expected = leaves.iter().zip(rare_values).all(|(&l, &r)| l == r);
             assert_eq!(
                 plan.eval(&leaves),
                 expected,

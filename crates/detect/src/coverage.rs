@@ -114,8 +114,7 @@ pub fn evaluate_designs(
         let triggered = vals.words(trigger).iter().any(|&w| w != 0);
 
         let mut detected = false;
-        'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs())
-        {
+        'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs()) {
             let gw = golden_vals.words(go);
             let iw = vals.words(io);
             for (a, b) in gw.iter().zip(iw) {

@@ -83,8 +83,7 @@ impl DetectionScheme for MeroDetection {
         golden: &Netlist,
         rare: &RareNodeSet,
     ) -> Result<PatternSet, NetlistError> {
-        let events: Vec<(NodeId, bool)> =
-            rare.iter().map(|r| (r.node, r.rare_value)).collect();
+        let events: Vec<(NodeId, bool)> = rare.iter().map(|r| (r.node, r.rare_value)).collect();
         let num_inputs = golden.inputs().len();
         let sim = Simulator::new(golden)?;
 
@@ -128,7 +127,7 @@ impl DetectionScheme for MeroDetection {
                     let mut best: Option<(usize, usize)> = None; // (bit, score)
                     for (k, i) in (chunk_start..chunk_end).enumerate() {
                         let score = Self::count_satisfied(&vals, k, &events);
-                        if score > current && best.map_or(true, |(_, s)| score > s) {
+                        if score > current && best.is_none_or(|(_, s)| score > s) {
                             best = Some((i, score));
                         }
                     }
@@ -183,7 +182,9 @@ mod tests {
         let (nl, rare) = setup();
         assert!(!rare.is_empty(), "c17 should have rare nodes at θ=0.3");
         let n = 5;
-        let tests = MeroDetection::new(n, 500, 7).generate_tests(&nl, &rare).unwrap();
+        let tests = MeroDetection::new(n, 500, 7)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         // Re-simulate and count excitations.
         let sim = Simulator::new(&nl).unwrap();
         let vals = sim.run_on(&nl, &tests);
@@ -206,7 +207,9 @@ mod tests {
     #[test]
     fn compact_compared_to_pool() {
         let (nl, rare) = setup();
-        let tests = MeroDetection::new(3, 500, 7).generate_tests(&nl, &rare).unwrap();
+        let tests = MeroDetection::new(3, 500, 7)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         assert!(tests.len() < 500, "MERO should select a small subset");
         assert!(!tests.is_empty());
     }
@@ -223,8 +226,12 @@ mod tests {
     #[test]
     fn deterministic() {
         let (nl, rare) = setup();
-        let a = MeroDetection::new(3, 200, 5).generate_tests(&nl, &rare).unwrap();
-        let b = MeroDetection::new(3, 200, 5).generate_tests(&nl, &rare).unwrap();
+        let a = MeroDetection::new(3, 200, 5)
+            .generate_tests(&nl, &rare)
+            .unwrap();
+        let b = MeroDetection::new(3, 200, 5)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

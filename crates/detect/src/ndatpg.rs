@@ -112,7 +112,9 @@ mod tests {
         let profile = PatternSet::random(5, 2_000, 1);
         let rare = RareNodeExtractor::new(0.3).extract(&nl, &profile).unwrap();
         assert!(!rare.is_empty());
-        let tests = NdAtpgDetection::new(2, 3).generate_tests(&nl, &rare).unwrap();
+        let tests = NdAtpgDetection::new(2, 3)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         let sim = Simulator::new(&nl).unwrap();
         let vals = sim.run_on(&nl, &tests);
         for r in rare.iter() {
@@ -128,8 +130,12 @@ mod tests {
         let nl = htforge_circuits::load("c17").unwrap();
         let profile = PatternSet::random(5, 2_000, 1);
         let rare = RareNodeExtractor::new(0.3).extract(&nl, &profile).unwrap();
-        let small = NdAtpgDetection::new(1, 3).generate_tests(&nl, &rare).unwrap();
-        let large = NdAtpgDetection::new(4, 3).generate_tests(&nl, &rare).unwrap();
+        let small = NdAtpgDetection::new(1, 3)
+            .generate_tests(&nl, &rare)
+            .unwrap();
+        let large = NdAtpgDetection::new(4, 3)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         assert!(large.len() >= small.len());
     }
 

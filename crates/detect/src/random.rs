@@ -61,8 +61,12 @@ mod tests {
     fn deterministic_and_sized() {
         let nl = htforge_circuits::load("c17").unwrap();
         let rare = RareNodeSet::default();
-        let a = RandomDetection::new(100, 1).generate_tests(&nl, &rare).unwrap();
-        let b = RandomDetection::new(100, 1).generate_tests(&nl, &rare).unwrap();
+        let a = RandomDetection::new(100, 1)
+            .generate_tests(&nl, &rare)
+            .unwrap();
+        let b = RandomDetection::new(100, 1)
+            .generate_tests(&nl, &rare)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 100);
         assert_eq!(a.num_inputs(), 5);

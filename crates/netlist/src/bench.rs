@@ -211,8 +211,7 @@ pub fn parse(source: &str, name: &str) -> Result<Netlist, NetlistError> {
         let before = remaining.len();
         let mut still: Vec<PendingGate> = Vec::new();
         for g in remaining {
-            let resolved: Option<Vec<NodeId>> =
-                g.fanins.iter().map(|f| nl.find(f)).collect();
+            let resolved: Option<Vec<NodeId>> = g.fanins.iter().map(|f| nl.find(f)).collect();
             match resolved {
                 Some(ids) => {
                     nl.add_gate(g.name.clone(), g.kind, ids)?;
@@ -288,8 +287,7 @@ pub fn write(nl: &Netlist) -> String {
                 dff_lines.push(format!("{} = DFF({})", node.name(), nl.node(d).name()));
             }
             NodeKind::Gate(kind) => {
-                let args: Vec<&str> =
-                    node.fanins().iter().map(|&f| nl.node(f).name()).collect();
+                let args: Vec<&str> = node.fanins().iter().map(|&f| nl.node(f).name()).collect();
                 let _ = writeln!(
                     out,
                     "{} = {}({})",
@@ -325,7 +323,7 @@ pub struct NetlistStats {
 #[must_use]
 pub fn stats(nl: &Netlist) -> NetlistStats {
     NetlistStats {
-        inputs: nl.inputs().len() - 0,
+        inputs: nl.inputs().len(),
         outputs: nl.outputs().len(),
         gates: nl.gate_count(),
         dffs: nl.dffs().len(),
@@ -337,9 +335,7 @@ pub fn stats(nl: &Netlist) -> NetlistStats {
 /// that need many lookups).
 #[must_use]
 pub fn name_index(nl: &Netlist) -> HashMap<String, NodeId> {
-    nl.iter()
-        .map(|(id, n)| (n.name().to_owned(), id))
-        .collect()
+    nl.iter().map(|(id, n)| (n.name().to_owned(), id)).collect()
 }
 
 #[cfg(test)]
@@ -384,10 +380,8 @@ OUTPUT(23)
             let id2 = nl2.find(node.name()).unwrap();
             let node2 = nl2.node(id2);
             assert_eq!(node.kind(), node2.kind(), "kind of {}", node.name());
-            let fanins: Vec<&str> =
-                node.fanins().iter().map(|&f| nl.node(f).name()).collect();
-            let fanins2: Vec<&str> =
-                node2.fanins().iter().map(|&f| nl2.node(f).name()).collect();
+            let fanins: Vec<&str> = node.fanins().iter().map(|&f| nl.node(f).name()).collect();
+            let fanins2: Vec<&str> = node2.fanins().iter().map(|&f| nl2.node(f).name()).collect();
             assert_eq!(fanins, fanins2, "fanins of {}", node.name());
             let _ = id;
         }

@@ -70,6 +70,22 @@ impl GateKind {
         )
     }
 
+    /// The associative word-wise fold underlying the gate's base
+    /// (non-inverted) function. Every kind decomposes as
+    /// `maybe-invert(fold(fanins))`: seed with the first fan-in column,
+    /// fold the rest with this operator, complement if
+    /// [`is_inverting`](GateKind::is_inverting). Unary kinds fold
+    /// trivially (one fan-in, nothing to combine; `And` is returned as a
+    /// neutral placeholder).
+    #[must_use]
+    pub fn fold_op(self) -> FoldOp {
+        match self {
+            GateKind::And | GateKind::Nand | GateKind::Not | GateKind::Buf => FoldOp::And,
+            GateKind::Or | GateKind::Nor => FoldOp::Or,
+            GateKind::Xor | GateKind::Xnor => FoldOp::Xor,
+        }
+    }
+
     /// The ISCAS `.bench` keyword for this kind.
     #[must_use]
     pub fn bench_keyword(self) -> &'static str {
@@ -199,6 +215,18 @@ impl GateKind {
             _ => None,
         }
     }
+}
+
+/// The three associative bitwise folds gate functions are built from;
+/// see [`GateKind::fold_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FoldOp {
+    /// Bitwise AND (base of AND/NAND; placeholder for unary kinds).
+    And,
+    /// Bitwise OR (base of OR/NOR).
+    Or,
+    /// Bitwise XOR (base of XOR/XNOR).
+    Xor,
 }
 
 impl fmt::Display for GateKind {

@@ -27,10 +27,7 @@ pub fn topo_order(nl: &Netlist) -> Result<Vec<NodeId>, NetlistError> {
         indeg[id.index()] = node.fanins().len() as u32;
     }
     let mut order = Vec::with_capacity(n);
-    let mut queue: Vec<NodeId> = nl
-        .node_ids()
-        .filter(|id| indeg[id.index()] == 0)
-        .collect();
+    let mut queue: Vec<NodeId> = nl.node_ids().filter(|id| indeg[id.index()] == 0).collect();
     while let Some(id) = queue.pop() {
         order.push(id);
         for &f in nl.node(id).fanouts() {

@@ -43,5 +43,5 @@ pub mod verilog;
 
 pub use area::{AreaModel, AreaReport};
 pub use error::NetlistError;
-pub use gate::GateKind;
+pub use gate::{FoldOp, GateKind};
 pub use netlist::{Netlist, Node, NodeId, NodeKind};

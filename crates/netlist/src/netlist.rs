@@ -303,11 +303,7 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::DuplicateName`] on a name clash or
     /// [`NetlistError::InvalidNodeId`] if `d` is out of range.
-    pub fn add_dff(
-        &mut self,
-        name: impl Into<String>,
-        d: NodeId,
-    ) -> Result<NodeId, NetlistError> {
+    pub fn add_dff(&mut self, name: impl Into<String>, d: NodeId) -> Result<NodeId, NetlistError> {
         let name = self.fresh_name(name)?;
         if d.index() >= self.nodes.len() {
             return Err(NetlistError::InvalidNodeId(d.0));
@@ -329,10 +325,7 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::DuplicateName`] on a name clash.
-    pub fn add_dff_deferred(
-        &mut self,
-        name: impl Into<String>,
-    ) -> Result<NodeId, NetlistError> {
+    pub fn add_dff_deferred(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
         let name = self.fresh_name(name)?;
         let id = self.push_node(Node {
             name,

@@ -97,8 +97,7 @@ pub fn sweep_dead_gates(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistEr
                     removed += 1;
                     continue;
                 }
-                let fanins: Vec<NodeId> =
-                    node.fanins().iter().map(|f| map[f]).collect();
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f]).collect();
                 map.insert(id, out.add_gate(node.name().to_owned(), kind, fanins)?);
             }
             NodeKind::Input | NodeKind::Dff => {}
@@ -166,11 +165,9 @@ pub fn fold_constants(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistErro
         };
         let fanins = node.fanins();
         // Complementary-pair rule for AND/NAND/OR/NOR.
-        let complementary = fanins.iter().any(|&a| {
-            fanins
-                .iter()
-                .any(|&b| inverter_of.get(&a) == Some(&b))
-        });
+        let complementary = fanins
+            .iter()
+            .any(|&a| fanins.iter().any(|&b| inverter_of.get(&a) == Some(&b)));
         let vals: Vec<Const> = fanins.iter().map(|f| value[f.index()]).collect();
         let out = match kind {
             GateKind::And | GateKind::Nand => {
@@ -233,10 +230,10 @@ pub fn fold_constants(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistErro
         map.insert(dff, out.add_dff_deferred(nl.node(dff).name().to_owned())?);
     }
     let mut const_cells: [Option<NodeId>; 2] = [None, None];
-    let mut cell = |out: &mut Netlist,
-                    map: &HashMap<NodeId, NodeId>,
-                    cells: &mut [Option<NodeId>; 2],
-                    which: bool|
+    let cell = |out: &mut Netlist,
+                map: &HashMap<NodeId, NodeId>,
+                cells: &mut [Option<NodeId>; 2],
+                which: bool|
      -> Result<NodeId, NetlistError> {
         let idx = usize::from(which);
         if let Some(c) = cells[idx] {
@@ -273,8 +270,7 @@ pub fn fold_constants(nl: &Netlist) -> Result<(Netlist, SweepStats), NetlistErro
                 out.add_gate(node.name().to_owned(), GateKind::Buf, vec![c])?
             }
             Const::Unknown => {
-                let fanins: Vec<NodeId> =
-                    node.fanins().iter().map(|f| map[f]).collect();
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f]).collect();
                 out.add_gate(node.name().to_owned(), kind, fanins)?
             }
         };
@@ -368,10 +364,7 @@ y = OR(c, b)
         assert_eq!(stats.constants_folded, 1);
         // c is now a BUF of the shared constant-zero cell.
         let c = folded.find("c").unwrap();
-        assert_eq!(
-            folded.node(c).kind(),
-            crate::NodeKind::Gate(GateKind::Buf)
-        );
+        assert_eq!(folded.node(c).kind(), crate::NodeKind::Gate(GateKind::Buf));
         assert!(folded.find("_const_zero").is_some());
         assert!(folded.validate().is_ok());
     }

@@ -171,12 +171,7 @@ impl Scoap {
     }
 }
 
-fn gate_controllability(
-    kind: GateKind,
-    fanins: &[NodeId],
-    cc0: &[u32],
-    cc1: &[u32],
-) -> (u32, u32) {
+fn gate_controllability(kind: GateKind, fanins: &[NodeId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
     let sum = |vals: &dyn Fn(NodeId) -> u32| -> u32 {
         fanins.iter().fold(0, |acc, &f| sat_add(acc, vals(f)))
     };
@@ -219,11 +214,7 @@ mod tests {
 
     #[test]
     fn and_gate_textbook_values() {
-        let nl = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
         let s = Scoap::compute(&nl).unwrap();
         let (a, y) = (nl.find("a").unwrap(), nl.find("y").unwrap());
         assert_eq!(s.cc0(a), 1);
@@ -268,11 +259,7 @@ y = AND(g2, d)
 
     #[test]
     fn xor_controllability() {
-        let nl = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "t").unwrap();
         let s = Scoap::compute(&nl).unwrap();
         let y = nl.find("y").unwrap();
         // XOR2: CC0 = min(1+1, 1+1)+1 = 3, CC1 = 3.
@@ -325,11 +312,7 @@ q = DFF(g)
 
     #[test]
     fn fault_hardness_combines_both() {
-        let nl = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
         let s = Scoap::compute(&nl).unwrap();
         let y = nl.find("y").unwrap();
         // s-a-0 at y: excite with CC1 = 3, observe with CO = 0.

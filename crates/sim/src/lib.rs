@@ -32,12 +32,14 @@
 
 pub mod patterns;
 pub mod prob;
+pub mod program;
 pub mod rare;
 pub mod sequential;
 pub mod simulator;
 pub mod tri;
 
 pub use patterns::PatternSet;
+pub use program::SimProgram;
 pub use rare::{RareNode, RareNodeExtractor, RareNodeSet};
 pub use simulator::{NodeValues, Simulator};
 pub use tri::Tri;

@@ -31,9 +31,30 @@ pub struct PatternSet {
 
 impl PatternSet {
     /// Number of 64-bit words needed for `len` patterns.
+    ///
+    /// Shared by every bit-parallel consumer (simulation kernel, fault
+    /// simulation, validation) so the packing arithmetic lives in one
+    /// place.
     #[must_use]
-    pub(crate) fn words_for(len: usize) -> usize {
+    pub fn words_for(len: usize) -> usize {
         len.div_ceil(64)
+    }
+
+    /// Mask selecting the valid bits of the *final* word of a `len`-bit
+    /// packed column: all-ones when `len` is a multiple of 64, otherwise
+    /// the low `len % 64` bits.
+    ///
+    /// ANDing the last word of a column with this mask keeps whole-word
+    /// population counts exact after inverting gates set the unused tail
+    /// bits.
+    #[must_use]
+    pub fn tail_mask(len: usize) -> u64 {
+        let rem = len % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
     }
 
     /// Creates a set of `len` all-zero vectors for `num_inputs` inputs.
@@ -90,9 +111,8 @@ impl PatternSet {
     /// Zeroes any bits beyond `len` in the final word, so population counts
     /// over whole words are exact.
     fn mask_tail(&mut self) {
-        let rem = self.len % 64;
-        if rem != 0 {
-            let mask = (1u64 << rem) - 1;
+        let mask = Self::tail_mask(self.len);
+        if mask != u64::MAX {
             for input_bits in &mut self.bits {
                 if let Some(last) = input_bits.last_mut() {
                     *last &= mask;

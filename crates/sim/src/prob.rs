@@ -109,8 +109,7 @@ y = AND(a, b, c, d)
     #[test]
     fn zero_samples_defaults_to_half() {
         let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
-        let probs =
-            SignalProbabilities::estimate(&nl, &PatternSet::zeros(1, 0)).unwrap();
+        let probs = SignalProbabilities::estimate(&nl, &PatternSet::zeros(1, 0)).unwrap();
         assert_eq!(probs.p_one(nl.find("a").unwrap()), 0.5);
     }
 }

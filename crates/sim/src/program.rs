@@ -1,0 +1,598 @@
+//! Compiled, multi-threaded bit-parallel simulation kernel.
+//!
+//! [`SimProgram`] lowers a [`Netlist`] **once** into a flat instruction
+//! tape and then evaluates pattern sets against that tape, instead of
+//! re-walking the graph gate-by-gate the way the original interpreter
+//! did. Two properties make the tape fast:
+//!
+//! * **SoA layout, no per-gate allocation.** The tape is four parallel
+//!   arrays — opcode, destination, fanin offset, and one contiguous
+//!   fanin-index pool — so the inner loop is a linear scan with no enum
+//!   dispatch over [`NodeKind`](htforge_netlist::NodeKind), no `Vec`
+//!   scratch per gate, and specialized opcodes for the 1- and 2-input
+//!   gates that dominate real netlists.
+//! * **Column parallelism.** Values are packed 64 patterns per word, and
+//!   the word *columns* of a pattern set are fully independent: word `w`
+//!   of every node depends only on word `w` of its fanins. [`SimProgram::run_with_threads`]
+//!   therefore splits the columns across scoped [`std::thread`] workers
+//!   with zero synchronization inside the hot loop (the same
+//!   `thread::scope` idiom used by the compatibility-graph builder in
+//!   `htforge-core`).
+//!
+//! The public [`crate::simulator::Simulator`] API is a thin wrapper over
+//! this kernel, so every existing caller — rare-node extraction, signal
+//! probabilities, MERO / ND-ATPG / random detection, coverage
+//! evaluation, fault simulation's good-machine run — upgrades without
+//! code changes.
+
+use std::num::NonZeroUsize;
+
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError, NodeKind};
+
+use crate::patterns::PatternSet;
+use crate::simulator::NodeValues;
+
+/// Opcode of one tape step. 1- and 2-input gates get dedicated opcodes
+/// (the common case in technology-mapped netlists); wider gates fall
+/// back to the `*N` fold forms driven by the fanin pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpCode {
+    /// Unary complement (also NAND/NOR/XNOR of one input).
+    Not,
+    /// Unary copy (also AND/OR/XOR of one input).
+    Buf,
+    And2,
+    Nand2,
+    Or2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    AndN,
+    NandN,
+    OrN,
+    NorN,
+    XorN,
+    XnorN,
+}
+
+/// A netlist compiled to a flat simulation tape.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::bench;
+/// use htforge_sim::{PatternSet, SimProgram};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "t")?;
+/// let prog = SimProgram::compile(&nl)?;
+/// let ps = PatternSet::from_vectors(2, &[vec![true, false], vec![true, true]]);
+/// let vals = prog.run(&ps);
+/// let y = nl.find("y").unwrap();
+/// assert!(vals.value(y, 0));
+/// assert!(!vals.value(y, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimProgram {
+    node_count: usize,
+    /// `(node, column index into the PatternSet)` for each primary input.
+    input_positions: Vec<(NodeId, usize)>,
+    /// Per-step opcode, in topological order.
+    ops: Vec<OpCode>,
+    /// Per-step destination node index.
+    dsts: Vec<u32>,
+    /// Per-step offset into `pool`; length `ops.len() + 1` so step `s`
+    /// reads `pool[offs[s]..offs[s + 1]]`.
+    offs: Vec<u32>,
+    /// Contiguous fanin node indices for every step.
+    pool: Vec<u32>,
+}
+
+impl SimProgram {
+    /// Lowers `nl` into a simulation tape (topological order, SoA
+    /// arrays, specialized opcodes).
+    ///
+    /// Sequential netlists are accepted under the same convention as
+    /// [`crate::simulator::Simulator`]: DFF Q outputs listed in
+    /// `nl.inputs()` (scan-cut netlists) are free inputs; other DFF
+    /// outputs simulate as constant 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// part of `nl` is cyclic.
+    pub fn compile(nl: &Netlist) -> Result<Self, NetlistError> {
+        let order = htforge_netlist::graph::topo_order(nl)?;
+        let node_count = nl.node_count();
+        let input_positions: Vec<(NodeId, usize)> = nl
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, pos))
+            .collect();
+
+        let mut ops = Vec::new();
+        let mut dsts = Vec::new();
+        let mut offs = vec![0u32];
+        let mut pool: Vec<u32> = Vec::new();
+
+        for &id in &order {
+            let node = nl.node(id);
+            let kind = match node.kind() {
+                NodeKind::Gate(k) => k,
+                NodeKind::Input | NodeKind::Dff => continue,
+            };
+            let fanins = node.fanins();
+            let op = match fanins.len() {
+                1 => {
+                    if kind.is_inverting() {
+                        OpCode::Not
+                    } else {
+                        OpCode::Buf
+                    }
+                }
+                2 => {
+                    use htforge_netlist::GateKind as G;
+                    match kind {
+                        G::And => OpCode::And2,
+                        G::Nand => OpCode::Nand2,
+                        G::Or => OpCode::Or2,
+                        G::Nor => OpCode::Nor2,
+                        G::Xor => OpCode::Xor2,
+                        G::Xnor => OpCode::Xnor2,
+                        // Unary kinds never have two fanins (validated
+                        // by the netlist), but stay total anyway.
+                        G::Not => OpCode::Not,
+                        G::Buf => OpCode::Buf,
+                    }
+                }
+                _ => {
+                    use htforge_netlist::GateKind as G;
+                    match kind {
+                        G::And => OpCode::AndN,
+                        G::Nand => OpCode::NandN,
+                        G::Or => OpCode::OrN,
+                        G::Nor => OpCode::NorN,
+                        G::Xor => OpCode::XorN,
+                        G::Xnor => OpCode::XnorN,
+                        G::Not => OpCode::Not,
+                        G::Buf => OpCode::Buf,
+                    }
+                }
+            };
+            ops.push(op);
+            dsts.push(id.index() as u32);
+            pool.extend(fanins.iter().map(|f| f.index() as u32));
+            offs.push(pool.len() as u32);
+        }
+
+        // Kernel safety invariant: every node index on the tape is in
+        // bounds, so the hot loop can use unchecked accesses.
+        debug_assert!(dsts.iter().all(|&d| (d as usize) < node_count));
+        assert!(
+            pool.iter().all(|&f| (f as usize) < node_count),
+            "fanin index out of bounds"
+        );
+        assert!(
+            dsts.iter().all(|&d| (d as usize) < node_count),
+            "destination index out of bounds"
+        );
+
+        Ok(SimProgram {
+            node_count,
+            input_positions,
+            ops,
+            dsts,
+            offs,
+            pool,
+        })
+    }
+
+    /// Number of nodes in the compiled netlist.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of compiled gate steps.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of primary-input columns the program expects.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_positions.len()
+    }
+
+    /// Simulates `patterns`, choosing a thread count automatically:
+    /// single-threaded for small workloads (where spawn overhead
+    /// dominates), [`std::thread::available_parallelism`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.num_inputs()` differs from the compiled
+    /// netlist's input count.
+    #[must_use]
+    pub fn run(&self, patterns: &PatternSet) -> NodeValues {
+        self.run_with_threads(patterns, self.default_threads(patterns.len()))
+    }
+
+    /// The automatic thread count [`SimProgram::run`] would use for a
+    /// `len`-pattern set.
+    #[must_use]
+    pub fn default_threads(&self, len: usize) -> usize {
+        let words = PatternSet::words_for(len);
+        // Below ~2^15 word-gate evaluations a spawn costs more than it
+        // saves; also never run more workers than there are columns.
+        if words < 4 || self.steps().saturating_mul(words) < (1 << 15) {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(words)
+    }
+
+    /// Simulates `patterns` over exactly `threads` workers (clamped to
+    /// at least 1 and at most the number of 64-pattern word columns).
+    ///
+    /// Output is bit-identical at every thread count: each worker owns a
+    /// contiguous range of word columns, and columns never interact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.num_inputs()` differs from the compiled
+    /// netlist's input count.
+    #[must_use]
+    pub fn run_with_threads(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
+        assert_eq!(
+            patterns.num_inputs(),
+            self.input_positions.len(),
+            "pattern width does not match netlist input count"
+        );
+        let len = patterns.len();
+        let words_per_node = PatternSet::words_for(len);
+        let tail_mask = PatternSet::tail_mask(len);
+        let mut words = vec![0u64; self.node_count * words_per_node];
+
+        if words_per_node == 0 {
+            return NodeValues::from_raw(len, words_per_node, words);
+        }
+
+        let threads = threads.clamp(1, words_per_node);
+        if threads == 1 {
+            self.exec_columns(
+                patterns,
+                0,
+                words_per_node,
+                words_per_node,
+                tail_mask,
+                &mut words,
+            );
+            return NodeValues::from_raw(len, words_per_node, words);
+        }
+
+        // Columns are embarrassingly parallel: give each worker a
+        // contiguous column range, let it simulate into a dense local
+        // buffer (stride = its chunk width), then stitch the chunks into
+        // the node-major result. The stitch is a per-node contiguous
+        // copy — O(nodes × words) — which is noise next to the
+        // O(steps × words) simulation itself.
+        let base = words_per_node / threads;
+        let extra = words_per_node % threads;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut w0 = 0usize;
+            for t in 0..threads {
+                let chunk = base + usize::from(t < extra);
+                let start = w0;
+                handles.push(scope.spawn(move || {
+                    let mut local = vec![0u64; self.node_count * chunk];
+                    self.exec_columns(
+                        patterns,
+                        start,
+                        chunk,
+                        words_per_node,
+                        tail_mask,
+                        &mut local,
+                    );
+                    (start, chunk, local)
+                }));
+                w0 += chunk;
+            }
+            for handle in handles {
+                let (start, chunk, local) = handle.join().expect("simulation worker panicked");
+                for node in 0..self.node_count {
+                    let dst = node * words_per_node + start;
+                    let src = node * chunk;
+                    words[dst..dst + chunk].copy_from_slice(&local[src..src + chunk]);
+                }
+            }
+        });
+        NodeValues::from_raw(len, words_per_node, words)
+    }
+
+    /// Executes the tape over columns `[w0, w0 + chunk)` into `buf`,
+    /// which is node-major with stride `chunk` (so `buf[node * chunk + k]`
+    /// is column `w0 + k` of `node`). `buf` must be zero-initialized:
+    /// unconnected DFF outputs read as constant 0 (reset state).
+    fn exec_columns(
+        &self,
+        patterns: &PatternSet,
+        w0: usize,
+        chunk: usize,
+        words_per_node: usize,
+        tail_mask: u64,
+        buf: &mut [u64],
+    ) {
+        debug_assert_eq!(buf.len(), self.node_count * chunk);
+        debug_assert!(w0 + chunk <= words_per_node);
+
+        for &(node, pos) in &self.input_positions {
+            let src = &patterns.input_words(pos)[w0..w0 + chunk];
+            let base = node.index() * chunk;
+            buf[base..base + chunk].copy_from_slice(src);
+        }
+
+        // The last global column carries the tail; only the worker that
+        // owns it masks anything.
+        let masked_at = if w0 + chunk == words_per_node && tail_mask != u64::MAX {
+            chunk - 1
+        } else {
+            usize::MAX
+        };
+
+        let offs = &self.offs;
+        let pool = &self.pool;
+        for (s, (&op, &dst)) in self.ops.iter().zip(&self.dsts).enumerate() {
+            let d = dst as usize * chunk;
+            let off = offs[s] as usize;
+            // SAFETY: `compile` asserted every destination and fanin
+            // index is < node_count, and `buf` spans node_count * chunk
+            // words, so every `idx * chunk + w` with `w < chunk` is in
+            // bounds. Sources and destination may never alias within one
+            // step (a gate is not its own fanin in an acyclic order),
+            // and each word is read before the destination word is
+            // written.
+            unsafe {
+                match op {
+                    OpCode::Not => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) = !*buf.get_unchecked(a + w);
+                        }
+                    }
+                    OpCode::Buf => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) = *buf.get_unchecked(a + w);
+                        }
+                    }
+                    OpCode::And2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                *buf.get_unchecked(a + w) & *buf.get_unchecked(b + w);
+                        }
+                    }
+                    OpCode::Nand2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                !(*buf.get_unchecked(a + w) & *buf.get_unchecked(b + w));
+                        }
+                    }
+                    OpCode::Or2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                *buf.get_unchecked(a + w) | *buf.get_unchecked(b + w);
+                        }
+                    }
+                    OpCode::Nor2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                !(*buf.get_unchecked(a + w) | *buf.get_unchecked(b + w));
+                        }
+                    }
+                    OpCode::Xor2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                *buf.get_unchecked(a + w) ^ *buf.get_unchecked(b + w);
+                        }
+                    }
+                    OpCode::Xnor2 => {
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
+                        for w in 0..chunk {
+                            *buf.get_unchecked_mut(d + w) =
+                                !(*buf.get_unchecked(a + w) ^ *buf.get_unchecked(b + w));
+                        }
+                    }
+                    OpCode::AndN | OpCode::NandN => {
+                        let end = offs[s + 1] as usize;
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        buf.copy_within(a..a + chunk, d);
+                        for &f in &pool[off + 1..end] {
+                            let fb = f as usize * chunk;
+                            for w in 0..chunk {
+                                *buf.get_unchecked_mut(d + w) &= *buf.get_unchecked(fb + w);
+                            }
+                        }
+                        if op == OpCode::NandN {
+                            for w in 0..chunk {
+                                let v = buf.get_unchecked_mut(d + w);
+                                *v = !*v;
+                            }
+                        }
+                    }
+                    OpCode::OrN | OpCode::NorN => {
+                        let end = offs[s + 1] as usize;
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        buf.copy_within(a..a + chunk, d);
+                        for &f in &pool[off + 1..end] {
+                            let fb = f as usize * chunk;
+                            for w in 0..chunk {
+                                *buf.get_unchecked_mut(d + w) |= *buf.get_unchecked(fb + w);
+                            }
+                        }
+                        if op == OpCode::NorN {
+                            for w in 0..chunk {
+                                let v = buf.get_unchecked_mut(d + w);
+                                *v = !*v;
+                            }
+                        }
+                    }
+                    OpCode::XorN | OpCode::XnorN => {
+                        let end = offs[s + 1] as usize;
+                        let a = *pool.get_unchecked(off) as usize * chunk;
+                        buf.copy_within(a..a + chunk, d);
+                        for &f in &pool[off + 1..end] {
+                            let fb = f as usize * chunk;
+                            for w in 0..chunk {
+                                *buf.get_unchecked_mut(d + w) ^= *buf.get_unchecked(fb + w);
+                            }
+                        }
+                        if op == OpCode::XnorN {
+                            for w in 0..chunk {
+                                let v = buf.get_unchecked_mut(d + w);
+                                *v = !*v;
+                            }
+                        }
+                    }
+                }
+            }
+            if masked_at != usize::MAX {
+                buf[d + masked_at] &= tail_mask;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_netlist::bench;
+
+    const C17: &str = "\
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn compile_specializes_opcodes() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n = NOT(a)
+w = AND(a, b, c)
+y = NAND(n, w)
+";
+        let nl = bench::parse(src, "t").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        assert_eq!(prog.steps(), 3);
+        assert_eq!(prog.num_inputs(), 3);
+        assert!(prog.ops.contains(&OpCode::Not));
+        assert!(prog.ops.contains(&OpCode::AndN));
+        assert!(prog.ops.contains(&OpCode::Nand2));
+    }
+
+    #[test]
+    fn c17_exhaustive_all_thread_counts() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let vectors: Vec<Vec<bool>> = (0u32..32)
+            .map(|p| (0..5).map(|i| (p >> i) & 1 == 1).collect())
+            .collect();
+        let ps = PatternSet::from_vectors(5, &vectors);
+        let reference = prog.run_with_threads(&ps, 1);
+        for threads in [2, 3, 8] {
+            let vals = prog.run_with_threads(&ps, threads);
+            for id in nl.node_ids() {
+                assert_eq!(
+                    vals.words(id),
+                    reference.words(id),
+                    "node {} at {threads} threads",
+                    nl.node(id).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_masked_at_every_thread_count() {
+        // NOT of constant 0 is all-ones: tail bits must not leak.
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let ps = PatternSet::zeros(1, 70); // 2 words, 6-bit tail
+        for threads in [1, 2] {
+            let vals = prog.run_with_threads(&ps, threads);
+            assert_eq!(
+                vals.count_ones(nl.find("y").unwrap()),
+                70,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_set() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let vals = prog.run(&PatternSet::zeros(5, 0));
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_columns() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let ps = PatternSet::random(5, 100, 1); // 2 words
+        let a = prog.run_with_threads(&ps, 64);
+        let b = prog.run_with_threads(&ps, 1);
+        for id in nl.node_ids() {
+            assert_eq!(a.words(id), b.words(id));
+        }
+    }
+
+    #[test]
+    fn default_threads_stays_single_for_tiny_workloads() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        assert_eq!(prog.default_threads(1), 1);
+        assert_eq!(prog.default_threads(64), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn wrong_width_panics() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let _ = prog.run(&PatternSet::zeros(4, 8));
+    }
+}

@@ -93,10 +93,8 @@ impl RareNodeSet {
 
 impl<'a> IntoIterator for &'a RareNodeSet {
     type Item = &'a RareNode;
-    type IntoIter = std::iter::Chain<
-        std::slice::Iter<'a, RareNode>,
-        std::slice::Iter<'a, RareNode>,
-    >;
+    type IntoIter =
+        std::iter::Chain<std::slice::Iter<'a, RareNode>, std::slice::Iter<'a, RareNode>>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.rn1.iter().chain(self.rn0.iter())

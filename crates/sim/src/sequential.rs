@@ -55,11 +55,7 @@ impl SequentialSimulator {
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// part of `nl` is cyclic.
     pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
-        let d_drivers: Vec<NodeId> = nl
-            .dffs()
-            .iter()
-            .map(|&q| nl.node(q).fanins()[0])
-            .collect();
+        let d_drivers: Vec<NodeId> = nl.dffs().iter().map(|&q| nl.node(q).fanins()[0]).collect();
         let primary_inputs = nl.inputs().len();
         let cut = nl.scan_cut();
         let sim = Simulator::new(&cut)?;
@@ -108,11 +104,7 @@ impl SequentialSimulator {
     ///
     /// Panics if `inputs.len()` differs from the primary-input count.
     pub fn step(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
-        assert_eq!(
-            inputs.len(),
-            self.primary_inputs,
-            "input width mismatch"
-        );
+        assert_eq!(inputs.len(), self.primary_inputs, "input width mismatch");
         let mut full: Vec<bool> = Vec::with_capacity(inputs.len() + self.state.len());
         full.extend_from_slice(inputs);
         full.extend_from_slice(&self.state);
@@ -144,10 +136,7 @@ impl SequentialSimulator {
     /// # Panics
     ///
     /// Panics on input-width mismatches.
-    pub fn run_sequence(
-        &mut self,
-        sequence: &[Vec<bool>],
-    ) -> Result<Vec<Vec<bool>>, NetlistError> {
+    pub fn run_sequence(&mut self, sequence: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, NetlistError> {
         let mut outputs = Vec::with_capacity(sequence.len());
         for inputs in sequence {
             self.step(inputs)?;

@@ -1,13 +1,16 @@
 //! 64-way bit-parallel two-valued simulation.
 //!
-//! The netlist is levelized once ([`Simulator::new`]) and then evaluated
-//! word-by-word: each gate visit computes 64 input patterns at once, which
-//! is what makes 10 000-vector rare-node profiling (Fig. 3 of the paper)
-//! cheap even on the larger ISCAS-89 circuits.
+//! The netlist is compiled once ([`Simulator::new`] lowers it into a
+//! [`SimProgram`] instruction tape) and then evaluated word-by-word: each
+//! gate visit computes 64 input patterns at once, and large pattern sets
+//! are split column-wise across threads. This is what makes
+//! 10 000-vector rare-node profiling (Fig. 3 of the paper) cheap even on
+//! the larger ISCAS-89 circuits.
 
-use htforge_netlist::{netlist::NodeId, Netlist, NetlistError, NodeKind};
+use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
 
 use crate::patterns::PatternSet;
+use crate::program::SimProgram;
 
 /// Simulated values for every node over a pattern set, bit-packed the same
 /// way as [`PatternSet`]: `words(node)[p / 64] >> (p % 64) & 1`.
@@ -19,6 +22,18 @@ pub struct NodeValues {
 }
 
 impl NodeValues {
+    /// Assembles node values from a pre-filled node-major word buffer
+    /// (`words[node * words_per_node + w]`). Used by the simulation
+    /// kernel; invariants (buffer length, masked tails) are the
+    /// caller's responsibility.
+    pub(crate) fn from_raw(len: usize, words_per_node: usize, words: Vec<u64>) -> Self {
+        NodeValues {
+            len,
+            words_per_node,
+            words,
+        }
+    }
+
     /// Number of simulated patterns.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -53,7 +68,10 @@ impl NodeValues {
     /// masked during simulation).
     #[must_use]
     pub fn count_ones(&self, node: NodeId) -> u64 {
-        self.words(node).iter().map(|w| u64::from(w.count_ones())).sum()
+        self.words(node)
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// Number of patterns in which `node` is 0.
@@ -84,13 +102,11 @@ impl NodeValues {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    order: Vec<NodeId>,
-    node_count: usize,
-    input_positions: Vec<(NodeId, usize)>, // (node, index into PatternSet)
+    program: SimProgram,
 }
 
 impl Simulator {
-    /// Prepares a simulator for `nl` (computes the topological order).
+    /// Prepares a simulator for `nl` (compiles it into a [`SimProgram`]).
     ///
     /// Sequential netlists are accepted: DFF Q outputs are treated as free
     /// inputs *if* they appear in `nl.inputs()` (i.e. after
@@ -103,21 +119,21 @@ impl Simulator {
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// part of `nl` is cyclic.
     pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
-        let order = htforge_netlist::graph::topo_order(nl)?;
-        let input_positions = nl
-            .inputs()
-            .iter()
-            .enumerate()
-            .map(|(pos, &id)| (id, pos))
-            .collect();
         Ok(Simulator {
-            order,
-            node_count: nl.node_count(),
-            input_positions,
+            program: SimProgram::compile(nl)?,
         })
     }
 
+    /// The compiled program backing this simulator.
+    #[must_use]
+    pub fn program(&self) -> &SimProgram {
+        &self.program
+    }
+
     /// Simulates `patterns` over the netlist this simulator was built for.
+    ///
+    /// Thin wrapper over [`SimProgram::run`]: the thread count is chosen
+    /// automatically from the workload size.
     ///
     /// # Panics
     ///
@@ -129,61 +145,33 @@ impl Simulator {
     pub fn run_on(&self, nl: &Netlist, patterns: &PatternSet) -> NodeValues {
         assert_eq!(
             nl.node_count(),
-            self.node_count,
+            self.program.node_count(),
             "simulator built for a different netlist"
         );
-        assert_eq!(
-            patterns.num_inputs(),
-            self.input_positions.len(),
-            "pattern width does not match netlist input count"
-        );
-        let words_per_node = PatternSet::words_for(patterns.len());
-        let mut words = vec![0u64; self.node_count * words_per_node];
-
-        for &(node, pos) in &self.input_positions {
-            let src = patterns.input_words(pos);
-            let base = node.index() * words_per_node;
-            words[base..base + words_per_node].copy_from_slice(src);
-        }
-
-        let tail_mask = {
-            let rem = patterns.len() % 64;
-            if rem == 0 {
-                u64::MAX
-            } else {
-                (1u64 << rem) - 1
-            }
-        };
-
-        let mut scratch: Vec<u64> = Vec::new();
-        for &id in &self.order {
-            let node = nl.node(id);
-            let kind = match node.kind() {
-                NodeKind::Gate(k) => k,
-                // Inputs already filled; non-scan DFFs stay 0 (reset).
-                NodeKind::Input | NodeKind::Dff => continue,
-            };
-            let fanins = node.fanins();
-            for w in 0..words_per_node {
-                scratch.clear();
-                for &f in fanins {
-                    scratch.push(words[f.index() * words_per_node + w]);
-                }
-                let mut v = kind.eval_bits(&scratch);
-                if w + 1 == words_per_node {
-                    v &= tail_mask;
-                }
-                words[id.index() * words_per_node + w] = v;
-            }
-        }
-
-        NodeValues {
-            len: patterns.len(),
-            words_per_node,
-            words,
-        }
+        self.program.run(patterns)
     }
 
+    /// Simulates `patterns` over exactly `threads` workers. Output is
+    /// bit-identical at every thread count; see
+    /// [`SimProgram::run_with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::run_on`].
+    #[must_use]
+    pub fn run_on_with_threads(
+        &self,
+        nl: &Netlist,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> NodeValues {
+        assert_eq!(
+            nl.node_count(),
+            self.program.node_count(),
+            "simulator built for a different netlist"
+        );
+        self.program.run_with_threads(patterns, threads)
+    }
 }
 
 /// A simulator that owns (a clone of) its netlist, for ergonomic repeated

@@ -49,6 +49,10 @@ impl Tri {
     }
 
     /// Three-valued negation.
+    ///
+    /// An inherent method rather than `std::ops::Not` so call sites stay
+    /// explicit about Kleene (not boolean) semantics.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Self {
         match self {
@@ -92,10 +96,7 @@ impl Tri {
     /// care-bit conflict test.
     #[must_use]
     pub fn conflicts(self, other: Tri) -> bool {
-        matches!(
-            (self, other),
-            (Tri::Zero, Tri::One) | (Tri::One, Tri::Zero)
-        )
+        matches!((self, other), (Tri::Zero, Tri::One) | (Tri::One, Tri::Zero))
     }
 
     /// Merges two non-conflicting values (care value wins over X).
@@ -201,7 +202,7 @@ mod tests {
 
     #[test]
     fn truth_tables() {
-        use Tri::{One, X, Zero};
+        use Tri::{One, Zero, X};
         assert_eq!(Zero.and(X), Zero);
         assert_eq!(One.and(X), X);
         assert_eq!(One.or(X), One);
@@ -213,7 +214,7 @@ mod tests {
 
     #[test]
     fn conflicts_and_merge() {
-        use Tri::{One, X, Zero};
+        use Tri::{One, Zero, X};
         assert!(Zero.conflicts(One));
         assert!(!Zero.conflicts(X));
         assert!(!X.conflicts(X));
@@ -231,8 +232,7 @@ mod tests {
     #[test]
     fn cube_simulation_propagates_controlling_values() {
         // y = AND(a, b): a=0 determines y=0 even with b=X.
-        let nl =
-            bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
         let vals = simulate_tri(&nl, &[Tri::Zero, Tri::X]).unwrap();
         assert_eq!(vals[nl.find("y").unwrap().index()], Tri::Zero);
         let vals = simulate_tri(&nl, &[Tri::One, Tri::X]).unwrap();
@@ -241,11 +241,7 @@ mod tests {
 
     #[test]
     fn justifies_checks_definite_value() {
-        let nl = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n", "t").unwrap();
         let y = nl.find("y").unwrap();
         assert!(justifies(&nl, &[Tri::Zero, Tri::Zero], y, true).unwrap());
         assert!(!justifies(&nl, &[Tri::Zero, Tri::X], y, true).unwrap());

@@ -64,10 +64,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             .trigger_inputs
             .iter()
             .map(|&(node, _)| {
-                outcome
-                    .rare_nodes
-                    .get(node)
-                    .map_or(0.2, |r| r.probability(outcome.rare_nodes.samples()).max(1e-6))
+                outcome.rare_nodes.get(node).map_or(0.2, |r| {
+                    r.probability(outcome.rare_nodes.samples()).max(1e-6)
+                })
             })
             .product();
         let report = AreaReport::compare(&model, &golden, &design.netlist);

@@ -74,7 +74,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     families.push(("RL-HT", rl.infected));
 
     let th = TrustHubInserter::new(4, instances).run(&golden, 4)?;
-    println!("trust-hub style:    {} instances in {:?}", th.infected.len(), th.elapsed);
+    println!(
+        "trust-hub style:    {} instances in {:?}",
+        th.infected.len(),
+        th.elapsed
+    );
     families.push(("TrustHub", th.infected));
 
     // --- detection schemes ---------------------------------------------
@@ -86,7 +90,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         Box::new(NdAtpgDetection::new(5, 7)),
     ];
 
-    println!("\n{:>10} {:>9} {:>8} {:>8}", "family", "scheme", "TC %", "DC %");
+    println!(
+        "\n{:>10} {:>9} {:>8} {:>8}",
+        "family", "scheme", "TC %", "DC %"
+    );
     for (name, designs) in &families {
         if designs.is_empty() {
             println!("{name:>10}  (no instances generated)");

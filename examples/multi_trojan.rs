@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let golden = htforge::circuits::load(&circuit)?;
     println!("host: {golden}");
 
-    for kind in [PayloadKind::Flip, PayloadKind::ForceZero, PayloadKind::ForceOne] {
+    for kind in [
+        PayloadKind::Flip,
+        PayloadKind::ForceZero,
+        PayloadKind::ForceOne,
+    ] {
         let framework = InsertionFramework::new(InsertionConfig {
             theta: 0.20,
             num_vectors: 10_000,

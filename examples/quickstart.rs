@@ -73,7 +73,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         fs::write(&bench_path, bench::write(&design.netlist))?;
         let verilog_path = out_dir.join(format!("{circuit}_ht{i}.v"));
         fs::write(&verilog_path, verilog::write(&design.netlist))?;
-        println!("  wrote {} and {}", bench_path.display(), verilog_path.display());
+        println!(
+            "  wrote {} and {}",
+            bench_path.display(),
+            verilog_path.display()
+        );
     }
     Ok(())
 }

@@ -52,9 +52,7 @@ impl Options {
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(
-                        it.next().expect("peeked").clone(),
-                    ),
+                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
                     _ => None,
                 };
                 flags.push((name.to_owned(), value));
@@ -277,9 +275,7 @@ fn cmd_detect(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         let nl = load_netlist(path.trim())?;
         let payload_gates: Vec<_> = nl
             .iter()
-            .filter(|(_, node)| {
-                node.name().starts_with("ht") && node.name().ends_with("_payload")
-            })
+            .filter(|(_, node)| node.name().starts_with("ht") && node.name().ends_with("_payload"))
             .map(|(id, _)| id)
             .collect();
         if payload_gates.is_empty() {
@@ -301,9 +297,7 @@ fn cmd_detect(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
                     payload_net: victim,
                     payload_kind: htforge::core::PayloadKind::Flip,
                     payload_gate: pg,
-                    activation_cube: htforge::atpg::Cube::all_x(
-                        comb.inputs().len(),
-                    ),
+                    activation_cube: htforge::atpg::Cube::all_x(comb.inputs().len()),
                 },
             });
         }

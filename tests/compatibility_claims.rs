@@ -18,8 +18,7 @@ fn graph_for(circuit: &str) -> (htforge::netlist::Netlist, CompatGraph) {
     let rare = RareNodeExtractor::new(0.20)
         .extract(&comb, &patterns)
         .expect("valid netlist");
-    let graph =
-        CompatGraph::build(&comb, &rare, PodemConfig::justify()).expect("combinational");
+    let graph = CompatGraph::build(&comb, &rare, PodemConfig::justify()).expect("combinational");
     (comb, graph)
 }
 
@@ -50,8 +49,7 @@ fn merged_clique_cubes_need_no_validation() {
             for &m in &c.members {
                 let e = &graph.events()[m];
                 assert!(
-                    justifies(&nl, c.activation_cube.bits(), e.node, e.rare_value)
-                        .unwrap(),
+                    justifies(&nl, c.activation_cube.bits(), e.node, e.rare_value).unwrap(),
                     "{circuit}: merged cube fails to justify {}={}",
                     nl.node(e.node).name(),
                     e.rare_value
@@ -99,7 +97,9 @@ fn c6288_multiplier_has_sparse_rare_profile() {
     // paper's tables).
     let nl = htforge::circuits::load("c6288").unwrap();
     let patterns = PatternSet::random(nl.inputs().len(), 4_000, 1);
-    let rare = RareNodeExtractor::new(0.05).extract(&nl, &patterns).unwrap();
+    let rare = RareNodeExtractor::new(0.05)
+        .extract(&nl, &patterns)
+        .unwrap();
     let fraction = rare.len() as f64 / nl.node_count() as f64;
     assert!(
         fraction < 0.02,

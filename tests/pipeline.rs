@@ -66,10 +66,7 @@ fn c2670_trojans_activate_on_their_cube_and_stay_quiescent_otherwise() {
         // Correlated rare nodes can leave the joint probability above the
         // independence estimate, so allow a sub-0.1% activation rate
         // (the paper's stealth table uses far larger q = 25–125).
-        assert!(
-            fired <= 8,
-            "q=10 trigger fired {fired}/8192 random vectors"
-        );
+        assert!(fired <= 8, "q=10 trigger fired {fired}/8192 random vectors");
     }
 }
 

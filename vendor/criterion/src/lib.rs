@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the subset of the Criterion 0.5 API the `htforge-bench`
+//! benches use — `Criterion`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple but honest
+//! wall-clock measurement loop: warm-up, then timed batches, reporting
+//! median time per iteration and derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (elements or bytes per
+/// iteration); turns per-iteration time into a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter display alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measures one closure: passed to the closures given to
+/// [`BenchmarkGroup::bench_function`] and friends.
+pub struct Bencher {
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    sample: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // measurable slice of time.
+        let mut iters: u64 = 1;
+        let calibration_floor = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+
+        // Measurement: `sample_size` batches, bounded by the group's
+        // measurement budget.
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(3) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+            if Instant::now() > deadline && samples.len() >= 3 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.sample = samples[samples.len() / 2];
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn format_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample
+/// configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample: f64::NAN,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let time = bencher.sample;
+        let mut line = format!("{}/{id}: {}", self.name, format_time(time));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if time > 0.0 => {
+                line += &format!(" ({})", format_rate(n as f64 / time, "elem"));
+            }
+            Some(Throughput::Bytes(n)) if time > 0.0 => {
+                line += &format!(" ({})", format_rate(n as f64 / time, "B"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored, so
+    /// `cargo bench -- <filter>` does not error).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let group = self.benchmark_group("bench");
+        let mut bencher = Bencher {
+            sample: f64::NAN,
+            sample_size: group.sample_size,
+            measurement_time: group.measurement_time,
+        };
+        f(&mut bencher);
+        println!("{id}: {}", format_time(bencher.sample));
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
