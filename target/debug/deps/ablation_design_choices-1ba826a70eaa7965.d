@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design_choices-1ba826a70eaa7965.d: crates/bench/src/bin/ablation_design_choices.rs
+
+/root/repo/target/debug/deps/ablation_design_choices-1ba826a70eaa7965: crates/bench/src/bin/ablation_design_choices.rs
+
+crates/bench/src/bin/ablation_design_choices.rs:

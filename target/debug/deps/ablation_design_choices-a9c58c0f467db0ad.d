@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design_choices-a9c58c0f467db0ad.d: crates/bench/src/bin/ablation_design_choices.rs
+
+/root/repo/target/debug/deps/ablation_design_choices-a9c58c0f467db0ad: crates/bench/src/bin/ablation_design_choices.rs
+
+crates/bench/src/bin/ablation_design_choices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design_choices-f3fbc18f96279621.d: crates/bench/src/bin/ablation_design_choices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design_choices-f3fbc18f96279621.rmeta: crates/bench/src/bin/ablation_design_choices.rs Cargo.toml
+
+crates/bench/src/bin/ablation_design_choices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

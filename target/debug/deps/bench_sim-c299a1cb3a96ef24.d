@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_sim-c299a1cb3a96ef24.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/debug/deps/bench_sim-c299a1cb3a96ef24: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_sim-e92dcb598b53058f.d: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim-e92dcb598b53058f.rmeta: crates/bench/src/bin/bench_sim.rs Cargo.toml
+
+crates/bench/src/bin/bench_sim.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

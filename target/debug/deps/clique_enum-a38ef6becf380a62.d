@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique_enum-a38ef6becf380a62.d: crates/bench/benches/clique_enum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique_enum-a38ef6becf380a62.rmeta: crates/bench/benches/clique_enum.rs Cargo.toml
+
+crates/bench/benches/clique_enum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

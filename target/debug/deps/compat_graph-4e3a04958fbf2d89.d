@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compat_graph-4e3a04958fbf2d89.d: crates/bench/benches/compat_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompat_graph-4e3a04958fbf2d89.rmeta: crates/bench/benches/compat_graph.rs Cargo.toml
+
+crates/bench/benches/compat_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compatibility_claims-18c53f672a7a354a.d: tests/compatibility_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompatibility_claims-18c53f672a7a354a.rmeta: tests/compatibility_claims.rs Cargo.toml
+
+tests/compatibility_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

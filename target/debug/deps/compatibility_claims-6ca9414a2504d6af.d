@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compatibility_claims-6ca9414a2504d6af.d: tests/compatibility_claims.rs
+
+/root/repo/target/debug/deps/compatibility_claims-6ca9414a2504d6af: tests/compatibility_claims.rs
+
+tests/compatibility_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-37ed4ebb3cd49231.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-37ed4ebb3cd49231: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

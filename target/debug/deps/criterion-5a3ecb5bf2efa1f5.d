@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-5a3ecb5bf2efa1f5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5a3ecb5bf2efa1f5.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5a3ecb5bf2efa1f5.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection-291e0aca6b37ff56.d: crates/bench/benches/detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection-291e0aca6b37ff56.rmeta: crates/bench/benches/detection.rs Cargo.toml
+
+crates/bench/benches/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_sim-e4a24cdc4f27f047.d: tests/differential_sim.rs
+
+/root/repo/target/debug/deps/differential_sim-e4a24cdc4f27f047: tests/differential_sim.rs
+
+tests/differential_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_rare_threshold-17918cd43a1fbcb9.d: crates/bench/src/bin/fig2_rare_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_rare_threshold-17918cd43a1fbcb9.rmeta: crates/bench/src/bin/fig2_rare_threshold.rs Cargo.toml
+
+crates/bench/src/bin/fig2_rare_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_rare_threshold-4220738be4f908f2.d: crates/bench/src/bin/fig2_rare_threshold.rs
+
+/root/repo/target/debug/deps/fig2_rare_threshold-4220738be4f908f2: crates/bench/src/bin/fig2_rare_threshold.rs
+
+crates/bench/src/bin/fig2_rare_threshold.rs:

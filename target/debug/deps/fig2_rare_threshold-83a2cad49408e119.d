@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_rare_threshold-83a2cad49408e119.d: crates/bench/src/bin/fig2_rare_threshold.rs
+
+/root/repo/target/debug/deps/fig2_rare_threshold-83a2cad49408e119: crates/bench/src/bin/fig2_rare_threshold.rs
+
+crates/bench/src/bin/fig2_rare_threshold.rs:

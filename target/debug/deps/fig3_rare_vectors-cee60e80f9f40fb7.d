@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_rare_vectors-cee60e80f9f40fb7.d: crates/bench/src/bin/fig3_rare_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_rare_vectors-cee60e80f9f40fb7.rmeta: crates/bench/src/bin/fig3_rare_vectors.rs Cargo.toml
+
+crates/bench/src/bin/fig3_rare_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_rare_vectors-e9573a6307ec16ab.d: crates/bench/src/bin/fig3_rare_vectors.rs
+
+/root/repo/target/debug/deps/fig3_rare_vectors-e9573a6307ec16ab: crates/bench/src/bin/fig3_rare_vectors.rs
+
+crates/bench/src/bin/fig3_rare_vectors.rs:

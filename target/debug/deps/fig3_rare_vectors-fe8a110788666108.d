@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_rare_vectors-fe8a110788666108.d: crates/bench/src/bin/fig3_rare_vectors.rs
+
+/root/repo/target/debug/deps/fig3_rare_vectors-fe8a110788666108: crates/bench/src/bin/fig3_rare_vectors.rs
+
+crates/bench/src/bin/fig3_rare_vectors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge-27802c28b9853e3e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge-27802c28b9853e3e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge-28b92f2ef1a5601f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge-28b92f2ef1a5601f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htforge-3035c556a1ab20d9.d: src/lib.rs
+
+/root/repo/target/debug/deps/htforge-3035c556a1ab20d9: src/lib.rs
+
+src/lib.rs:

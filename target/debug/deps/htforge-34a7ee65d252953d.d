@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htforge-34a7ee65d252953d.d: src/bin/htforge.rs
+
+/root/repo/target/debug/deps/htforge-34a7ee65d252953d: src/bin/htforge.rs
+
+src/bin/htforge.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htforge-3d4665ce7cac9180.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge-3d4665ce7cac9180.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge-3d4665ce7cac9180.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge-c68b81be9d83e05d.d: src/bin/htforge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge-c68b81be9d83e05d.rmeta: src/bin/htforge.rs Cargo.toml
+
+src/bin/htforge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

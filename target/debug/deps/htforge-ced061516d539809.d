@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htforge-ced061516d539809.d: src/bin/htforge.rs
+
+/root/repo/target/debug/deps/htforge-ced061516d539809: src/bin/htforge.rs
+
+src/bin/htforge.rs:

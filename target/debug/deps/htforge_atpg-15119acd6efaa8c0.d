@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htforge_atpg-15119acd6efaa8c0.d: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+/root/repo/target/debug/deps/htforge_atpg-15119acd6efaa8c0: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/cube.rs:
+crates/atpg/src/fault.rs:
+crates/atpg/src/fault_sim.rs:
+crates/atpg/src/ndetect.rs:
+crates/atpg/src/podem.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/htforge_atpg-793f777a5c86f8a6.d: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_atpg-793f777a5c86f8a6.rmeta: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs Cargo.toml
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/cube.rs:
+crates/atpg/src/fault.rs:
+crates/atpg/src/fault_sim.rs:
+crates/atpg/src/ndetect.rs:
+crates/atpg/src/podem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htforge_atpg-bb2ae4c5b869e8ba.d: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+/root/repo/target/debug/deps/libhtforge_atpg-bb2ae4c5b869e8ba.rlib: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+/root/repo/target/debug/deps/libhtforge_atpg-bb2ae4c5b869e8ba.rmeta: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/cube.rs:
+crates/atpg/src/fault.rs:
+crates/atpg/src/fault_sim.rs:
+crates/atpg/src/ndetect.rs:
+crates/atpg/src/podem.rs:

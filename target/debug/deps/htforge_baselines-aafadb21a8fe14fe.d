@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htforge_baselines-aafadb21a8fe14fe.d: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+/root/repo/target/debug/deps/libhtforge_baselines-aafadb21a8fe14fe.rlib: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+/root/repo/target/debug/deps/libhtforge_baselines-aafadb21a8fe14fe.rmeta: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/rl.rs:
+crates/baselines/src/trusthub.rs:
+crates/baselines/src/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge_baselines-ac03f7f58386b00a.d: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+/root/repo/target/debug/deps/htforge_baselines-ac03f7f58386b00a: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/rl.rs:
+crates/baselines/src/trusthub.rs:
+crates/baselines/src/validate.rs:

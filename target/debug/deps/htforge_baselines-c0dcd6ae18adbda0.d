@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htforge_baselines-c0dcd6ae18adbda0.d: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_baselines-c0dcd6ae18adbda0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/rl.rs:
+crates/baselines/src/trusthub.rs:
+crates/baselines/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htforge_baselines-d2cf0107bfd450f8.d: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_baselines-d2cf0107bfd450f8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/rl.rs:
+crates/baselines/src/trusthub.rs:
+crates/baselines/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

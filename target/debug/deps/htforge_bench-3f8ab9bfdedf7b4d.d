@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htforge_bench-3f8ab9bfdedf7b4d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/htforge_bench-3f8ab9bfdedf7b4d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

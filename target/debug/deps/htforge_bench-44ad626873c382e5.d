@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htforge_bench-44ad626873c382e5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge_bench-44ad626873c382e5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge_bench-44ad626873c382e5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge_bench-62c217df5f2b0129.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_bench-62c217df5f2b0129.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

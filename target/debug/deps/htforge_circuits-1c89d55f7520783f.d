@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htforge_circuits-1c89d55f7520783f.d: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+/root/repo/target/debug/deps/htforge_circuits-1c89d55f7520783f: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/iscas.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htforge_circuits-af4b219c207e0c6e.d: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_circuits-af4b219c207e0c6e.rmeta: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/iscas.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htforge_circuits-c723770e3151d1a7.d: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+/root/repo/target/debug/deps/libhtforge_circuits-c723770e3151d1a7.rlib: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+/root/repo/target/debug/deps/libhtforge_circuits-c723770e3151d1a7.rmeta: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/iscas.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/synth.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/htforge_core-8349e50bcbeaf181.d: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+/root/repo/target/debug/deps/libhtforge_core-8349e50bcbeaf181.rlib: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+/root/repo/target/debug/deps/libhtforge_core-8349e50bcbeaf181.rmeta: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clique.rs:
+crates/core/src/compat.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/insert.rs:
+crates/core/src/payload.rs:
+crates/core/src/sequential_trigger.rs:
+crates/core/src/trigger.rs:

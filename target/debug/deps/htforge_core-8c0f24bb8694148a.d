@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/htforge_core-8c0f24bb8694148a.d: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_core-8c0f24bb8694148a.rmeta: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clique.rs:
+crates/core/src/compat.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/insert.rs:
+crates/core/src/payload.rs:
+crates/core/src/sequential_trigger.rs:
+crates/core/src/trigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htforge_core-9a5b06a831db043c.d: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+/root/repo/target/debug/deps/htforge_core-9a5b06a831db043c: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clique.rs:
+crates/core/src/compat.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/insert.rs:
+crates/core/src/payload.rs:
+crates/core/src/sequential_trigger.rs:
+crates/core/src/trigger.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/htforge_detect-3c2f2fc3dcd44b4d.d: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_detect-3c2f2fc3dcd44b4d.rmeta: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/coverage.rs:
+crates/detect/src/mero.rs:
+crates/detect/src/ndatpg.rs:
+crates/detect/src/random.rs:
+crates/detect/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

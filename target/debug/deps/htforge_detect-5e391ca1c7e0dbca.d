@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htforge_detect-5e391ca1c7e0dbca.d: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+/root/repo/target/debug/deps/libhtforge_detect-5e391ca1c7e0dbca.rlib: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+/root/repo/target/debug/deps/libhtforge_detect-5e391ca1c7e0dbca.rmeta: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/coverage.rs:
+crates/detect/src/mero.rs:
+crates/detect/src/ndatpg.rs:
+crates/detect/src/random.rs:
+crates/detect/src/scheme.rs:

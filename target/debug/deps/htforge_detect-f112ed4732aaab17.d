@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htforge_detect-f112ed4732aaab17.d: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+/root/repo/target/debug/deps/htforge_detect-f112ed4732aaab17: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/coverage.rs:
+crates/detect/src/mero.rs:
+crates/detect/src/ndatpg.rs:
+crates/detect/src/random.rs:
+crates/detect/src/scheme.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/htforge_netlist-96f80fd86cd3842b.d: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/bench.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_netlist-96f80fd86cd3842b.rmeta: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/bench.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/area.rs:
+crates/netlist/src/bench.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/htforge_netlist-c94ffe65aa505ef9.d: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/bench.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libhtforge_netlist-c94ffe65aa505ef9.rlib: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/bench.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libhtforge_netlist-c94ffe65aa505ef9.rmeta: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/bench.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/area.rs:
+crates/netlist/src/bench.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/verilog.rs:

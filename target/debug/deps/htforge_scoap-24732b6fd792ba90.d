@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge_scoap-24732b6fd792ba90.d: crates/scoap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_scoap-24732b6fd792ba90.rmeta: crates/scoap/src/lib.rs Cargo.toml
+
+crates/scoap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

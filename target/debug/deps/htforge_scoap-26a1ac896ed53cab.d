@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htforge_scoap-26a1ac896ed53cab.d: crates/scoap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_scoap-26a1ac896ed53cab.rmeta: crates/scoap/src/lib.rs Cargo.toml
+
+crates/scoap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htforge_scoap-43d468e7e7c3b2f2.d: crates/scoap/src/lib.rs
+
+/root/repo/target/debug/deps/htforge_scoap-43d468e7e7c3b2f2: crates/scoap/src/lib.rs
+
+crates/scoap/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htforge_scoap-8e319525c5545b48.d: crates/scoap/src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge_scoap-8e319525c5545b48.rlib: crates/scoap/src/lib.rs
+
+/root/repo/target/debug/deps/libhtforge_scoap-8e319525c5545b48.rmeta: crates/scoap/src/lib.rs
+
+crates/scoap/src/lib.rs:

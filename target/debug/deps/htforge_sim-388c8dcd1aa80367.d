@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/htforge_sim-388c8dcd1aa80367.d: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+/root/repo/target/debug/deps/libhtforge_sim-388c8dcd1aa80367.rlib: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+/root/repo/target/debug/deps/libhtforge_sim-388c8dcd1aa80367.rmeta: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/patterns.rs:
+crates/sim/src/prob.rs:
+crates/sim/src/program.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/sequential.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/tri.rs:

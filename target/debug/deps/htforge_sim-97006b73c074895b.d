@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htforge_sim-97006b73c074895b.d: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+/root/repo/target/debug/deps/htforge_sim-97006b73c074895b: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/patterns.rs:
+crates/sim/src/prob.rs:
+crates/sim/src/program.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/sequential.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/tri.rs:

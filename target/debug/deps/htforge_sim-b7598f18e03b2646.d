@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/htforge_sim-b7598f18e03b2646.d: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtforge_sim-b7598f18e03b2646.rmeta: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/patterns.rs:
+crates/sim/src/prob.rs:
+crates/sim/src/program.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/sequential.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/tri.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

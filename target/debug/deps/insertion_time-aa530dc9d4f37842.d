@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/insertion_time-aa530dc9d4f37842.d: crates/bench/benches/insertion_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinsertion_time-aa530dc9d4f37842.rmeta: crates/bench/benches/insertion_time.rs Cargo.toml
+
+crates/bench/benches/insertion_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

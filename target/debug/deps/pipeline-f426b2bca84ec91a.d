@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f426b2bca84ec91a.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f426b2bca84ec91a: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/podem-127fc80e9ca21f8c.d: crates/bench/benches/podem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpodem-127fc80e9ca21f8c.rmeta: crates/bench/benches/podem.rs Cargo.toml
+
+crates/bench/benches/podem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/podem_oracle-ab979fe8c164dc43.d: crates/atpg/tests/podem_oracle.rs
+
+/root/repo/target/debug/deps/podem_oracle-ab979fe8c164dc43: crates/atpg/tests/podem_oracle.rs
+
+crates/atpg/tests/podem_oracle.rs:

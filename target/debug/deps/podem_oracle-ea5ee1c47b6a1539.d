@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/podem_oracle-ea5ee1c47b6a1539.d: crates/atpg/tests/podem_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpodem_oracle-ea5ee1c47b6a1539.rmeta: crates/atpg/tests/podem_oracle.rs Cargo.toml
+
+crates/atpg/tests/podem_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

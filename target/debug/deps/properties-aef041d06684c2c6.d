@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-aef041d06684c2c6.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-aef041d06684c2c6.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

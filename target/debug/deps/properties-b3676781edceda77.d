@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b3676781edceda77.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b3676781edceda77: tests/properties.rs
+
+tests/properties.rs:

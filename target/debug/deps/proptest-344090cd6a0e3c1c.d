@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-344090cd6a0e3c1c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-344090cd6a0e3c1c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-344090cd6a0e3c1c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3fb83e4f67ff90f0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-3fb83e4f67ff90f0: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6b6799c6c3383a88.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-6b6799c6c3383a88: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b160d8432418965a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b160d8432418965a.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b160d8432418965a.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

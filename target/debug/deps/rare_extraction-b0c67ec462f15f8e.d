@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rare_extraction-b0c67ec462f15f8e.d: crates/bench/benches/rare_extraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/librare_extraction-b0c67ec462f15f8e.rmeta: crates/bench/benches/rare_extraction.rs Cargo.toml
+
+crates/bench/benches/rare_extraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_oracle-d36273899c6552d8.d: crates/sim/tests/sim_oracle.rs
+
+/root/repo/target/debug/deps/sim_oracle-d36273899c6552d8: crates/sim/tests/sim_oracle.rs
+
+crates/sim/tests/sim_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_oracle-de4d9e0b92d0250c.d: crates/sim/tests/sim_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_oracle-de4d9e0b92d0250c.rmeta: crates/sim/tests/sim_oracle.rs Cargo.toml
+
+crates/sim/tests/sim_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

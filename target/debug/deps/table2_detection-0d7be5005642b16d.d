@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_detection-0d7be5005642b16d.d: crates/bench/src/bin/table2_detection.rs
+
+/root/repo/target/debug/deps/table2_detection-0d7be5005642b16d: crates/bench/src/bin/table2_detection.rs
+
+crates/bench/src/bin/table2_detection.rs:

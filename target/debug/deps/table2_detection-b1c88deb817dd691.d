@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_detection-b1c88deb817dd691.d: crates/bench/src/bin/table2_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_detection-b1c88deb817dd691.rmeta: crates/bench/src/bin/table2_detection.rs Cargo.toml
+
+crates/bench/src/bin/table2_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_detection-cd15770d49ddd9e3.d: crates/bench/src/bin/table2_detection.rs
+
+/root/repo/target/debug/deps/table2_detection-cd15770d49ddd9e3: crates/bench/src/bin/table2_detection.rs
+
+crates/bench/src/bin/table2_detection.rs:

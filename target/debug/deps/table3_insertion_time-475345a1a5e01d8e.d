@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_insertion_time-475345a1a5e01d8e.d: crates/bench/src/bin/table3_insertion_time.rs
+
+/root/repo/target/debug/deps/table3_insertion_time-475345a1a5e01d8e: crates/bench/src/bin/table3_insertion_time.rs
+
+crates/bench/src/bin/table3_insertion_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_insertion_time-5574ec4f61c12011.d: crates/bench/src/bin/table3_insertion_time.rs
+
+/root/repo/target/debug/deps/table3_insertion_time-5574ec4f61c12011: crates/bench/src/bin/table3_insertion_time.rs
+
+crates/bench/src/bin/table3_insertion_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_insertion_time-86cfd2a714cded72.d: crates/bench/src/bin/table3_insertion_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_insertion_time-86cfd2a714cded72.rmeta: crates/bench/src/bin/table3_insertion_time.rs Cargo.toml
+
+crates/bench/src/bin/table3_insertion_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_subgraphs-234a75f669b9dfc1.d: crates/bench/src/bin/table4_subgraphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_subgraphs-234a75f669b9dfc1.rmeta: crates/bench/src/bin/table4_subgraphs.rs Cargo.toml
+
+crates/bench/src/bin/table4_subgraphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

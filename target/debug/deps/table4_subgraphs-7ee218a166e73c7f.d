@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_subgraphs-7ee218a166e73c7f.d: crates/bench/src/bin/table4_subgraphs.rs
+
+/root/repo/target/debug/deps/table4_subgraphs-7ee218a166e73c7f: crates/bench/src/bin/table4_subgraphs.rs
+
+crates/bench/src/bin/table4_subgraphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_subgraphs-df47d0689074fe62.d: crates/bench/src/bin/table4_subgraphs.rs
+
+/root/repo/target/debug/deps/table4_subgraphs-df47d0689074fe62: crates/bench/src/bin/table4_subgraphs.rs
+
+crates/bench/src/bin/table4_subgraphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_area-2adfae46fc562c16.d: crates/bench/src/bin/table5_area.rs
+
+/root/repo/target/debug/deps/table5_area-2adfae46fc562c16: crates/bench/src/bin/table5_area.rs
+
+crates/bench/src/bin/table5_area.rs:

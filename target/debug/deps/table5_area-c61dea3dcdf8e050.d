@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_area-c61dea3dcdf8e050.d: crates/bench/src/bin/table5_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_area-c61dea3dcdf8e050.rmeta: crates/bench/src/bin/table5_area.rs Cargo.toml
+
+crates/bench/src/bin/table5_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_area-d9e79a67eb6a1353.d: crates/bench/src/bin/table5_area.rs
+
+/root/repo/target/debug/deps/table5_area-d9e79a67eb6a1353: crates/bench/src/bin/table5_area.rs
+
+crates/bench/src/bin/table5_area.rs:

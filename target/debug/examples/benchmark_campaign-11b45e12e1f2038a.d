@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_campaign-11b45e12e1f2038a.d: examples/benchmark_campaign.rs
+
+/root/repo/target/debug/examples/benchmark_campaign-11b45e12e1f2038a: examples/benchmark_campaign.rs
+
+examples/benchmark_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/benchmark_campaign-848ccfdc111b0390.d: examples/benchmark_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbenchmark_campaign-848ccfdc111b0390.rmeta: examples/benchmark_campaign.rs Cargo.toml
+
+examples/benchmark_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

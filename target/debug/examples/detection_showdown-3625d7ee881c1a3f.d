@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detection_showdown-3625d7ee881c1a3f.d: examples/detection_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetection_showdown-3625d7ee881c1a3f.rmeta: examples/detection_showdown.rs Cargo.toml
+
+examples/detection_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_showdown-e4c0e230865db28a.d: examples/detection_showdown.rs
+
+/root/repo/target/debug/examples/detection_showdown-e4c0e230865db28a: examples/detection_showdown.rs
+
+examples/detection_showdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_trojan-31c18acc09ada73d.d: examples/multi_trojan.rs
+
+/root/repo/target/debug/examples/multi_trojan-31c18acc09ada73d: examples/multi_trojan.rs
+
+examples/multi_trojan.rs:

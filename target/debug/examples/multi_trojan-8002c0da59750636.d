@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_trojan-8002c0da59750636.d: examples/multi_trojan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_trojan-8002c0da59750636.rmeta: examples/multi_trojan.rs Cargo.toml
+
+examples/multi_trojan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fb0bdbe99e452637.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fb0bdbe99e452637: examples/quickstart.rs
+
+examples/quickstart.rs:

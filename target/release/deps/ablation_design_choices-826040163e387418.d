@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design_choices-826040163e387418.d: crates/bench/src/bin/ablation_design_choices.rs
+
+/root/repo/target/release/deps/ablation_design_choices-826040163e387418: crates/bench/src/bin/ablation_design_choices.rs
+
+crates/bench/src/bin/ablation_design_choices.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_sim-b499971943d71254.d: crates/bench/src/bin/bench_sim.rs
+
+/root/repo/target/release/deps/bench_sim-b499971943d71254: crates/bench/src/bin/bench_sim.rs
+
+crates/bench/src/bin/bench_sim.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

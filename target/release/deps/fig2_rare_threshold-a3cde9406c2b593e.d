@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_rare_threshold-a3cde9406c2b593e.d: crates/bench/src/bin/fig2_rare_threshold.rs
+
+/root/repo/target/release/deps/fig2_rare_threshold-a3cde9406c2b593e: crates/bench/src/bin/fig2_rare_threshold.rs
+
+crates/bench/src/bin/fig2_rare_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_rare_vectors-82d702316f6f3a40.d: crates/bench/src/bin/fig3_rare_vectors.rs
+
+/root/repo/target/release/deps/fig3_rare_vectors-82d702316f6f3a40: crates/bench/src/bin/fig3_rare_vectors.rs
+
+crates/bench/src/bin/fig3_rare_vectors.rs:

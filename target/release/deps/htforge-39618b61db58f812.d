@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htforge-39618b61db58f812.d: src/lib.rs
+
+/root/repo/target/release/deps/libhtforge-39618b61db58f812.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhtforge-39618b61db58f812.rmeta: src/lib.rs
+
+src/lib.rs:

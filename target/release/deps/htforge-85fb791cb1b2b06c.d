@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/htforge-85fb791cb1b2b06c.d: src/bin/htforge.rs
+
+/root/repo/target/release/deps/htforge-85fb791cb1b2b06c: src/bin/htforge.rs
+
+src/bin/htforge.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/htforge_atpg-444967d44722a86e.d: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+/root/repo/target/release/deps/libhtforge_atpg-444967d44722a86e.rlib: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+/root/repo/target/release/deps/libhtforge_atpg-444967d44722a86e.rmeta: crates/atpg/src/lib.rs crates/atpg/src/cube.rs crates/atpg/src/fault.rs crates/atpg/src/fault_sim.rs crates/atpg/src/ndetect.rs crates/atpg/src/podem.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/cube.rs:
+crates/atpg/src/fault.rs:
+crates/atpg/src/fault_sim.rs:
+crates/atpg/src/ndetect.rs:
+crates/atpg/src/podem.rs:

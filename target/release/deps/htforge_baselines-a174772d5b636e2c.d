@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/htforge_baselines-a174772d5b636e2c.d: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+/root/repo/target/release/deps/libhtforge_baselines-a174772d5b636e2c.rlib: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+/root/repo/target/release/deps/libhtforge_baselines-a174772d5b636e2c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/random.rs crates/baselines/src/rl.rs crates/baselines/src/trusthub.rs crates/baselines/src/validate.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/rl.rs:
+crates/baselines/src/trusthub.rs:
+crates/baselines/src/validate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htforge_bench-75182b2c46a3ca98.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtforge_bench-75182b2c46a3ca98.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtforge_bench-75182b2c46a3ca98.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htforge_circuits-9d1f30f22ec2b8df.d: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+/root/repo/target/release/deps/libhtforge_circuits-9d1f30f22ec2b8df.rlib: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+/root/repo/target/release/deps/libhtforge_circuits-9d1f30f22ec2b8df.rmeta: crates/circuits/src/lib.rs crates/circuits/src/iscas.rs crates/circuits/src/multiplier.rs crates/circuits/src/synth.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/iscas.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/synth.rs:

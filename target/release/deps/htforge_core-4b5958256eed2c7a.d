@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/htforge_core-4b5958256eed2c7a.d: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+/root/repo/target/release/deps/libhtforge_core-4b5958256eed2c7a.rlib: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+/root/repo/target/release/deps/libhtforge_core-4b5958256eed2c7a.rmeta: crates/core/src/lib.rs crates/core/src/clique.rs crates/core/src/compat.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/insert.rs crates/core/src/payload.rs crates/core/src/sequential_trigger.rs crates/core/src/trigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clique.rs:
+crates/core/src/compat.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/insert.rs:
+crates/core/src/payload.rs:
+crates/core/src/sequential_trigger.rs:
+crates/core/src/trigger.rs:

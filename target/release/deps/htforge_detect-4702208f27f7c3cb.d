@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/htforge_detect-4702208f27f7c3cb.d: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+/root/repo/target/release/deps/libhtforge_detect-4702208f27f7c3cb.rlib: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+/root/repo/target/release/deps/libhtforge_detect-4702208f27f7c3cb.rmeta: crates/detect/src/lib.rs crates/detect/src/coverage.rs crates/detect/src/mero.rs crates/detect/src/ndatpg.rs crates/detect/src/random.rs crates/detect/src/scheme.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/coverage.rs:
+crates/detect/src/mero.rs:
+crates/detect/src/ndatpg.rs:
+crates/detect/src/random.rs:
+crates/detect/src/scheme.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htforge_scoap-7f31c33154cff48c.d: crates/scoap/src/lib.rs
+
+/root/repo/target/release/deps/libhtforge_scoap-7f31c33154cff48c.rlib: crates/scoap/src/lib.rs
+
+/root/repo/target/release/deps/libhtforge_scoap-7f31c33154cff48c.rmeta: crates/scoap/src/lib.rs
+
+crates/scoap/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/htforge_sim-7c6b539f224e52ef.d: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+/root/repo/target/release/deps/libhtforge_sim-7c6b539f224e52ef.rlib: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+/root/repo/target/release/deps/libhtforge_sim-7c6b539f224e52ef.rmeta: crates/sim/src/lib.rs crates/sim/src/patterns.rs crates/sim/src/prob.rs crates/sim/src/program.rs crates/sim/src/rare.rs crates/sim/src/sequential.rs crates/sim/src/simulator.rs crates/sim/src/tri.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/patterns.rs:
+crates/sim/src/prob.rs:
+crates/sim/src/program.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/sequential.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/tri.rs:

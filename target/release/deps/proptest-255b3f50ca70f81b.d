@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-255b3f50ca70f81b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-255b3f50ca70f81b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-255b3f50ca70f81b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7f663003cf40133c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7f663003cf40133c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7f663003cf40133c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_detection-c95ab3bf18a250db.d: crates/bench/src/bin/table2_detection.rs
+
+/root/repo/target/release/deps/table2_detection-c95ab3bf18a250db: crates/bench/src/bin/table2_detection.rs
+
+crates/bench/src/bin/table2_detection.rs:

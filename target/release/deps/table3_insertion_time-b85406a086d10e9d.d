@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_insertion_time-b85406a086d10e9d.d: crates/bench/src/bin/table3_insertion_time.rs
+
+/root/repo/target/release/deps/table3_insertion_time-b85406a086d10e9d: crates/bench/src/bin/table3_insertion_time.rs
+
+crates/bench/src/bin/table3_insertion_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_subgraphs-c7b28bf9a6a0e1c8.d: crates/bench/src/bin/table4_subgraphs.rs
+
+/root/repo/target/release/deps/table4_subgraphs-c7b28bf9a6a0e1c8: crates/bench/src/bin/table4_subgraphs.rs
+
+crates/bench/src/bin/table4_subgraphs.rs:

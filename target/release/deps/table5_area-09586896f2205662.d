@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_area-09586896f2205662.d: crates/bench/src/bin/table5_area.rs
+
+/root/repo/target/release/deps/table5_area-09586896f2205662: crates/bench/src/bin/table5_area.rs
+
+crates/bench/src/bin/table5_area.rs:

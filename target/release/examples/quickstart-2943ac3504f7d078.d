@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2943ac3504f7d078.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2943ac3504f7d078: examples/quickstart.rs
+
+examples/quickstart.rs:
