@@ -1,0 +1,170 @@
+//! Batched sequential-stepping throughput baseline: writes
+//! `BENCH_seq.json` at the repository root.
+//!
+//! Measures trace-cycles/second of a 64-trace, 1000-cycle random
+//! functional campaign over a sequential-trojan-infected circuit, two
+//! ways: looping the scalar [`SequentialSimulator`] one trace at a
+//! time, and one [`BatchedSequentialSimulator`] pass (64 traces per
+//! machine word). The acceptance bar for the batched stepper is ≥10×.
+//!
+//! Run with `cargo run --release -p htforge-bench --bin bench_seq`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htforge_atpg::PodemConfig;
+use htforge_core::{
+    enumerate_cliques, insert_sequential_trojan, CompatGraph, PayloadKind, PayloadStrategy,
+    SequentialInfectedDesign, TriggerPlan,
+};
+use htforge_detect::SequentialCampaign;
+use htforge_netlist::Netlist;
+use htforge_sim::seq_batch::{BatchedSequentialSimulator, FirstFireMonitor};
+use htforge_sim::sequential::SequentialSimulator;
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+const TRACES: usize = 64;
+const CYCLES: usize = 1000;
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_seq.json");
+
+/// Inserts a 2-node-trigger, 4-bit-counter sequential trojan into a
+/// named benchmark circuit (the htforge-core test recipe at
+/// campaign scale).
+fn infect(name: &str) -> SequentialInfectedDesign {
+    let nl = htforge_circuits::load(name).expect("known circuit");
+    let comb = if nl.dffs().is_empty() {
+        nl.clone()
+    } else {
+        nl.scan_cut()
+    };
+    let ps = PatternSet::random(comb.inputs().len(), 10_000, 1);
+    let rare = RareNodeExtractor::new(0.30)
+        .extract(&comb, &ps)
+        .expect("rare extraction");
+    let graph = CompatGraph::build(&comb, &rare, PodemConfig::justify()).expect("compat graph");
+    let cliques = enumerate_cliques(&graph, 2, 1, 0);
+    let clique = cliques.first().expect("at least one 2-clique");
+    let leaves: Vec<_> = clique
+        .members
+        .iter()
+        .map(|&m| {
+            let e = &graph.events()[m];
+            (e.node, e.rare_value)
+        })
+        .collect();
+    let rare_values: Vec<bool> = leaves.iter().map(|&(_, v)| v).collect();
+    let plan = TriggerPlan::synthesize(&rare_values, 4);
+    let scoap = htforge_scoap::Scoap::compute(&comb).expect("scoap");
+    let trigger_nodes: Vec<_> = leaves.iter().map(|&(n, _)| n).collect();
+    let payload = htforge_core::payload::choose_payload(
+        &comb,
+        &scoap,
+        &trigger_nodes,
+        PayloadStrategy::MostObservable,
+    )
+    .expect("payload");
+    let (infected, trojan) = insert_sequential_trojan(
+        &comb,
+        &leaves,
+        &plan,
+        payload,
+        PayloadKind::Flip,
+        4,
+        "b0",
+        clique.activation_cube.clone(),
+    )
+    .expect("insertion");
+    SequentialInfectedDesign {
+        netlist: infected,
+        trojan,
+    }
+}
+
+/// Median seconds per run over `runs` timed repetitions (after one
+/// untimed warm-up).
+fn time_median<F: FnMut() -> usize>(runs: usize, mut f: F) -> f64 {
+    let _ = f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            let sink = f();
+            let dt = t.elapsed().as_secs_f64();
+            assert!(sink < usize::MAX);
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in ["c2670", "c5315"] {
+        let design = infect(name);
+        let nl: &Netlist = &design.netlist;
+        let armed = design.trojan.combinational.trigger_output;
+        let num_inputs = nl.inputs().len();
+        let campaign = SequentialCampaign::new(TRACES, CYCLES, 9);
+        // Pre-generate the stimuli so both steppers time pure stepping.
+        let stimuli: Vec<PatternSet> = (0..CYCLES)
+            .map(|c| campaign.stimulus(num_inputs, c))
+            .collect();
+        let per_trace: Vec<Vec<Vec<bool>>> = (0..TRACES)
+            .map(|t| stimuli.iter().map(|s| s.pattern(t)).collect())
+            .collect();
+
+        let scalar_runs = 3;
+        let scalar_sec = time_median(scalar_runs, || {
+            let mut fired = 0usize;
+            for seq in &per_trace {
+                let mut sim = SequentialSimulator::new(nl).expect("scalar builds");
+                for inputs in seq {
+                    sim.step(inputs).expect("step");
+                    if sim.value(armed) == Some(true) {
+                        fired += 1;
+                    }
+                }
+            }
+            fired
+        });
+
+        let batched_sec = time_median(5, || {
+            let mut sim = BatchedSequentialSimulator::new(nl, TRACES).expect("batched builds");
+            let mut monitor = FirstFireMonitor::new(TRACES);
+            for stim in &stimuli {
+                sim.step(stim);
+                monitor.observe(sim.node_words(armed).expect("stepped"));
+            }
+            monitor.fired_count()
+        });
+
+        let trace_cycles = (TRACES * CYCLES) as f64;
+        let scalar_tps = trace_cycles / scalar_sec;
+        let batched_tps = trace_cycles / batched_sec;
+        let speedup = scalar_sec / batched_sec;
+        eprintln!(
+            "{name}: {} gates, {} dffs | scalar {scalar_tps:.2e} trace-cycles/s | batched {batched_tps:.2e} | {speedup:.1}x",
+            nl.gate_count(),
+            nl.dffs().len(),
+        );
+
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"dffs\": {},\n      \"traces\": {TRACES},\n      \"cycles\": {CYCLES},\n      \"trace_cycles_per_sec\": {{\n        \"scalar_loop\": {:.1},\n        \"batched\": {:.1}\n      }},\n      \"speedup_batched_vs_scalar\": {:.2}\n    }}",
+            nl.gate_count(),
+            nl.dffs().len(),
+            scalar_tps,
+            batched_tps,
+            speedup,
+        );
+        rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"batched-sequential-stepping\",\n  \"command\": \"cargo run --release -p htforge-bench --bin bench_seq\",\n  \"campaign\": \"random functional stimuli over a sequential-trojan-infected circuit\",\n  \"acceptance_bar\": \"batched >= 10x scalar loop trace-cycles/sec\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_seq.json");
+    eprintln!("wrote {OUT_PATH}");
+}

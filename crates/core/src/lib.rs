@@ -59,5 +59,7 @@ pub use framework::{
 };
 pub use insert::TrojanInstance;
 pub use payload::{PayloadKind, PayloadStrategy};
-pub use sequential_trigger::{insert_sequential_trojan, SequentialTrojan};
+pub use sequential_trigger::{
+    insert_sequential_trojan, SequentialInfectedDesign, SequentialTrojan,
+};
 pub use trigger::TriggerPlan;

@@ -27,6 +27,18 @@ use crate::insert::TrojanInstance;
 use crate::payload::PayloadKind;
 use crate::trigger::{PlanSignal, TriggerPlan};
 
+/// An infected netlist bundled with its sequential-trojan metadata —
+/// the unit the sequential detection campaigns
+/// (`htforge_detect::sequential`) and the batched simulation benches
+/// consume.
+#[derive(Debug, Clone)]
+pub struct SequentialInfectedDesign {
+    /// The trojan-carrying netlist.
+    pub netlist: Netlist,
+    /// Metadata of the inserted trojan.
+    pub trojan: SequentialTrojan,
+}
+
 /// Metadata for one inserted sequential trojan.
 #[derive(Debug, Clone)]
 pub struct SequentialTrojan {
@@ -298,6 +310,94 @@ o = XOR(a1, b1)
         assert_eq!(sim.value(trojan.combinational.trigger_output), Some(false));
         sim.step(&trigger_vec).unwrap();
         assert_eq!(sim.value(trojan.combinational.trigger_output), Some(true));
+    }
+
+    #[test]
+    fn batched_traces_arm_at_their_own_event_counts() {
+        // One batched pass over 64 traces, each firing the trigger on a
+        // different subset of cycles: every trace must arm exactly on
+        // its own 2^k-th trigger event, independent of its neighbours.
+        use htforge_sim::seq_batch::{BatchedSequentialSimulator, FirstFireMonitor};
+
+        let (_, infected, trojan) = build(2);
+        let traces = 64;
+        let cycles = 40;
+        let trigger_vec = trojan.combinational.activation_cube.fill_with(false);
+        let idle_vec = vec![false; 4];
+
+        // Trace t fires the trigger on cycles where (cycle + t) % (t % 7
+        // + 2) == 0 — a different sparse schedule per trace.
+        let fires = |t: usize, cycle: usize| (cycle + t).is_multiple_of(t % 7 + 2);
+
+        let mut sim = BatchedSequentialSimulator::new(&infected, traces).unwrap();
+        let mut monitor = FirstFireMonitor::new(traces);
+        for cycle in 0..cycles {
+            let vectors: Vec<Vec<bool>> = (0..traces)
+                .map(|t| {
+                    if fires(t, cycle) {
+                        trigger_vec.clone()
+                    } else {
+                        idle_vec.clone()
+                    }
+                })
+                .collect();
+            sim.step(&PatternSet::from_vectors(4, &vectors));
+            monitor.observe(sim.node_words(trojan.combinational.trigger_output).unwrap());
+        }
+
+        for t in 0..traces {
+            // The armed output goes high on the trace's 4th trigger
+            // event (2-bit counter: 3 prior events + the firing one).
+            let expected = (0..cycles)
+                .filter(|&c| fires(t, c))
+                .nth(3)
+                .map(|c| c as u32);
+            assert_eq!(
+                monitor.first_fire(t),
+                expected,
+                "trace {t} armed at the wrong cycle"
+            );
+        }
+        assert!(monitor.any_fired(), "schedule must arm at least one trace");
+    }
+
+    #[test]
+    fn batched_path_agrees_with_scalar_stepper() {
+        use htforge_sim::seq_batch::BatchedSequentialSimulator;
+
+        let (_, infected, trojan) = build(1);
+        let traces = 5;
+        let trigger_vec = trojan.combinational.activation_cube.fill_with(false);
+        let mut batched = BatchedSequentialSimulator::new(&infected, traces).unwrap();
+        let mut scalars: Vec<SequentialSimulator> = (0..traces)
+            .map(|_| SequentialSimulator::new(&infected).unwrap())
+            .collect();
+        for cycle in 0..6 {
+            // Trace t triggers on cycles >= t, so arming staggers.
+            let vectors: Vec<Vec<bool>> = (0..traces)
+                .map(|t| {
+                    if cycle >= t {
+                        trigger_vec.clone()
+                    } else {
+                        vec![false; 4]
+                    }
+                })
+                .collect();
+            batched.step(&PatternSet::from_vectors(4, &vectors));
+            for (t, scalar) in scalars.iter_mut().enumerate() {
+                scalar.step(&vectors[t]).unwrap();
+                assert_eq!(
+                    batched.value(trojan.combinational.trigger_output, t),
+                    scalar.value(trojan.combinational.trigger_output),
+                    "armed signal diverged (trace {t}, cycle {cycle})"
+                );
+                assert_eq!(
+                    batched.state_of_trace(t),
+                    scalar.state(),
+                    "counter state diverged (trace {t}, cycle {cycle})"
+                );
+            }
+        }
     }
 
     #[test]

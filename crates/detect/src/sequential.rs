@@ -1,0 +1,395 @@
+//! Sequential (functional, non-scan) detection campaigns on the batched
+//! simulation path.
+//!
+//! Combinational grading ([`crate::coverage`]) asks "does any single
+//! vector expose the trojan?". Sequential time-bomb trojans
+//! ([`htforge_core::sequential_trigger`]) need a different question:
+//! "does a multi-cycle stimulus *sequence* arm the counter and corrupt
+//! an output, and after how many cycles?" — the latency axis Trust-Hub
+//! style evaluations report.
+//!
+//! [`evaluate_sequential_designs`] answers it in one batched pass per
+//! design: golden and suspect run 64 traces per machine word
+//! ([`BatchedSequentialSimulator`]), a [`FirstFireMonitor`] scans the
+//! armed-trigger column for per-trace activation cycles, and a second
+//! monitor scans the OR-of-output-XOR columns for per-trace detection
+//! cycles. The golden response is simulated once and replayed against
+//! every design.
+
+use htforge_core::SequentialInfectedDesign;
+use htforge_netlist::{Netlist, NetlistError};
+use htforge_sim::seq_batch::{BatchedSequentialSimulator, FirstFireMonitor};
+use htforge_sim::PatternSet;
+
+/// A random functional stimulus campaign: `traces` independent traces,
+/// each driven with fresh uniform-random primary-input vectors for
+/// `cycles` clock cycles. Deterministic in `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialCampaign {
+    /// Independent traces (64 per machine word).
+    pub traces: usize,
+    /// Clock cycles per trace.
+    pub cycles: usize,
+    /// Base RNG seed; each cycle draws from its own derived stream.
+    pub seed: u64,
+}
+
+impl SequentialCampaign {
+    /// A campaign of `traces` × `cycles` random stimuli from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces == 0` or `cycles == 0`.
+    #[must_use]
+    pub fn new(traces: usize, cycles: usize, seed: u64) -> Self {
+        assert!(traces > 0, "need at least one trace");
+        assert!(cycles > 0, "need at least one cycle");
+        SequentialCampaign {
+            traces,
+            cycles,
+            seed,
+        }
+    }
+
+    /// The stimulus applied at `cycle` (same for every design graded
+    /// under this campaign): one random pattern per trace over
+    /// `num_inputs` primary inputs.
+    #[must_use]
+    pub fn stimulus(&self, num_inputs: usize, cycle: usize) -> PatternSet {
+        // Distinct deterministic stream per cycle (splitmix-style odd
+        // multiplier keeps neighbouring cycles uncorrelated).
+        let seed = self
+            .seed
+            .wrapping_add((cycle as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        PatternSet::random(num_inputs, self.traces, seed)
+    }
+
+    /// Total trace-cycles simulated per design.
+    #[must_use]
+    pub fn trace_cycles(&self) -> u64 {
+        self.traces as u64 * self.cycles as u64
+    }
+}
+
+/// Verdict for one sequential design under one campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialVerdict {
+    /// The armed trigger fired in at least one trace.
+    pub triggered: bool,
+    /// At least one trace diverged from the golden response at a
+    /// primary output.
+    pub detected: bool,
+    /// Traces in which the trigger armed.
+    pub triggered_traces: usize,
+    /// Traces in which an output diverged.
+    pub detected_traces: usize,
+    /// Earliest cycle (0-based, across traces) the trigger armed.
+    pub trigger_latency: Option<u32>,
+    /// Earliest cycle (0-based, across traces) an output diverged.
+    pub detection_latency: Option<u32>,
+    /// Mean arming cycle over the traces that armed.
+    pub mean_trigger_latency: Option<f64>,
+}
+
+/// Aggregated sequential coverage over a batch of infected designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialCoverageReport {
+    /// Per-design verdicts, in input order.
+    pub verdicts: Vec<SequentialVerdict>,
+    /// Traces simulated per design.
+    pub traces: usize,
+    /// Cycles simulated per trace.
+    pub cycles: usize,
+}
+
+impl SequentialCoverageReport {
+    /// Number of designs evaluated.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Designs whose trigger armed in any trace (TC numerator).
+    #[must_use]
+    pub fn triggered(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.triggered).count()
+    }
+
+    /// Designs detected at an output in any trace (DC numerator).
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.detected).count()
+    }
+
+    /// Trigger coverage in percent.
+    #[must_use]
+    pub fn trigger_coverage(&self) -> f64 {
+        percent(self.triggered(), self.total())
+    }
+
+    /// Detection coverage in percent.
+    #[must_use]
+    pub fn detection_coverage(&self) -> f64 {
+        percent(self.detected(), self.total())
+    }
+
+    /// Mean earliest-detection latency over the detected designs.
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let latencies: Vec<u32> = self
+            .verdicts
+            .iter()
+            .filter_map(|v| v.detection_latency)
+            .collect();
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().map(|&c| f64::from(c)).sum::<f64>() / latencies.len() as f64)
+        }
+    }
+}
+
+fn percent(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Grades `designs` against a random functional `campaign` on `golden`.
+///
+/// Every design sees the identical stimulus sequence (deterministic in
+/// the campaign seed), all traces of one design advance in a single
+/// batched simulation, and the golden response is simulated once and
+/// compared by packed-word XOR — so a 64-trace campaign costs barely
+/// more than a single-trace one.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] for cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if a design's input or output interface differs from the
+/// golden's (trojan insertion only appends logic, so this indicates a
+/// bug).
+pub fn evaluate_sequential_designs(
+    golden: &Netlist,
+    designs: &[SequentialInfectedDesign],
+    campaign: &SequentialCampaign,
+) -> Result<SequentialCoverageReport, NetlistError> {
+    let num_inputs = golden.inputs().len();
+    let words = PatternSet::words_for(campaign.traces);
+
+    // Golden output trace, once: cycles × outputs × packed words.
+    let mut golden_sim = BatchedSequentialSimulator::new(golden, campaign.traces)?;
+    let mut golden_outputs: Vec<Vec<u64>> = Vec::with_capacity(campaign.cycles);
+    for cycle in 0..campaign.cycles {
+        let values = golden_sim.step(&campaign.stimulus(num_inputs, cycle));
+        let mut row = Vec::with_capacity(golden.outputs().len() * words);
+        for &o in golden.outputs() {
+            row.extend_from_slice(values.words(o));
+        }
+        golden_outputs.push(row);
+    }
+
+    let mut verdicts = Vec::with_capacity(designs.len());
+    for design in designs {
+        assert_eq!(
+            design.netlist.inputs().len(),
+            num_inputs,
+            "infected design must preserve the input interface"
+        );
+        assert_eq!(
+            design.netlist.outputs().len(),
+            golden.outputs().len(),
+            "infected design must preserve the output interface"
+        );
+        let mut sim = BatchedSequentialSimulator::new(&design.netlist, campaign.traces)?;
+        let mut trigger_monitor = FirstFireMonitor::new(campaign.traces);
+        let mut detect_monitor = FirstFireMonitor::new(campaign.traces);
+        let armed = design.trojan.combinational.trigger_output;
+        let mut diff = vec![0u64; words];
+
+        for (cycle, golden_row) in golden_outputs.iter().enumerate() {
+            let values = sim.step(&campaign.stimulus(num_inputs, cycle));
+            trigger_monitor.observe(values.words(armed));
+
+            // Traces whose *any* output differs from golden this cycle.
+            diff.fill(0);
+            for (k, &o) in design.netlist.outputs().iter().enumerate() {
+                let suspect_words = values.words(o);
+                let golden_words = &golden_row[k * words..(k + 1) * words];
+                for (d, (&s, &g)) in diff.iter_mut().zip(suspect_words.iter().zip(golden_words)) {
+                    *d |= s ^ g;
+                }
+            }
+            detect_monitor.observe(&diff);
+        }
+
+        verdicts.push(SequentialVerdict {
+            triggered: trigger_monitor.any_fired(),
+            detected: detect_monitor.any_fired(),
+            triggered_traces: trigger_monitor.fired_count(),
+            detected_traces: detect_monitor.fired_count(),
+            trigger_latency: trigger_monitor.earliest(),
+            detection_latency: detect_monitor.earliest(),
+            mean_trigger_latency: trigger_monitor.mean_latency(),
+        });
+    }
+    Ok(SequentialCoverageReport {
+        verdicts,
+        traces: campaign.traces,
+        cycles: campaign.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htforge_atpg::PodemConfig;
+    use htforge_core::{
+        enumerate_cliques, insert_sequential_trojan, CompatGraph, PayloadKind, PayloadStrategy,
+        TriggerPlan,
+    };
+    use htforge_netlist::bench;
+    use htforge_sim::sequential::SequentialSimulator;
+    use htforge_sim::RareNodeExtractor;
+
+    const HOST: &str = "\
+INPUT(a1)
+INPUT(a2)
+INPUT(b1)
+INPUT(b2)
+OUTPUT(w)
+OUTPUT(x)
+OUTPUT(o)
+w = AND(a1, a2)
+x = AND(b1, b2)
+o = XOR(a1, b1)
+";
+
+    fn build(counter_bits: usize) -> (Netlist, SequentialInfectedDesign) {
+        let nl = bench::parse(HOST, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 1);
+        let rare = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        let graph = CompatGraph::build(&nl, &rare, PodemConfig::justify()).unwrap();
+        let cliques = enumerate_cliques(&graph, 2, 1, 0);
+        let clique = &cliques[0];
+        let leaves: Vec<(htforge_netlist::netlist::NodeId, bool)> = clique
+            .members
+            .iter()
+            .map(|&m| {
+                let e = &graph.events()[m];
+                (e.node, e.rare_value)
+            })
+            .collect();
+        let rare_values: Vec<bool> = leaves.iter().map(|&(_, v)| v).collect();
+        let plan = TriggerPlan::synthesize(&rare_values, 4);
+        let scoap = htforge_scoap::Scoap::compute(&nl).unwrap();
+        let trigger_nodes: Vec<_> = leaves.iter().map(|&(n, _)| n).collect();
+        let payload = htforge_core::payload::choose_payload(
+            &nl,
+            &scoap,
+            &trigger_nodes,
+            PayloadStrategy::MostObservable,
+        )
+        .unwrap();
+        let (infected, trojan) = insert_sequential_trojan(
+            &nl,
+            &leaves,
+            &plan,
+            payload,
+            PayloadKind::Flip,
+            counter_bits,
+            "s0",
+            clique.activation_cube.clone(),
+        )
+        .unwrap();
+        (
+            nl,
+            SequentialInfectedDesign {
+                netlist: infected,
+                trojan,
+            },
+        )
+    }
+
+    #[test]
+    fn campaign_stimuli_are_deterministic_and_cycle_distinct() {
+        let campaign = SequentialCampaign::new(64, 8, 5);
+        assert_eq!(campaign.stimulus(4, 3), campaign.stimulus(4, 3));
+        assert_ne!(campaign.stimulus(4, 3), campaign.stimulus(4, 4));
+        assert_eq!(campaign.trace_cycles(), 512);
+    }
+
+    #[test]
+    fn random_campaign_triggers_and_detects_the_timebomb() {
+        let (golden, design) = build(1);
+        // 4-input host, 2-node trigger: random vectors hit the trigger
+        // often enough that a 64×200 campaign arms the 1-bit counter.
+        let campaign = SequentialCampaign::new(64, 200, 7);
+        let report = evaluate_sequential_designs(&golden, &[design], &campaign).unwrap();
+        assert_eq!(report.total(), 1);
+        let v = &report.verdicts[0];
+        assert!(v.triggered, "campaign must arm the trojan");
+        assert!(v.detected, "XOR payload on an observable net must show");
+        assert!(v.triggered_traces >= v.detected_traces);
+        // With a Flip payload the output corrupts exactly when armed.
+        assert_eq!(v.trigger_latency, v.detection_latency);
+        assert!(report.trigger_coverage() > 99.0);
+        assert!(report.mean_detection_latency().is_some());
+    }
+
+    #[test]
+    fn latencies_match_a_scalar_replay() {
+        let (golden, design) = build(2);
+        let campaign = SequentialCampaign::new(65, 120, 3);
+        let report =
+            evaluate_sequential_designs(&golden, std::slice::from_ref(&design), &campaign).unwrap();
+        let v = &report.verdicts[0];
+
+        // Replay trace 0..traces scalar-wise; earliest armed cycle must
+        // agree with the batched verdict.
+        let mut earliest: Option<u32> = None;
+        for t in 0..campaign.traces {
+            let mut sim = SequentialSimulator::new(&design.netlist).unwrap();
+            for cycle in 0..campaign.cycles {
+                let stim = campaign.stimulus(4, cycle);
+                sim.step(&stim.pattern(t)).unwrap();
+                if sim.value(design.trojan.combinational.trigger_output) == Some(true) {
+                    earliest = Some(earliest.map_or(cycle as u32, |e| e.min(cycle as u32)));
+                    break;
+                }
+            }
+        }
+        assert_eq!(v.trigger_latency, earliest);
+    }
+
+    #[test]
+    fn unarmed_campaign_reports_nothing() {
+        let (golden, design) = build(4);
+        // 1 trace × few cycles: a 4-bit counter (15 prior events) cannot
+        // arm, so nothing may be reported.
+        let campaign = SequentialCampaign::new(1, 10, 11);
+        let report = evaluate_sequential_designs(&golden, &[design], &campaign).unwrap();
+        let v = &report.verdicts[0];
+        assert!(
+            !v.detected,
+            "payload cannot fire before the counter saturates"
+        );
+        assert_eq!(v.detection_latency, None);
+        assert_eq!(report.detection_coverage(), 0.0);
+        assert_eq!(report.mean_detection_latency(), None);
+    }
+
+    #[test]
+    fn empty_design_list_is_fine() {
+        let (golden, _) = build(1);
+        let campaign = SequentialCampaign::new(2, 2, 0);
+        let report = evaluate_sequential_designs(&golden, &[], &campaign).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.trigger_coverage(), 0.0);
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`prob`] — signal-probability estimation,
 //! * [`rare`] — **rare-node extraction, paper Algorithm 1**,
 //! * [`sequential`] — cycle-accurate (non-scan) simulation for
-//!   sequential trojans.
+//!   sequential trojans,
+//! * [`seq_batch`] — batched sequential stepping: 64 independent
+//!   functional traces per machine word, with per-trace first-fire-cycle
+//!   extraction for trigger/detection latency statistics.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod patterns;
 pub mod prob;
 pub mod program;
 pub mod rare;
+pub mod seq_batch;
 pub mod sequential;
 pub mod simulator;
 pub mod tri;
@@ -41,5 +45,7 @@ pub mod tri;
 pub use patterns::PatternSet;
 pub use program::SimProgram;
 pub use rare::{RareNode, RareNodeExtractor, RareNodeSet};
+pub use seq_batch::{BatchedSequentialSimulator, FirstFireMonitor};
+pub use sequential::{CycleSnapshot, SequentialSimulator};
 pub use simulator::{NodeValues, Simulator};
 pub use tri::Tri;

@@ -88,6 +88,42 @@ impl PatternSet {
         ps
     }
 
+    /// Creates `len` copies of one vector: pattern `p` equals `vector`
+    /// for every `p`. This is how the batched sequential stepper applies
+    /// a single stimulus to all traces at once — each input column is a
+    /// broadcast word (`0` or all-ones, tail-masked), built without
+    /// touching individual bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use htforge_sim::PatternSet;
+    ///
+    /// let ps = PatternSet::broadcast(&[true, false], 70);
+    /// assert!(ps.get(0, 69) && !ps.get(1, 69));
+    /// ```
+    #[must_use]
+    pub fn broadcast(vector: &[bool], len: usize) -> Self {
+        let words = Self::words_for(len);
+        let mask = Self::tail_mask(len);
+        let bits = vector
+            .iter()
+            .map(|&bit| {
+                let fill = if bit { u64::MAX } else { 0 };
+                let mut column = vec![fill; words];
+                if let Some(last) = column.last_mut() {
+                    *last &= mask;
+                }
+                column
+            })
+            .collect();
+        PatternSet {
+            num_inputs: vector.len(),
+            len,
+            bits,
+        }
+    }
+
     /// Builds a pattern set from explicit vectors; each inner slice is one
     /// pattern with one `bool` per input.
     ///
@@ -147,6 +183,28 @@ impl PatternSet {
     #[must_use]
     pub fn input_words(&self, input: usize) -> &[u64] {
         &self.bits[input]
+    }
+
+    /// Overwrites one input column with pre-packed words (tail bits are
+    /// masked). This is the feedback path of the batched sequential
+    /// stepper: next-cycle DFF state columns are D-driver columns copied
+    /// straight out of [`NodeValues`](crate::NodeValues), no per-bit
+    /// unpacking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range or `words.len()` differs from
+    /// the column word count.
+    pub fn set_input_words(&mut self, input: usize, words: &[u64]) {
+        let column = &mut self.bits[input];
+        assert_eq!(words.len(), column.len(), "column word count mismatch");
+        column.copy_from_slice(words);
+        let mask = Self::tail_mask(self.len);
+        if mask != u64::MAX {
+            if let Some(last) = column.last_mut() {
+                *last &= mask;
+            }
+        }
     }
 
     /// Value of `input` in pattern `pattern`.
@@ -307,5 +365,36 @@ mod tests {
     fn get_out_of_range_panics() {
         let ps = PatternSet::zeros(1, 10);
         let _ = ps.get(0, 10);
+    }
+
+    #[test]
+    fn broadcast_replicates_and_masks() {
+        let ps = PatternSet::broadcast(&[true, false, true], 70);
+        assert_eq!(ps.len(), 70);
+        assert_eq!(ps.num_inputs(), 3);
+        for p in [0, 63, 64, 69] {
+            assert_eq!(ps.pattern(p), vec![true, false, true]);
+        }
+        // Tail bits beyond pattern 69 must be zero even for the `true`
+        // columns, so popcounts stay exact.
+        assert_eq!(ps.input_words(0)[1] >> 6, 0);
+        let ones: u32 = ps.input_words(0).iter().map(|w| w.count_ones()).sum();
+        assert_eq!(ones, 70);
+    }
+
+    #[test]
+    fn set_input_words_overwrites_and_masks() {
+        let mut ps = PatternSet::zeros(2, 66);
+        ps.set_input_words(1, &[u64::MAX, u64::MAX]);
+        assert!(ps.get(1, 0) && ps.get(1, 65));
+        assert!(!ps.get(0, 0));
+        assert_eq!(ps.input_words(1)[1], 0b11, "tail masked");
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn set_input_words_wrong_len_panics() {
+        let mut ps = PatternSet::zeros(1, 64);
+        ps.set_input_words(0, &[0, 0]);
     }
 }

@@ -126,8 +126,50 @@ impl SequentialSimulator {
         self.last.as_ref().map(|v| v.value(node, 0))
     }
 
+    /// The primary-output values after the most recent [`step`]
+    /// (`None` before the first step or after a state override).
+    ///
+    /// [`step`]: SequentialSimulator::step
+    #[must_use]
+    pub fn outputs(&self) -> Option<Vec<bool>> {
+        self.last.as_ref().map(|values| {
+            self.cut
+                .outputs()
+                .iter()
+                .map(|&o| values.value(o, 0))
+                .collect()
+        })
+    }
+
+    /// Steps once per input vector, returning one [`CycleSnapshot`]
+    /// (post-settle primary outputs + post-edge flop state) per cycle —
+    /// so callers no longer have to interleave [`step`] with manual
+    /// `value`/`state` cloning.
+    ///
+    /// [`step`]: SequentialSimulator::step
+    ///
+    /// # Errors
+    ///
+    /// See [`SequentialSimulator::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatches.
+    pub fn step_n(&mut self, sequence: &[Vec<bool>]) -> Result<Vec<CycleSnapshot>, NetlistError> {
+        let mut snapshots = Vec::with_capacity(sequence.len());
+        for inputs in sequence {
+            self.step(inputs)?;
+            snapshots.push(CycleSnapshot {
+                outputs: self.outputs().expect("step stores values"),
+                state: self.state.clone(),
+            });
+        }
+        Ok(snapshots)
+    }
+
     /// Runs a whole input sequence, returning the primary-output values
-    /// after each cycle.
+    /// after each cycle. Thin wrapper over [`SequentialSimulator::step_n`];
+    /// use that when the flop states are wanted too.
     ///
     /// # Errors
     ///
@@ -137,20 +179,22 @@ impl SequentialSimulator {
     ///
     /// Panics on input-width mismatches.
     pub fn run_sequence(&mut self, sequence: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, NetlistError> {
-        let mut outputs = Vec::with_capacity(sequence.len());
-        for inputs in sequence {
-            self.step(inputs)?;
-            let values = self.last.as_ref().expect("step stores values");
-            outputs.push(
-                self.cut
-                    .outputs()
-                    .iter()
-                    .map(|&o| values.value(o, 0))
-                    .collect(),
-            );
-        }
-        Ok(outputs)
+        Ok(self
+            .step_n(sequence)?
+            .into_iter()
+            .map(|snap| snap.outputs)
+            .collect())
     }
+}
+
+/// One cycle of a [`SequentialSimulator::step_n`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleSnapshot {
+    /// Primary-output values after combinational settling, in
+    /// `outputs()` order.
+    pub outputs: Vec<bool>,
+    /// Flop states after the clock edge, in `dffs()` order.
+    pub state: Vec<bool>,
 }
 
 #[cfg(test)]
@@ -216,6 +260,23 @@ q1 = DFF(d1)
         // q1 (PO) over cycles: reading *pre-edge* q1 each cycle: 0,0,1,1.
         let q1_trace: Vec<bool> = outs.iter().map(|o| o[0]).collect();
         assert_eq!(q1_trace, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn step_n_snapshots_outputs_and_state() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let mut sim = SequentialSimulator::new(&nl).unwrap();
+        let seq: Vec<Vec<bool>> = vec![vec![true]; 4];
+        let snaps = sim.step_n(&seq).unwrap();
+        // Post-edge counter values 1, 2, 3, 0.
+        let counts: Vec<u8> = snaps
+            .iter()
+            .map(|s| u8::from(s.state[0]) + 2 * u8::from(s.state[1]))
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 0]);
+        // Snapshots agree with the final simulator state and outputs.
+        assert_eq!(snaps.last().unwrap().state, sim.state());
+        assert_eq!(snaps.last().unwrap().outputs, sim.outputs().unwrap());
     }
 
     #[test]
