@@ -63,7 +63,7 @@ pub fn n_detect_cubes(
     match det.generate(fault) {
         TestResult::Test(cube) => cubes.push(cube),
         TestResult::Untestable => return Ok(cubes),
-        TestResult::Aborted => {}
+        TestResult::Aborted | TestResult::TimedOut => {}
     }
 
     let attempts = 4 * n;

@@ -14,6 +14,8 @@
 //!   propagate the effect to a primary output (used by the ND-ATPG
 //!   detection scheme).
 
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +48,13 @@ pub struct PodemConfig {
     /// instead of SCOAP-guided, yielding *different* cubes per seed — the
     /// mechanism behind [`crate::ndetect`].
     pub random_seed: Option<u64>,
+    /// Optional per-fault wall-clock budget. When set, the search gives
+    /// up with [`TestResult::TimedOut`] at the first backtrack past the
+    /// deadline — instead of silently burning the whole backtrack limit
+    /// on one pathological fault. Hits are counted on the
+    /// `podem.timeouts` observability counter and surfaced in the
+    /// result, so campaigns can report them.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for PodemConfig {
@@ -54,6 +63,7 @@ impl Default for PodemConfig {
             mode: PodemMode::Detect,
             backtrack_limit: 5_000,
             random_seed: None,
+            time_budget: None,
         }
     }
 }
@@ -79,6 +89,9 @@ pub enum TestResult {
     Untestable,
     /// The backtrack limit was hit before a verdict.
     Aborted,
+    /// The per-fault [`PodemConfig::time_budget`] expired before a
+    /// verdict.
+    TimedOut,
 }
 
 impl TestResult {
@@ -103,6 +116,31 @@ struct Decision {
     pi_pos: usize,
     value: bool,
     flipped: bool,
+}
+
+/// Observability handles, fetched once per engine so the search loop
+/// records with plain atomic ops (see `DESIGN.md` §8 for the names).
+#[derive(Debug, Clone)]
+struct PodemMetrics {
+    faults: htforge_obs::Counter,
+    backtracks: htforge_obs::Counter,
+    implications: htforge_obs::Counter,
+    timeouts: htforge_obs::Counter,
+    aborted: htforge_obs::Counter,
+    backtracks_per_fault: htforge_obs::Histogram,
+}
+
+impl PodemMetrics {
+    fn from_global() -> Self {
+        PodemMetrics {
+            faults: htforge_obs::counter("podem.faults"),
+            backtracks: htforge_obs::counter("podem.backtracks"),
+            implications: htforge_obs::counter("podem.implications"),
+            timeouts: htforge_obs::counter("podem.timeouts"),
+            aborted: htforge_obs::counter("podem.aborted"),
+            backtracks_per_fault: htforge_obs::histogram("podem.backtracks_per_fault"),
+        }
+    }
 }
 
 /// A PODEM engine bound to one (combinational or scan-cut) netlist.
@@ -131,6 +169,7 @@ pub struct Podem {
     /// Current stamp generation.
     stamp: u32,
     rng: Option<StdRng>,
+    metrics: PodemMetrics,
 }
 
 impl std::fmt::Debug for Podem {
@@ -185,6 +224,7 @@ impl Podem {
             queued: vec![0; n],
             stamp: 0,
             rng: config.random_seed.map(StdRng::seed_from_u64),
+            metrics: PodemMetrics::from_global(),
         })
     }
 
@@ -210,9 +250,27 @@ impl Podem {
     /// to [`Fault::excitation_value`]; in `Detect` mode it additionally
     /// propagates the fault effect to a primary output.
     pub fn generate(&mut self, fault: Fault) -> TestResult {
+        let mut backtracks = 0usize;
+        let result = self.search(fault, &mut backtracks);
+        let metrics = &self.metrics;
+        metrics.faults.incr();
+        metrics.backtracks.add(backtracks as u64);
+        metrics.backtracks_per_fault.record(backtracks as u64);
+        match result {
+            TestResult::Aborted => metrics.aborted.incr(),
+            TestResult::TimedOut => metrics.timeouts.incr(),
+            _ => {}
+        }
+        result
+    }
+
+    fn search(&mut self, fault: Fault, backtracks: &mut usize) -> TestResult {
         self.reset();
         let mut decisions: Vec<Decision> = Vec::new();
-        let mut backtracks = 0usize;
+        let deadline = self
+            .config
+            .time_budget
+            .map(|budget| Instant::now() + budget);
 
         loop {
             if self.success(fault) {
@@ -233,9 +291,12 @@ impl Podem {
                 }
                 None => {
                     // Dead end: flip the most recent unflipped decision.
-                    backtracks += 1;
-                    if backtracks > self.config.backtrack_limit {
+                    *backtracks += 1;
+                    if *backtracks > self.config.backtrack_limit {
                         return TestResult::Aborted;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return TestResult::TimedOut;
                     }
                     loop {
                         match decisions.pop() {
@@ -471,7 +532,9 @@ impl Podem {
 
         let mut scratch_g: Vec<Tri> = Vec::new();
         let mut scratch_f: Vec<Tri> = Vec::new();
+        let mut evaluated = 0u64;
         while let Some(Reverse((_, raw))) = heap.pop() {
+            evaluated += 1;
             let id = NodeId::from_index(raw as usize);
             let node = self.nl.node(id);
             let (new_good, new_faulty) = match node.kind() {
@@ -511,6 +574,7 @@ impl Podem {
             }
         }
         self.queued = queued;
+        self.metrics.implications.add(evaluated);
     }
 }
 
@@ -692,6 +756,45 @@ OUTPUT(23)
                 .expect("testable");
             assert!(justifies(&nl, cube.bits(), g16, false).unwrap());
         }
+    }
+
+    #[test]
+    fn zero_time_budget_reports_timeout() {
+        // The redundant fault below needs at least one backtrack to be
+        // proven untestable, so a zero budget must trip first.
+        let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n";
+        let nl = bench::parse(src, "t").unwrap();
+        let y = nl.find("y").unwrap();
+        let cfg = PodemConfig {
+            time_budget: Some(Duration::ZERO),
+            ..PodemConfig::default()
+        };
+        let mut podem = Podem::new(&nl, cfg).unwrap();
+        assert_eq!(
+            podem.generate(Fault::stuck_at(y, true)),
+            TestResult::TimedOut
+        );
+        // A generous budget changes nothing for testable faults.
+        let cfg = PodemConfig {
+            time_budget: Some(Duration::from_secs(60)),
+            ..PodemConfig::default()
+        };
+        let nl17 = bench::parse(C17, "c17").unwrap();
+        let mut podem = Podem::new(&nl17, cfg).unwrap();
+        let g16 = nl17.find("16").unwrap();
+        assert!(podem.generate(Fault::stuck_at(g16, false)).is_test());
+    }
+
+    #[test]
+    fn generate_records_search_counters() {
+        let before = htforge_obs::counter("podem.faults").get();
+        let nl = bench::parse(C17, "c17").unwrap();
+        let mut podem = Podem::new(&nl, PodemConfig::default()).unwrap();
+        let g16 = nl.find("16").unwrap();
+        assert!(podem.generate(Fault::stuck_at(g16, false)).is_test());
+        assert_eq!(htforge_obs::counter("podem.faults").get(), before + 1);
+        // Every fault evaluates at least one node per PI assignment.
+        assert!(htforge_obs::counter("podem.implications").get() > 0);
     }
 
     #[test]

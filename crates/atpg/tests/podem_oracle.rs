@@ -167,8 +167,9 @@ proptest! {
                     TestResult::Untestable => {
                         prop_assert!(!truth, "PODEM missed a test for {fault}");
                     }
-                    TestResult::Aborted => {
-                        // Legal but should not happen at this size.
+                    TestResult::Aborted | TestResult::TimedOut => {
+                        // Legal but should not happen at this size (and
+                        // no time budget is configured).
                         prop_assert!(false, "abort on a {num_inputs}-input circuit");
                     }
                 }
@@ -195,7 +196,9 @@ proptest! {
                         prop_assert!(cube_achieves(&nl, &cube, fault, false));
                     }
                     TestResult::Untestable => prop_assert!(!truth),
-                    TestResult::Aborted => prop_assert!(false, "abort at toy size"),
+                    TestResult::Aborted | TestResult::TimedOut => {
+                        prop_assert!(false, "abort at toy size");
+                    }
                 }
             }
         }

@@ -98,6 +98,9 @@ fn time_median<F: FnMut() -> usize>(runs: usize, mut f: F) -> f64 {
 }
 
 fn main() {
+    // Opt-in only (`HTFORGE_OBS=...`): enabling the recorder here would
+    // perturb the timings this baseline exists to pin down.
+    let _obs = htforge_obs::init_from_env();
     let mut rows = Vec::new();
     for name in ["c2670", "c5315"] {
         let design = infect(name);

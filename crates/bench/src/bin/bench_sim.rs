@@ -36,6 +36,9 @@ fn time_median<F: FnMut() -> usize>(runs: usize, mut f: F) -> f64 {
 }
 
 fn main() {
+    // Opt-in only (`HTFORGE_OBS=...`): enabling the recorder here would
+    // perturb the timings this baseline exists to pin down.
+    let _obs = htforge_obs::init_from_env();
     let max_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);

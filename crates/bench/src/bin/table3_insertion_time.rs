@@ -13,26 +13,35 @@
 //! instances** (`TT₁₀₀`); when a baseline validates *nothing* in its
 //! box, a rule-of-three lower bound is printed. The proposed framework
 //! simply runs to completion (it needs no validation) and reports its
-//! measured time for 100 instances.
+//! measured time for 100 instances, plus a per-phase breakdown from the
+//! pipeline spans.
 //!
 //! Absolute numbers depend on hardware and budgets; the reproducible
 //! shape is the ordering random ≫ RL ≫ proposed with orders-of-magnitude
 //! separation, and the much larger trigger counts (q) of the proposed
 //! framework.
 //!
+//! Artifacts (see `DESIGN.md` §8): one `results/report_<circuit>.json`
+//! run report per circuit covering the proposed framework's pipeline,
+//! and `BENCH_table3.json` at the repo root holding both tables as JSON.
+//!
 //! ```sh
 //! cargo run --release -p htforge-bench --bin table3_insertion_time [--full]
+//! HTFORGE_OBS=summary,progress cargo run ... # live counters + exit summary
 //! ```
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use htforge_atpg::PodemConfig;
 use htforge_baselines::{RandomInserter, RlConfig, RlInserter, ValidationBudget};
 use htforge_bench::{minutes, HarnessOpts, Table};
 use htforge_core::{clique, CompatGraph, InsertionConfig, InsertionFramework};
+use htforge_obs::{Json, RunReport};
 use htforge_sim::{PatternSet, RareNodeExtractor};
 
 const TARGET_INSTANCES: usize = 100;
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
 /// Extrapolated minutes to `TARGET_INSTANCES` validated instances.
 fn extrapolate(elapsed: Duration, produced: usize) -> (String, f64) {
@@ -51,9 +60,16 @@ fn extrapolate(elapsed: Duration, produced: usize) -> (String, f64) {
     }
 }
 
+fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
 fn main() {
+    let _obs = htforge_obs::init_from_env();
+    htforge_obs::global().enable();
     let opts = HarnessOpts::from_env();
     let circuits = opts.circuits_or(&["c2670", "c3540", "s1423"]);
+    let mode = if opts.full { "full" } else { "scaled" };
     let vectors = if opts.full { 10_000 } else { 4_000 };
     let time_box = if opts.full {
         Duration::from_secs(300)
@@ -78,9 +94,16 @@ fn main() {
         "vs rand",
         "vs RL",
     ]);
+    let mut phase_table = Table::new(vec![
+        "circuit", "preproc", "rare", "compat", "clique", "insert", "validate", "total",
+    ]);
 
     let mut avg = (0.0f64, 0.0f64, 0.0f64);
     for name in &circuits {
+        // One run report per circuit: clear the spans and counters left
+        // by the previous iteration, run the proposed pipeline, then
+        // snapshot before the (untimed-phase) baselines muddy the water.
+        htforge_obs::global().reset();
         let nl = htforge_circuits::load(name).expect("known circuit");
         let comb = if nl.dffs().is_empty() {
             nl.clone()
@@ -109,8 +132,36 @@ fn main() {
         })
         .run(&nl);
         let prop_elapsed = prop_start.elapsed();
-        let prop_produced = prop_outcome.map(|o| o.infected.len()).unwrap_or(0);
+        let (prop_produced, prop_timings) = match &prop_outcome {
+            Ok(o) => (o.infected.len(), Some(o.timings)),
+            Err(_) => (0, None),
+        };
         let (prop_tt, prop_min) = extrapolate(prop_elapsed, prop_produced);
+        if let Some(t) = prop_timings {
+            phase_table.row(vec![
+                name.clone(),
+                secs(t.preprocess),
+                secs(t.rare_extraction),
+                secs(t.compat_graph),
+                secs(t.clique_enumeration),
+                secs(t.insertion),
+                secs(t.validation),
+                secs(t.total()),
+            ]);
+        } else {
+            let mut cells = vec![name.clone()];
+            cells.extend((0..7).map(|_| "-".to_owned()));
+            phase_table.row(cells);
+        }
+
+        let report = RunReport::from_recorder(&format!("table3_{name}"), htforge_obs::global())
+            .with_meta("circuit", Json::Str(name.clone()))
+            .with_meta("mode", Json::Str(mode.to_owned()))
+            .with_meta("trigger_nodes", Json::Num(q_prop as f64))
+            .with_meta("target_instances", Json::Num(TARGET_INSTANCES as f64))
+            .with_meta("produced", Json::Num(prop_produced as f64));
+        let path = PathBuf::from(REPO_ROOT).join(format!("results/report_{name}.json"));
+        report.write_to(&path).expect("write run report");
 
         // --- random: time-boxed candidate/validate loop ------------------
         let q_rand = 10.min(probe_rare.len().max(4) / 2).max(2);
@@ -178,6 +229,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    println!("proposed framework per-phase breakdown (seconds):");
+    println!("{}", phase_table.render());
     let n = circuits.len() as f64;
     println!(
         "averages (min): random {:.1}, RL {:.1}, proposed {:.3}",
@@ -185,6 +238,21 @@ fn main() {
         avg.1 / n,
         avg.2 / n
     );
+
+    let doc = Json::obj(vec![
+        ("table", Json::Str("table3_insertion_time".to_owned())),
+        ("mode", Json::Str(mode.to_owned())),
+        ("target_instances", Json::Num(TARGET_INSTANCES as f64)),
+        ("rows", table.to_json()),
+        ("phase_seconds", phase_table.to_json()),
+    ]);
+    let bench_path = PathBuf::from(REPO_ROOT).join("BENCH_table3.json");
+    std::fs::write(&bench_path, doc.pretty()).expect("write BENCH_table3.json");
+    println!(
+        "wrote {} and results/report_<circuit>.json",
+        bench_path.display()
+    );
+
     println!("\nShape check (paper Table III): proposed ≪ RL ≪ random with");
     println!("orders-of-magnitude gaps, and far larger q for the proposed");
     println!("framework (paper: avg 53 736 / 1 406 / 1.42 min; 37 816x, 989x).");

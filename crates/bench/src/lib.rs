@@ -11,7 +11,10 @@
 //! The Criterion benches under `benches/` time the individual pipeline
 //! phases on fixed configurations.
 
-use std::fmt::Write as _;
+/// Re-exported from [`htforge_obs`] so the table binaries render their
+/// terminal reports and JSON table dumps through the same code path as
+/// the observability summary sink.
+pub use htforge_obs::Table;
 
 /// Parsed command-line options shared by the table binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,64 +65,6 @@ impl HarnessOpts {
                 .collect(),
             None => default.iter().map(|s| (*s).to_owned()).collect(),
         }
-    }
-}
-
-/// Minimal fixed-width table printer for terminal reports.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    #[must_use]
-    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (must match the header arity).
-    ///
-    /// # Panics
-    ///
-    /// Panics on arity mismatch.
-    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders the table with aligned columns.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (c, cell) in row.iter().enumerate() {
-                widths[c] = widths[c].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let write_row = |out: &mut String, cells: &[String]| {
-            for (c, cell) in cells.iter().enumerate() {
-                let _ = write!(out, "{cell:>width$}", width = widths[c]);
-                if c + 1 < cols {
-                    out.push_str("  ");
-                }
-            }
-            out.push('\n');
-        };
-        write_row(&mut out, &self.header);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-        let _ = writeln!(out, "{}", "-".repeat(total));
-        for row in &self.rows {
-            write_row(&mut out, row);
-        }
-        out
     }
 }
 
@@ -188,27 +133,6 @@ pub mod scalar {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(vec!["circuit", "value"]);
-        t.row(vec!["c2670", "1"]);
-        t.row(vec!["s35932", "12345"]);
-        let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("circuit"));
-        assert!(lines[3].contains("12345"));
-        // All rows same width.
-        assert_eq!(lines[0].len(), lines[2].len());
-    }
-
-    #[test]
-    #[should_panic(expected = "arity")]
-    fn row_arity_checked() {
-        let mut t = Table::new(vec!["a", "b"]);
-        t.row(vec!["only-one"]);
-    }
 
     #[test]
     fn minutes_formatting() {

@@ -77,7 +77,8 @@ pub fn enumerate_cliques(
     let words = n.div_ceil(64);
     let mut stack_members: Vec<usize> = Vec::with_capacity(size);
 
-    // Iterative DFS with explicit candidate sets.
+    // Iterative DFS with explicit candidate sets. `expanded` counts
+    // search-tree nodes visited, for the `clique.nodes_expanded` counter.
     fn extend(
         graph: &CompatGraph,
         members: &mut Vec<usize>,
@@ -85,7 +86,9 @@ pub fn enumerate_cliques(
         size: usize,
         limit: usize,
         out: &mut Vec<Clique>,
+        expanded: &mut u64,
     ) {
+        *expanded += 1;
         if out.len() >= limit {
             return;
         }
@@ -117,7 +120,7 @@ pub fn enumerate_cliques(
                 let row = graph.row(v);
                 let next: Vec<u64> = candidates.iter().zip(row).map(|(&c, &r)| c & r).collect();
                 members.push(v);
-                extend(graph, members, &next, size, limit, out);
+                extend(graph, members, &next, size, limit, out, expanded);
                 members.pop();
                 if out.len() >= limit {
                     return;
@@ -126,6 +129,7 @@ pub fn enumerate_cliques(
         }
     }
 
+    let mut expanded = 0u64;
     for &root in &roots {
         if out.len() >= limit {
             break;
@@ -162,8 +166,11 @@ pub fn enumerate_cliques(
             size,
             limit,
             &mut out,
+            &mut expanded,
         );
     }
+    htforge_obs::counter("clique.nodes_expanded").add(expanded);
+    htforge_obs::counter("clique.found").add(out.len() as u64);
     out
 }
 
@@ -216,16 +223,19 @@ pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64)
 
     // Pass 2: randomized tie-breaking restarts for additional diversity.
     let budget = count.saturating_mul(20).max(64);
+    let restarts = htforge_obs::counter("clique.greedy_restarts");
     for _ in 0..budget {
         if out.len() >= count {
             break;
         }
+        restarts.incr();
         let start = rng.gen_range(0..n);
         let members = greedy_clique_randomized(graph, start, size, &mut rng);
         if members.len() == size {
             push(members, &mut out);
         }
     }
+    htforge_obs::counter("clique.found").add(out.len() as u64);
     out
 }
 

@@ -57,7 +57,7 @@ impl CubeWorker {
         let fault = Fault::for_rare_event(node, rare_value);
         match self.podem.generate(fault) {
             TestResult::Test(cube) => Some(cube),
-            TestResult::Untestable | TestResult::Aborted => {
+            TestResult::Untestable | TestResult::Aborted | TestResult::TimedOut => {
                 self.justify.as_mut().and_then(|p| match p.generate(fault) {
                     TestResult::Test(cube) => Some(cube),
                     _ => None,
@@ -139,6 +139,7 @@ impl CompatGraph {
             rare.iter().map(|r| (r.node, r.rare_value)).collect();
 
         // Phase A: one cube per rare event (parallel over faults).
+        let podem_span = htforge_obs::span("podem");
         let chunk_size = rare_list.len().div_ceil(threads).max(1);
         let mut cube_results: Vec<Option<Cube>> = Vec::new();
         if threads == 1 || rare_list.len() <= 1 {
@@ -197,6 +198,10 @@ impl CompatGraph {
                 None => dropped += 1,
             }
         }
+        podem_span.finish();
+        htforge_obs::counter("compat.events").add(events.len() as u64);
+        htforge_obs::counter("compat.dropped").add(dropped as u64);
+        let matrix_span = htforge_obs::span("compat_matrix");
 
         // Phase B: pairwise compatibility matrix over bit-packed care
         // masks — a conflict is a single word-AND per 64 inputs, which
@@ -252,11 +257,14 @@ impl CompatGraph {
                     .collect()
             })
         };
-        Ok(CompatGraph {
+        matrix_span.finish();
+        let graph = CompatGraph {
             events,
             adj,
             dropped,
-        })
+        };
+        htforge_obs::counter("compat.edges").add(graph.edge_count() as u64);
+        Ok(graph)
     }
 
     /// The graph's vertices.
@@ -323,6 +331,7 @@ impl CompatGraph {
         let mut acc = self.events[first].cube.clone();
         for &m in iter {
             if !acc.merge_in_place(&self.events[m].cube) {
+                htforge_obs::counter("compat.cube_merge_conflicts").incr();
                 return None;
             }
         }

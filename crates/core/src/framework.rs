@@ -6,7 +6,7 @@
 //! generation (Algorithm 3), reporting per-phase wall-clock timings —
 //! the quantities of the paper's Tables III and IV.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use htforge_atpg::PodemConfig;
 use htforge_netlist::{netlist::NodeId, Netlist};
@@ -65,6 +65,11 @@ impl Default for InsertionConfig {
 }
 
 /// Wall-clock time spent in each phase of one [`InsertionFramework::run`].
+///
+/// These are a *view* over the phase spans the framework records on the
+/// global [`htforge_obs`] recorder: each field is the duration returned
+/// by the corresponding span guard, so the struct stays populated even
+/// when the recorder is disabled (the default).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Scan-cut + levelization.
@@ -77,6 +82,8 @@ pub struct PhaseTimings {
     pub clique_enumeration: Duration,
     /// Trigger synthesis + Algorithm 3 for all instances.
     pub insertion: Duration,
+    /// Structural validation of every infected netlist.
+    pub validation: Duration,
 }
 
 impl PhaseTimings {
@@ -88,6 +95,7 @@ impl PhaseTimings {
             + self.compat_graph
             + self.clique_enumeration
             + self.insertion
+            + self.validation
     }
 }
 
@@ -175,22 +183,24 @@ impl InsertionFramework {
     pub fn run(&self, nl: &Netlist) -> Result<InsertionOutcome, InsertionError> {
         let cfg = &self.config;
         let mut timings = PhaseTimings::default();
+        let pipeline_span = htforge_obs::span("insertion_pipeline");
 
         // Phase 0: combinational model.
-        let t0 = Instant::now();
+        let t0 = htforge_obs::span("preprocess");
         let comb = if nl.dffs().is_empty() {
             nl.clone()
         } else {
             nl.scan_cut()
         };
         let scoap = Scoap::compute(nl)?;
-        timings.preprocess = t0.elapsed();
+        timings.preprocess = t0.finish();
 
         // Phase 1: rare nodes (Algorithm 1).
-        let t1 = Instant::now();
+        let t1 = htforge_obs::span("rare_extraction");
         let patterns = PatternSet::random(comb.inputs().len(), cfg.num_vectors, cfg.seed);
         let rare = RareNodeExtractor::new(cfg.theta).extract(&comb, &patterns)?;
-        timings.rare_extraction = t1.elapsed();
+        timings.rare_extraction = t1.finish();
+        htforge_obs::counter("rare.nodes").add(rare.len() as u64);
         if rare.len() < cfg.trigger_nodes {
             return Err(InsertionError::NotEnoughRareNodes {
                 found: rare.len(),
@@ -199,9 +209,9 @@ impl InsertionFramework {
         }
 
         // Phase 2: compatibility graph (Algorithm 2).
-        let t2 = Instant::now();
+        let t2 = htforge_obs::span("compat_graph");
         let graph = CompatGraph::build(&comb, &rare, cfg.podem)?;
-        timings.compat_graph = t2.elapsed();
+        timings.compat_graph = t2.finish();
         if graph.len() < cfg.trigger_nodes {
             return Err(InsertionError::NotEnoughRareNodes {
                 found: graph.len(),
@@ -213,7 +223,7 @@ impl InsertionFramework {
         // enumeration (cheap and maximally diverse); large ones use
         // greedy sampling, because exact search near the graph's clique
         // number degenerates into exponential nonexistence proofs.
-        let t3 = Instant::now();
+        let t3 = htforge_obs::span("clique_enumeration");
         let cliques = if cfg.trigger_nodes <= 8 {
             enumerate_cliques(
                 &graph,
@@ -229,7 +239,7 @@ impl InsertionFramework {
                 cfg.seed ^ 0x5EED,
             )
         };
-        timings.clique_enumeration = t3.elapsed();
+        timings.clique_enumeration = t3.finish();
         if cliques.is_empty() {
             return Err(InsertionError::NoCliques {
                 size: cfg.trigger_nodes,
@@ -237,7 +247,7 @@ impl InsertionFramework {
         }
 
         // Phase 4: trigger synthesis + insertion (Algorithm 3).
-        let t4 = Instant::now();
+        let t4 = htforge_obs::span("insertion");
         let mut infected = Vec::with_capacity(cliques.len());
         for (i, clique) in cliques.iter().enumerate() {
             match self.insert_one(nl, &graph, clique, &scoap, i) {
@@ -248,11 +258,23 @@ impl InsertionFramework {
                 Err(e) => return Err(e),
             }
         }
-        timings.insertion = t4.elapsed();
+        timings.insertion = t4.finish();
+        htforge_obs::counter("insertion.instances").add(infected.len() as u64);
         if infected.is_empty() {
             return Err(InsertionError::NoPayloadNet);
         }
 
+        // Phase 5: structural validation of every emitted design. This
+        // was previously left to callers (and tests); making it a pipeline
+        // phase means a malformed netlist can never leave the framework
+        // silently, and gives the timing tables a `validation` column.
+        let t5 = htforge_obs::span("validation");
+        for design in &infected {
+            design.netlist.validate()?;
+        }
+        timings.validation = t5.finish();
+
+        pipeline_span.finish();
         let graph_stats = GraphStats {
             vertices: graph.len(),
             dropped: graph.dropped(),
@@ -325,6 +347,9 @@ impl InsertionFramework {
         if instances.is_empty() {
             return Err(InsertionError::NoPayloadNet);
         }
+        let v = htforge_obs::span("validation");
+        combined.validate()?;
+        v.finish();
         Ok((combined, instances))
     }
 

@@ -87,6 +87,7 @@ pub fn evaluate_designs(
     designs: &[InfectedDesign],
     tests: &PatternSet,
 ) -> Result<CoverageReport, NetlistError> {
+    let campaign_span = htforge_obs::span("detect_campaign");
     let golden_cut = if golden.dffs().is_empty() {
         golden.clone()
     } else {
@@ -129,6 +130,9 @@ pub fn evaluate_designs(
             detected,
         });
     }
+    htforge_obs::counter("detect.designs_graded").add(designs.len() as u64);
+    htforge_obs::counter("detect.patterns_graded").add((tests.len() * designs.len()) as u64);
+    campaign_span.finish();
     Ok(CoverageReport { verdicts })
 }
 

@@ -179,6 +179,7 @@ pub fn evaluate_sequential_designs(
     designs: &[SequentialInfectedDesign],
     campaign: &SequentialCampaign,
 ) -> Result<SequentialCoverageReport, NetlistError> {
+    let campaign_span = htforge_obs::span("detect_campaign");
     let num_inputs = golden.inputs().len();
     let words = PatternSet::words_for(campaign.traces);
 
@@ -238,6 +239,10 @@ pub fn evaluate_sequential_designs(
             mean_trigger_latency: trigger_monitor.mean_latency(),
         });
     }
+    htforge_obs::counter("detect.designs_graded").add(designs.len() as u64);
+    htforge_obs::counter("detect.patterns_graded")
+        .add(campaign.trace_cycles() * designs.len() as u64);
+    campaign_span.finish();
     Ok(SequentialCoverageReport {
         verdicts,
         traces: campaign.traces,

@@ -1,0 +1,35 @@
+//! Validates `htforge.run_report/v1` JSON files (CI schema gate).
+//!
+//! Usage: `obs_validate <report.json>...` — exits non-zero if any file
+//! is missing, unparseable, or violates the schema.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_validate <report.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match htforge_obs::validate_str(&text) {
+                Ok(()) => println!("{path}: ok"),
+                Err(msg) => {
+                    eprintln!("{path}: INVALID: {msg}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,354 @@
+//! Lock-free metric primitives: counters, gauges and log-linear
+//! histograms.
+//!
+//! All three are thin handles over `Arc`ed atomics, so hot paths fetch a
+//! handle **once** (at engine construction) and then record with plain
+//! atomic operations — no name lookup, no locks, and safe concurrent use
+//! from the scoped worker threads the simulation kernel and
+//! compatibility-graph builder spawn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter (registered ones come from
+    /// [`crate::Recorder::counter`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins instantaneous measurement (stored as `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the gauge value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket count: 16 exact buckets for values 0–15, then 8 sub-buckets
+/// per power of two up to `u64::MAX` (relative quantile error ≤ 1/16).
+const EXACT: usize = 16;
+const SUBS: usize = 8;
+const BUCKETS: usize = EXACT + (64 - 4) * SUBS;
+
+/// A lock-free log-linear histogram of `u64` samples.
+///
+/// Values below 16 are counted exactly; larger values land in one of
+/// eight sub-buckets per octave, bounding the relative error of any
+/// reported percentile by 6.25 %.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }))
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // ≥ 4
+        let sub = ((v >> (octave - 3)) & 0x7) as usize;
+        EXACT + (octave - 4) * SUBS + sub
+    }
+}
+
+/// Midpoint of the value range covered by bucket `i` (inverse of
+/// [`bucket_index`] up to sub-bucket resolution).
+fn bucket_value(i: usize) -> u64 {
+    if i < EXACT {
+        i as u64
+    } else {
+        let octave = 4 + (i - EXACT) / SUBS;
+        let sub = ((i - EXACT) % SUBS) as u64;
+        let lo = (1u64 << octave) + (sub << (octave - 3));
+        let width = 1u64 << (octave - 3);
+        lo + width / 2
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let core = &*self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.min.fetch_min(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+        core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        HistogramSnapshot {
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            min: core.min.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        let core = &*self.0;
+        core.count.store(0, Ordering::Relaxed);
+        core.sum.store(0, Ordering::Relaxed);
+        core.min.store(u64::MAX, Ordering::Relaxed);
+        core.max.store(0, Ordering::Relaxed);
+        for b in &core.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`): the smallest bucket value `v`
+    /// such that at least `p·count` samples are ≤ `v`. Exact below 16,
+    /// within 6.25 % above. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5e9);
+        assert_eq!(g.get(), 1.5e9);
+    }
+
+    #[test]
+    fn cloned_counter_shares_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c2.add(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn small_value_percentiles_are_exact() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.mean(), Some(5.5));
+        assert_eq!(s.percentile(0.0), Some(1));
+        assert_eq!(s.percentile(0.5), Some(5));
+        assert_eq!(s.percentile(0.9), Some(9));
+        assert_eq!(s.percentile(1.0), Some(10));
+    }
+
+    #[test]
+    fn large_value_percentiles_within_bucket_error() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (p, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = s.percentile(p).unwrap() as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.0725, "p{p}: got {got}, want ≈{expect} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.percentile(0.0), Some(0));
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..60 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << shift) + off);
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must not decrease at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,120 @@
+//! Periodic progress reporting: a background thread that emits a metric
+//! snapshot every interval while a long phase runs.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::recorder::Recorder;
+
+/// Emits [`crate::Event::Snapshot`] to the recorder's sinks every
+/// `interval` until dropped (or [`ProgressReporter::stop`]). Also prints
+/// a one-line counter digest to stderr so long benchmark runs show
+/// liveness without a sink configured.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    stop_tx: mpsc::Sender<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Starts the reporter thread. When the recorder is disabled the
+    /// thread still runs but each tick is a no-op, keeping call sites
+    /// unconditional.
+    #[must_use]
+    pub fn start(recorder: Recorder, interval: Duration) -> Self {
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            // recv_timeout doubles as the tick clock and the stop signal:
+            // a message (or hangup after the guard dropped) ends the loop.
+            while let Err(mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                if !recorder.is_enabled() {
+                    continue;
+                }
+                recorder.emit_snapshot();
+                let snap = recorder.snapshot();
+                let digest: Vec<String> = snap
+                    .counters
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                if !digest.is_empty() {
+                    eprintln!(
+                        "[obs +{:.0}s] {}",
+                        snap.at_ns as f64 / 1e9,
+                        digest.join(" ")
+                    );
+                }
+                recorder.flush();
+            }
+        });
+        ProgressReporter {
+            stop_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, InMemorySink};
+
+    #[test]
+    fn reporter_emits_snapshots_then_stops() {
+        let rec = Recorder::new();
+        rec.enable();
+        let sink = InMemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        rec.counter("work").add(3);
+
+        let reporter = ProgressReporter::start(rec.clone(), Duration::from_millis(10));
+        // Wait for at least one tick.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sink.events().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reporter.stop();
+
+        let events = sink.events();
+        assert!(!events.is_empty(), "no snapshot within 5s");
+        assert!(matches!(
+            &events[0],
+            Event::Snapshot(s) if s.counters.iter().any(|(k, v)| k == "work" && *v == 3)
+        ));
+        // After stop, no more events arrive.
+        let n = sink.events().len();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(sink.events().len(), n);
+    }
+
+    #[test]
+    fn disabled_recorder_ticks_are_noops() {
+        let rec = Recorder::new();
+        let sink = InMemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        let reporter = ProgressReporter::start(rec, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(25));
+        drop(reporter);
+        assert!(sink.events().is_empty());
+    }
+}

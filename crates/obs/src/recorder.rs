@@ -1,0 +1,757 @@
+//! The thread-safe [`Recorder`]: hierarchical spans, named metrics, and
+//! pluggable event sinks.
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **Disabled must be free.** The workspace default is a disabled
+//!    global recorder. Metric handles still accumulate (a relaxed atomic
+//!    add — cheap enough for the PODEM backtrack loop), but spans skip
+//!    all bookkeeping except the `Instant` pair their caller needs for
+//!    `PhaseTimings`, and sinks see nothing.
+//! 2. **Hot paths hold handles, not names.** `Recorder::counter` et al.
+//!    do one locked name lookup and return a clonable atomic handle;
+//!    engines fetch handles at construction time.
+//! 3. **Sinks are a stream, not a database.** Span-end events and
+//!    metric snapshots are pushed to every installed [`Sink`]; the
+//!    in-memory aggregation (span list + metric registry) independently
+//!    feeds [`crate::report::RunReport`] and the summary table.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::table::Table;
+
+/// One completed span: a named, timed section of work, with its parent
+/// span (if any) for hierarchy reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the recorder (allocation order = start order).
+    pub id: u64,
+    /// The enclosing span on the starting thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dot-separated by convention, e.g. `compat_graph`).
+    pub name: String,
+    /// Start, in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (monotonic clock).
+    pub dur_ns: u64,
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Nanoseconds since the recorder epoch.
+    pub at_ns: u64,
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → distribution snapshot, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// An observability event pushed to sinks.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A span ended.
+    Span(SpanRecord),
+    /// A periodic or end-of-run metric snapshot.
+    Snapshot(MetricsSnapshot),
+}
+
+impl Event {
+    /// The JSONL encoding of this event.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::Span(s) => Json::obj(vec![
+                ("t", Json::Str("span".into())),
+                ("id", Json::Num(s.id as f64)),
+                (
+                    "parent",
+                    s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                ),
+                ("name", Json::Str(s.name.clone())),
+                ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
+                ("dur_us", Json::Num(s.dur_ns as f64 / 1_000.0)),
+            ]),
+            Event::Snapshot(snap) => Json::obj(vec![
+                ("t", Json::Str("snapshot".into())),
+                ("at_us", Json::Num(snap.at_ns as f64 / 1_000.0)),
+                (
+                    "counters",
+                    Json::Obj(
+                        snap.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges",
+                    Json::Obj(
+                        snap.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// A consumer of observability events. Implementations must be cheap —
+/// they run under the recorder's sink lock.
+pub trait Sink: Send {
+    /// Called for every event while the recorder is enabled.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output (end of run, progress ticks).
+    fn flush(&mut self) {}
+}
+
+/// A sink that retains every event in memory — the test sink.
+#[derive(Debug, Clone, Default)]
+pub struct InMemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl InMemorySink {
+    /// A fresh, empty sink. Clone it before installing to keep a handle
+    /// for inspection.
+    #[must_use]
+    pub fn new() -> Self {
+        InMemorySink::default()
+    }
+
+    /// All events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock").clone()
+    }
+}
+
+impl Sink for InMemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+/// A sink that writes one compact JSON object per event line.
+pub struct JsonlSink {
+    out: Box<dyn std::io::Write + Send>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A JSONL sink over any writer (file, stderr, `Vec<u8>` in tests).
+    #[must_use]
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Self {
+        JsonlSink { out }
+    }
+
+    /// A JSONL sink writing to stderr.
+    #[must_use]
+    pub fn stderr() -> Self {
+        JsonlSink::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.to_json().compact());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of open spans: `(recorder id, span id)`.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Inner {
+    id: u64,
+    epoch: Instant,
+    enabled: AtomicBool,
+    next_span: AtomicU64,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("id", &self.id)
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The metric registry and span collector. Clonable handle; all clones
+/// share state.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, **disabled** recorder with no sinks.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                enabled: AtomicBool::new(false),
+                next_span: AtomicU64::new(1),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+                sinks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Turns span collection and sink emission on.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns span collection and sink emission off (metric handles keep
+    /// accumulating).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans and sinks are active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Installs a sink (takes effect immediately).
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.sinks.lock().expect("sink lock").push(sink);
+    }
+
+    /// Removes all sinks.
+    pub fn clear_sinks(&self) {
+        self.inner.sinks.lock().expect("sink lock").clear();
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
+            sink.flush();
+        }
+    }
+
+    /// Nanoseconds since this recorder was created.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The counter registered under `name` (created on first use).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter lock")
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge lock")
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Starts a span. The returned guard records the span on drop (or
+    /// [`SpanGuard::finish`], which also returns the elapsed time).
+    ///
+    /// When the recorder is disabled the guard still measures time (so
+    /// callers can derive phase timings from it) but records nothing.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let start = Instant::now();
+        let registered = if self.is_enabled() {
+            let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+            let parent = SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let parent = stack
+                    .iter()
+                    .rev()
+                    .find(|&&(rec, _)| rec == self.inner.id)
+                    .map(|&(_, span)| span);
+                stack.push((self.inner.id, id));
+                parent
+            });
+            Some(OpenSpan {
+                id,
+                parent,
+                name: name.to_owned(),
+                start_ns: self.now_ns(),
+            })
+        } else {
+            None
+        };
+        SpanGuard {
+            recorder: self.clone(),
+            start,
+            open: registered,
+        }
+    }
+
+    fn end_span(&self, open: OpenSpan, dur: Duration) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(rec, span)| rec == self.inner.id && span == open.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_ns: open.start_ns,
+            dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+        };
+        self.inner
+            .spans
+            .lock()
+            .expect("span lock")
+            .push(record.clone());
+        self.emit(&Event::Span(record));
+    }
+
+    fn emit(&self, event: &Event) {
+        for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
+            sink.record(event);
+        }
+    }
+
+    /// All completed spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().expect("span lock").clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_ns: self.now_ns(),
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("counter lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("gauge lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("histogram lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Takes a snapshot and pushes it to every sink (no-op when
+    /// disabled).
+    pub fn emit_snapshot(&self) {
+        if self.is_enabled() {
+            self.emit(&Event::Snapshot(self.snapshot()));
+        }
+    }
+
+    /// Clears spans and zeroes every metric, keeping registered handles
+    /// valid — the per-circuit reset the table binaries use between
+    /// [`crate::report::RunReport`]s.
+    pub fn reset(&self) {
+        self.inner.spans.lock().expect("span lock").clear();
+        for c in self.inner.counters.lock().expect("counter lock").values() {
+            c.reset();
+        }
+        for g in self.inner.gauges.lock().expect("gauge lock").values() {
+            g.set(0.0);
+        }
+        for h in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Renders the end-of-run human-readable summary: span totals
+    /// (aggregated by name), non-zero counters, gauges, and histogram
+    /// percentiles.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let spans = self.spans();
+        if !spans.is_empty() {
+            // Aggregate by name, keeping first-start order.
+            let mut order: Vec<&str> = Vec::new();
+            let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // (calls, total ns)
+            for s in &spans {
+                let entry = agg.entry(&s.name).or_insert_with(|| {
+                    order.push(&s.name);
+                    (0, 0)
+                });
+                entry.0 += 1;
+                entry.1 += s.dur_ns;
+            }
+            let mut table = Table::new(vec!["span", "calls", "total", "mean"]);
+            for name in order {
+                let (calls, total_ns) = agg[name];
+                table.row(vec![
+                    name.to_owned(),
+                    calls.to_string(),
+                    format_ns(total_ns),
+                    format_ns(total_ns / calls.max(1)),
+                ]);
+            }
+            out.push_str("spans:\n");
+            out.push_str(&table.render());
+        }
+        let snap = self.snapshot();
+        let counters: Vec<_> = snap.counters.iter().filter(|(_, v)| *v > 0).collect();
+        if !counters.is_empty() {
+            let mut table = Table::new(vec!["counter", "value"]);
+            for (k, v) in counters {
+                table.row(vec![k.clone(), v.to_string()]);
+            }
+            out.push_str("counters:\n");
+            out.push_str(&table.render());
+        }
+        let gauges: Vec<_> = snap.gauges.iter().filter(|(_, v)| *v != 0.0).collect();
+        if !gauges.is_empty() {
+            let mut table = Table::new(vec!["gauge", "value"]);
+            for (k, v) in gauges {
+                table.row(vec![k.clone(), format!("{v:.3e}")]);
+            }
+            out.push_str("gauges:\n");
+            out.push_str(&table.render());
+        }
+        let hists: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        if !hists.is_empty() {
+            let mut table = Table::new(vec![
+                "histogram",
+                "count",
+                "min",
+                "p50",
+                "p90",
+                "p99",
+                "max",
+                "mean",
+            ]);
+            for (k, h) in hists {
+                table.row(vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    h.min.to_string(),
+                    h.percentile(0.5).unwrap_or(0).to_string(),
+                    h.percentile(0.9).unwrap_or(0).to_string(),
+                    h.percentile(0.99).unwrap_or(0).to_string(),
+                    h.max.to_string(),
+                    format!("{:.1}", h.mean().unwrap_or(0.0)),
+                ]);
+            }
+            out.push_str("histograms:\n");
+            out.push_str(&table.render());
+        }
+        if out.is_empty() {
+            out.push_str("(no observability data recorded)\n");
+        }
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+}
+
+/// Guard for an open span; ends the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Recorder,
+    start: Instant,
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Ends the span now and returns its wall-clock duration (measured
+    /// whether or not the recorder is enabled).
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if let Some(open) = self.open.take() {
+            self.recorder.end_span(open, dur);
+        }
+        dur
+    }
+
+    /// Elapsed time so far, without ending the span.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.recorder.end_span(open, self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_no_spans_but_times() {
+        let rec = Recorder::new();
+        let sp = rec.span("work");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = sp.finish();
+        assert!(dur >= Duration::from_millis(2));
+        assert!(rec.spans().is_empty());
+    }
+
+    #[test]
+    fn span_nesting_records_parents() {
+        let rec = Recorder::new();
+        rec.enable();
+        let outer = rec.span("outer");
+        let inner = rec.span("inner");
+        inner.finish();
+        outer.finish();
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let rec = Recorder::new();
+        rec.enable();
+        let root = rec.span("root");
+        rec.span("a").finish();
+        rec.span("b").finish();
+        root.finish();
+        let spans = rec.spans();
+        let root_id = spans.iter().find(|s| s.name == "root").unwrap().id;
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(root_id), "{name}");
+        }
+    }
+
+    #[test]
+    fn spans_on_other_threads_have_no_false_parent() {
+        let rec = Recorder::new();
+        rec.enable();
+        let root = rec.span("root");
+        std::thread::scope(|scope| {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                rec.span("worker").finish();
+            });
+        });
+        root.finish();
+        let spans = rec.spans();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        // The worker thread's stack is empty: no parent.
+        assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn guard_drop_records_too() {
+        let rec = Recorder::new();
+        rec.enable();
+        {
+            let _g = rec.span("scoped");
+        }
+        assert_eq!(rec.spans().len(), 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_and_reset() {
+        let rec = Recorder::new();
+        rec.counter("x").add(3);
+        rec.gauge("g").set(2.5);
+        rec.histogram("h").record(7);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters, vec![("x".to_owned(), 3)]);
+        assert_eq!(snap.gauges, vec![("g".to_owned(), 2.5)]);
+        assert_eq!(snap.histograms[0].1.count, 1);
+
+        let handle = rec.counter("x");
+        rec.reset();
+        assert_eq!(rec.counter("x").get(), 0);
+        handle.add(1); // pre-reset handles stay live
+        assert_eq!(rec.counter("x").get(), 1);
+    }
+
+    #[test]
+    fn in_memory_sink_sees_spans_and_snapshots() {
+        let rec = Recorder::new();
+        rec.enable();
+        let sink = InMemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        rec.span("phase").finish();
+        rec.counter("n").add(2);
+        rec.emit_snapshot();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], Event::Span(s) if s.name == "phase"));
+        assert!(
+            matches!(&events[1], Event::Snapshot(s) if s.counters == vec![("n".to_owned(), 2)])
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_scoped_threads() {
+        // The SimProgram column-split shape: one shared handle, many
+        // scoped workers.
+        let rec = Recorder::new();
+        let counter = rec.counter("sim.kernel_words");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("sim.kernel_words").get(), 80_000);
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.span("phase_one").finish();
+        rec.counter("events").add(5);
+        rec.gauge("rate").set(1.5e6);
+        rec.histogram("lat").record(12);
+        let summary = rec.render_summary();
+        for needle in [
+            "spans:",
+            "phase_one",
+            "counters:",
+            "events",
+            "gauges:",
+            "rate",
+            "histograms:",
+            "lat",
+        ] {
+            assert!(summary.contains(needle), "missing {needle} in:\n{summary}");
+        }
+        assert_eq!(
+            Recorder::new().render_summary(),
+            "(no observability data recorded)\n"
+        );
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(500), "0.5us");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_200_000_000), "3.20s");
+    }
+}

@@ -1,0 +1,412 @@
+//! The `RunReport` JSON artifact: a self-describing snapshot of one
+//! pipeline run (spans, counters, gauges, histogram summaries), written
+//! by the benchmark binaries and examples as `results/report_<name>.json`
+//! and validated by `obs_validate` in CI.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::recorder::Recorder;
+
+/// The schema identifier written into (and required from) every report.
+pub const SCHEMA: &str = "htforge.run_report/v1";
+
+/// One histogram's summary statistics as reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramReport {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (log-linear bucket resolution).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A serializable snapshot of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report name, typically `<binary>_<circuit>`.
+    pub name: String,
+    /// Free-form metadata (circuit, mode, parameters), insertion order.
+    pub meta: Vec<(String, Json)>,
+    /// Completed spans: `(id, parent, name, start_us, dur_us)`.
+    pub spans: Vec<SpanEntry>,
+    /// Counter name → value, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary, sorted.
+    pub histograms: Vec<(String, HistogramReport)>,
+}
+
+/// One span row in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEntry {
+    /// Span id (start order within the run).
+    pub id: u64,
+    /// Parent span id, if any.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start offset in microseconds from the recorder epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+impl RunReport {
+    /// Builds a report from the recorder's current spans and metrics.
+    /// Empty metrics (zero counters, zero gauges, empty histograms) are
+    /// omitted so reports only list what the run actually touched.
+    #[must_use]
+    pub fn from_recorder(name: &str, recorder: &Recorder) -> Self {
+        let snap = recorder.snapshot();
+        RunReport {
+            name: name.to_owned(),
+            meta: Vec::new(),
+            spans: recorder
+                .spans()
+                .into_iter()
+                .map(|s| SpanEntry {
+                    id: s.id,
+                    parent: s.parent,
+                    name: s.name,
+                    start_us: s.start_ns as f64 / 1_000.0,
+                    dur_us: s.dur_ns as f64 / 1_000.0,
+                })
+                .collect(),
+            counters: snap.counters.into_iter().filter(|(_, v)| *v > 0).collect(),
+            gauges: snap.gauges.into_iter().filter(|(_, v)| *v != 0.0).collect(),
+            histograms: snap
+                .histograms
+                .into_iter()
+                .filter(|(_, h)| h.count > 0)
+                .map(|(name, h)| {
+                    let report = HistogramReport {
+                        count: h.count,
+                        min: h.min,
+                        max: h.max,
+                        mean: h.mean().unwrap_or(0.0),
+                        p50: h.percentile(0.5).unwrap_or(0),
+                        p90: h.percentile(0.9).unwrap_or(0),
+                        p99: h.percentile(0.99).unwrap_or(0),
+                    };
+                    (name, report)
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a metadata field (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: &str, value: Json) -> Self {
+        self.meta.push((key.to_owned(), value));
+        self
+    }
+
+    /// The report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_owned())),
+            ("name", Json::Str(self.name.clone())),
+            ("meta", Json::Obj(self.meta.clone())),
+            (
+                "spans",
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("id", Json::Num(s.id as f64)),
+                                (
+                                    "parent",
+                                    s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                                ),
+                                ("name", Json::Str(s.name.clone())),
+                                ("start_us", Json::Num(s.start_us)),
+                                ("dur_us", Json::Num(s.dur_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                Json::obj(vec![
+                                    ("count", Json::Num(h.count as f64)),
+                                    ("min", Json::Num(h.min as f64)),
+                                    ("max", Json::Num(h.max as f64)),
+                                    ("mean", Json::Num(h.mean)),
+                                    ("p50", Json::Num(h.p50 as f64)),
+                                    ("p90", Json::Num(h.p90 as f64)),
+                                    ("p99", Json::Num(h.p99 as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes the report (pretty, trailing newline).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.pretty())
+    }
+
+    /// The counter value recorded under `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Names of all spans in the report, in start order.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+/// Checks that `doc` is a structurally valid `v1` run report.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_json(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema` field")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    doc.get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing `name` field")?;
+    doc.get("meta")
+        .and_then(Json::as_obj)
+        .ok_or("`meta` must be an object")?;
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("`spans` must be an array")?;
+    let mut ids = std::collections::BTreeSet::new();
+    for (i, span) in spans.iter().enumerate() {
+        let id = span
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("spans[{i}]: missing integer `id`"))?;
+        ids.insert(id);
+        span.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("spans[{i}]: missing `name`"))?;
+        for key in ["start_us", "dur_us"] {
+            let v = span
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("spans[{i}]: missing number `{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("spans[{i}]: `{key}` is negative"));
+            }
+        }
+        match span.get("parent") {
+            Some(Json::Null) | None => {}
+            Some(p) => {
+                p.as_u64()
+                    .ok_or_else(|| format!("spans[{i}]: `parent` must be null or integer"))?;
+            }
+        }
+    }
+    // Parents must reference spans in the same report.
+    for (i, span) in spans.iter().enumerate() {
+        if let Some(parent) = span.get("parent").and_then(Json::as_u64) {
+            if !ids.contains(&parent) {
+                return Err(format!("spans[{i}]: parent {parent} not in report"));
+            }
+        }
+    }
+    for (section, check_num) in [("counters", true), ("gauges", false)] {
+        let obj = doc
+            .get(section)
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("`{section}` must be an object"))?;
+        for (key, value) in obj {
+            let ok = if check_num {
+                value.as_u64().is_some()
+            } else {
+                value.as_f64().is_some()
+            };
+            if !ok {
+                return Err(format!("{section}.{key}: wrong value type"));
+            }
+        }
+    }
+    let hists = doc
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or("`histograms` must be an object")?;
+    for (key, value) in hists {
+        for field in ["count", "min", "max", "p50", "p90", "p99"] {
+            value
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histograms.{key}: missing integer `{field}`"))?;
+        }
+        value
+            .get("mean")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("histograms.{key}: missing number `mean`"))?;
+    }
+    Ok(())
+}
+
+/// Parses and validates a serialized run report.
+///
+/// # Errors
+///
+/// Returns a description of the parse or schema violation.
+pub fn validate_str(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    validate_json(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let rec = Recorder::new();
+        rec.enable();
+        let outer = rec.span("compat_graph");
+        rec.span("podem").finish();
+        outer.finish();
+        rec.counter("podem.backtracks").add(42);
+        rec.gauge("sim.kernel_words_per_sec").set(1.0e8);
+        rec.histogram("podem.backtracks_per_fault").record(7);
+        RunReport::from_recorder("unit", &rec).with_meta("circuit", Json::Str("c17".into()))
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = sample_report();
+        let text = report.pretty();
+        validate_str(&text).unwrap();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(
+            doc.get("meta").unwrap().get("circuit").unwrap().as_str(),
+            Some("c17")
+        );
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("podem.backtracks")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+        assert_eq!(doc.get("spans").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = sample_report();
+        assert_eq!(report.counter("podem.backtracks"), Some(42));
+        assert_eq!(report.counter("absent"), None);
+        // Spans are in completion order; both names present.
+        let names = report.span_names();
+        assert!(names.contains(&"compat_graph") && names.contains(&"podem"));
+        // The inner span's parent is the outer span.
+        let outer_id = report
+            .spans
+            .iter()
+            .find(|s| s.name == "compat_graph")
+            .unwrap()
+            .id;
+        let inner = report.spans.iter().find(|s| s.name == "podem").unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+    }
+
+    #[test]
+    fn validation_rejects_bad_documents() {
+        assert!(validate_str("not json").is_err());
+        assert!(validate_str("{}").unwrap_err().contains("schema"));
+        let wrong = Json::obj(vec![("schema", Json::Str("other/v9".into()))]);
+        assert!(validate_json(&wrong).unwrap_err().contains("other/v9"));
+
+        // Dangling parent reference.
+        let mut report = sample_report();
+        report.spans[0].parent = Some(999);
+        let err = validate_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+
+        // Negative duration.
+        let mut report = sample_report();
+        report.spans[0].dur_us = -1.0;
+        assert!(validate_json(&report.to_json())
+            .unwrap_err()
+            .contains("negative"));
+    }
+
+    #[test]
+    fn empty_metrics_are_omitted() {
+        let rec = Recorder::new();
+        rec.counter("touched").incr();
+        let _ = rec.counter("untouched");
+        let _ = rec.histogram("empty_hist");
+        let report = RunReport::from_recorder("unit", &rec);
+        assert_eq!(report.counters, vec![("touched".to_owned(), 1)]);
+        assert!(report.histograms.is_empty());
+        validate_str(&report.pretty()).unwrap();
+    }
+}

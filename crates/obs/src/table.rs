@@ -1,0 +1,143 @@
+//! Fixed-width table rendering shared by the end-of-run summary and the
+//! benchmark table binaries (moved here from `htforge-bench` so both can
+//! use it; `htforge_bench::Table` re-exports this type).
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Minimal fixed-width table printer for terminal reports, with a JSON
+/// projection for machine-readable artifacts.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Rows appended so far.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+                if c + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// The table as a JSON array of row objects keyed by header. Cells
+    /// that parse as numbers become JSON numbers.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Json::Obj(
+                        self.header
+                            .iter()
+                            .zip(row)
+                            .map(|(h, cell)| {
+                                let value = match cell.parse::<f64>() {
+                                    Ok(n) if n.is_finite() => Json::Num(n),
+                                    _ => Json::Str(cell.clone()),
+                                };
+                                (h.clone(), value)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["circuit", "value"]);
+        t.row(vec!["c2670", "1"]);
+        t.row(vec!["s35932", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("circuit"));
+        assert!(lines[3].contains("12345"));
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn to_json_types_cells() {
+        let mut t = Table::new(vec!["circuit", "tpr"]);
+        t.row(vec!["c2670", "0.95"]);
+        let json = t.to_json();
+        let rows = json.as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("circuit").unwrap().as_str(), Some("c2670"));
+        assert_eq!(rows[0].get("tpr").unwrap().as_f64(), Some(0.95));
+        // Round-trips through the parser.
+        assert_eq!(crate::json::parse(&json.compact()).unwrap(), json);
+    }
+}

@@ -89,6 +89,25 @@ pub struct SimProgram {
     offs: Vec<u32>,
     /// Contiguous fanin node indices for every step.
     pool: Vec<u32>,
+    /// Observability handles, fetched once at compile time so each run
+    /// records with one atomic add (`sim.kernel_words`) plus — only when
+    /// the recorder is enabled — a throughput gauge update.
+    metrics: KernelMetrics,
+}
+
+#[derive(Debug, Clone)]
+struct KernelMetrics {
+    words: htforge_obs::Counter,
+    throughput: htforge_obs::Gauge,
+}
+
+impl KernelMetrics {
+    fn from_global() -> Self {
+        KernelMetrics {
+            words: htforge_obs::counter("sim.kernel_words"),
+            throughput: htforge_obs::gauge("sim.kernel_words_per_sec"),
+        }
+    }
 }
 
 impl SimProgram {
@@ -188,6 +207,7 @@ impl SimProgram {
             dsts,
             offs,
             pool,
+            metrics: KernelMetrics::from_global(),
         })
     }
 
@@ -250,6 +270,23 @@ impl SimProgram {
     /// netlist's input count.
     #[must_use]
     pub fn run_with_threads(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
+        // Timing only when the recorder is enabled: two clock reads per
+        // run would still be noise, but the disabled path stays exactly
+        // the pre-instrumentation code.
+        let started = htforge_obs::enabled().then(std::time::Instant::now);
+        let values = self.run_columns(patterns, threads);
+        let words_done = (self.steps() * PatternSet::words_for(patterns.len())) as u64;
+        self.metrics.words.add(words_done);
+        if let Some(t0) = started {
+            let dt = t0.elapsed().as_secs_f64();
+            if dt > 0.0 {
+                self.metrics.throughput.set(words_done as f64 / dt);
+            }
+        }
+        values
+    }
+
+    fn run_columns(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
         assert_eq!(
             patterns.num_inputs(),
             self.input_positions.len(),

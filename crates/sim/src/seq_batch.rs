@@ -64,6 +64,11 @@ pub struct BatchedSequentialSimulator {
     threads: Option<usize>,
     last: Option<NodeValues>,
     cycles_run: u64,
+    /// Cached handle for the global `seq.trace_cycles` counter (see
+    /// DESIGN.md §8): one atomic add per [`step`], no name lookup.
+    ///
+    /// [`step`]: BatchedSequentialSimulator::step
+    trace_cycles: htforge_obs::Counter,
 }
 
 impl BatchedSequentialSimulator {
@@ -95,6 +100,7 @@ impl BatchedSequentialSimulator {
             threads: None,
             last: None,
             cycles_run: 0,
+            trace_cycles: htforge_obs::counter("seq.trace_cycles"),
         })
     }
 
@@ -244,6 +250,7 @@ impl BatchedSequentialSimulator {
                 .set_input_words(self.primary_inputs + k, values.words(d));
         }
         self.cycles_run += 1;
+        self.trace_cycles.add(self.traces as u64);
         self.last.insert(values)
     }
 

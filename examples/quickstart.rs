@@ -5,7 +5,12 @@
 //! cargo run --release --example quickstart [circuit] [q] [n]
 //! # e.g.
 //! cargo run --release --example quickstart c2670 12 3
+//! HTFORGE_OBS=jsonl cargo run --release --example quickstart  # event stream
 //! ```
+//!
+//! Always writes a `results/report_<circuit>.json` run report (schema
+//! `htforge.run_report/v1`, see `DESIGN.md` §8) with the per-phase spans
+//! and PODEM search counters of the run.
 
 use std::error::Error;
 use std::fs;
@@ -13,8 +18,11 @@ use std::fs;
 use htforge::atpg::PodemConfig;
 use htforge::core::{InsertionConfig, InsertionFramework};
 use htforge::netlist::{bench, verilog, AreaModel, AreaReport};
+use htforge::obs::{Json, RunReport};
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let _obs = htforge::obs::init_from_env();
+    htforge::obs::global().enable();
     let mut args = std::env::args().skip(1);
     let circuit = args.next().unwrap_or_else(|| "c2670".to_owned());
     let q: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(8);
@@ -49,11 +57,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         outcome.graph_stats.vertices, outcome.graph_stats.edges, outcome.graph_stats.dropped
     );
     println!(
-        "phase timings: rare {:?}, compat {:?}, cliques {:?}, insertion {:?} (total {:?})",
+        "phase timings: rare {:?}, compat {:?}, cliques {:?}, insertion {:?}, validation {:?} (total {:?})",
         outcome.timings.rare_extraction,
         outcome.timings.compat_graph,
         outcome.timings.clique_enumeration,
         outcome.timings.insertion,
+        outcome.timings.validation,
         outcome.timings.total(),
     );
 
@@ -79,5 +88,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             verilog_path.display()
         );
     }
+
+    let report = RunReport::from_recorder(&format!("quickstart_{circuit}"), htforge::obs::global())
+        .with_meta("circuit", Json::Str(circuit.clone()))
+        .with_meta("trigger_nodes", Json::Num(q as f64))
+        .with_meta("instances", Json::Num(n as f64));
+    let report_path = std::path::PathBuf::from(format!("results/report_{circuit}.json"));
+    report.write_to(&report_path)?;
+    println!("wrote run report {}", report_path.display());
     Ok(())
 }

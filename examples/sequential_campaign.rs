@@ -6,6 +6,9 @@
 //! ```sh
 //! cargo run --release --example sequential_campaign [circuit] [traces] [cycles]
 //! ```
+//!
+//! Writes a `results/report_<circuit>_seq.json` run report (campaign
+//! span, `seq.trace_cycles` and `detect.*` counters; `DESIGN.md` §8).
 
 use std::error::Error;
 use std::time::Instant;
@@ -16,9 +19,12 @@ use htforge::core::{
     SequentialInfectedDesign, TriggerPlan,
 };
 use htforge::detect::{evaluate_sequential_designs, SequentialCampaign};
+use htforge::obs::{Json, RunReport};
 use htforge::sim::{PatternSet, RareNodeExtractor};
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let _obs = htforge::obs::init_from_env();
+    htforge::obs::global().enable();
     let mut args = std::env::args().skip(1);
     let circuit = args.next().unwrap_or_else(|| "c2670".to_owned());
     let traces: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(64);
@@ -116,5 +122,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.trigger_coverage(),
         report.detection_coverage()
     );
+
+    let run_report = RunReport::from_recorder(
+        &format!("sequential_campaign_{circuit}"),
+        htforge::obs::global(),
+    )
+    .with_meta("circuit", Json::Str(circuit.clone()))
+    .with_meta("traces", Json::Num(traces as f64))
+    .with_meta("cycles", Json::Num(cycles as f64));
+    let report_path = std::path::PathBuf::from(format!("results/report_{circuit}_seq.json"));
+    run_report.write_to(&report_path)?;
+    println!("wrote run report {}", report_path.display());
     Ok(())
 }

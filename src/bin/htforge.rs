@@ -367,6 +367,9 @@ fn run() -> Result<(), Box<dyn Error>> {
 }
 
 fn main() -> ExitCode {
+    // `HTFORGE_OBS=jsonl,summary,progress` lights up the recorder for
+    // any subcommand (DESIGN.md §8); the guard flushes sinks on exit.
+    let _obs = htforge::obs::init_from_env();
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
