@@ -16,6 +16,7 @@
 
 use std::time::{Duration, Instant};
 
+use htforge_obs::{BudgetTicker, RunBudget};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,9 +50,12 @@ pub struct PodemConfig {
     /// mechanism behind [`crate::ndetect`].
     pub random_seed: Option<u64>,
     /// Optional per-fault wall-clock budget. When set, the search gives
-    /// up with [`TestResult::TimedOut`] at the first backtrack past the
-    /// deadline — instead of silently burning the whole backtrack limit
-    /// on one pathological fault. Hits are counted on the
+    /// up with [`TestResult::TimedOut`] once past the deadline — instead
+    /// of silently burning the whole backtrack limit on one pathological
+    /// fault. The deadline is checked at every backtrack *and*,
+    /// amortized (every 1024 events), inside the implication and
+    /// D-frontier loops, so faults with huge cones but few backtracks
+    /// cannot overshoot the budget arbitrarily. Hits are counted on the
     /// `podem.timeouts` observability counter and surfaced in the
     /// result, so campaigns can report them.
     pub time_budget: Option<Duration>,
@@ -170,6 +174,10 @@ pub struct Podem {
     stamp: u32,
     rng: Option<StdRng>,
     metrics: PodemMetrics,
+    /// Run-level budget (deadline + cancellation) shared with the
+    /// surrounding pipeline; combined with the per-fault `time_budget`
+    /// into one effective deadline per search.
+    run_budget: RunBudget,
 }
 
 impl std::fmt::Debug for Podem {
@@ -225,7 +233,16 @@ impl Podem {
             stamp: 0,
             rng: config.random_seed.map(StdRng::seed_from_u64),
             metrics: PodemMetrics::from_global(),
+            run_budget: RunBudget::unlimited(),
         })
+    }
+
+    /// Attaches a run-level budget: every subsequent [`Podem::generate`]
+    /// call respects the budget's deadline and cancellation token in
+    /// addition to the per-fault [`PodemConfig::time_budget`]. Both
+    /// kinds of expiry surface as [`TestResult::TimedOut`].
+    pub fn set_run_budget(&mut self, budget: RunBudget) {
+        self.run_budget = budget;
     }
 
     /// The engine's configuration.
@@ -264,25 +281,47 @@ impl Podem {
         result
     }
 
-    fn search(&mut self, fault: Fault, backtracks: &mut usize) -> TestResult {
-        self.reset();
-        let mut decisions: Vec<Decision> = Vec::new();
-        let deadline = self
+    /// Combines the per-fault `time_budget` with the run-level budget
+    /// into one ticker for this search.
+    fn search_ticker(&self) -> BudgetTicker {
+        let fault_deadline = self
             .config
             .time_budget
             .map(|budget| Instant::now() + budget);
+        let deadline = match (fault_deadline, self.run_budget.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        BudgetTicker::new(
+            RunBudget::new(deadline, self.run_budget.cancel_token()),
+            1024,
+        )
+    }
+
+    fn search(&mut self, fault: Fault, backtracks: &mut usize) -> TestResult {
+        self.reset();
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut ticker = self.search_ticker();
+        // Cancellation is checked up front: short searches may finish
+        // inside one amortization window and must still honour it.
+        if self.run_budget.cancelled() {
+            return TestResult::TimedOut;
+        }
 
         loop {
+            if ticker.exceeded().is_some() {
+                return TestResult::TimedOut;
+            }
             if self.success(fault) {
                 return TestResult::Test(Cube::from_tris(self.pi_values.clone()));
             }
 
-            let objective = self.objective(fault);
+            let objective = self.objective(fault, &mut ticker);
             let assignment = objective.and_then(|(node, value)| self.backtrace(node, value));
 
             match assignment {
                 Some((pi_pos, value)) => {
-                    self.assign(pi_pos, Tri::from_bool(value), fault);
+                    self.assign(pi_pos, Tri::from_bool(value), fault, &mut ticker);
                     decisions.push(Decision {
                         pi_pos,
                         value,
@@ -295,14 +334,14 @@ impl Podem {
                     if *backtracks > self.config.backtrack_limit {
                         return TestResult::Aborted;
                     }
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                    if ticker.check_now().is_err() {
                         return TestResult::TimedOut;
                     }
                     loop {
                         match decisions.pop() {
                             Some(d) if !d.flipped => {
                                 let nv = !d.value;
-                                self.assign(d.pi_pos, Tri::from_bool(nv), fault);
+                                self.assign(d.pi_pos, Tri::from_bool(nv), fault, &mut ticker);
                                 decisions.push(Decision {
                                     pi_pos: d.pi_pos,
                                     value: nv,
@@ -311,7 +350,7 @@ impl Podem {
                                 break;
                             }
                             Some(d) => {
-                                self.assign(d.pi_pos, Tri::X, fault);
+                                self.assign(d.pi_pos, Tri::X, fault, &mut ticker);
                             }
                             None => return TestResult::Untestable,
                         }
@@ -345,7 +384,7 @@ impl Podem {
     /// Derives the next objective `(node, value)`, or `None` when the
     /// current partial assignment cannot lead to a test (triggering a
     /// backtrack).
-    fn objective(&mut self, fault: Fault) -> Option<(NodeId, bool)> {
+    fn objective(&mut self, fault: Fault, ticker: &mut BudgetTicker) -> Option<(NodeId, bool)> {
         let site = self.good[fault.node().index()];
         let want = fault.excitation_value();
         match site {
@@ -361,6 +400,9 @@ impl Podem {
         // output is closest to a PO (min CO).
         let mut best: Option<(NodeId, u32)> = None;
         for (id, node) in self.nl.iter() {
+            if ticker.tick().is_err() {
+                break; // the search loop reports TimedOut
+            }
             let kind = match node.kind() {
                 NodeKind::Gate(k) => k,
                 _ => continue,
@@ -503,7 +545,7 @@ impl Podem {
     /// Assigns one PI and event-drives the change through its fan-out
     /// cone: only nodes whose value actually changes are revisited, in
     /// topological order (a min-heap keyed by topo position).
-    fn assign(&mut self, pi_pos: usize, value: Tri, fault: Fault) {
+    fn assign(&mut self, pi_pos: usize, value: Tri, fault: Fault, ticker: &mut BudgetTicker) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -535,6 +577,9 @@ impl Podem {
         let mut evaluated = 0u64;
         while let Some(Reverse((_, raw))) = heap.pop() {
             evaluated += 1;
+            if ticker.tick().is_err() {
+                break; // abandon propagation; the search loop reports TimedOut
+            }
             let id = NodeId::from_index(raw as usize);
             let node = self.nl.node(id);
             let (new_good, new_faulty) = match node.kind() {
@@ -783,6 +828,53 @@ OUTPUT(23)
         let mut podem = Podem::new(&nl17, cfg).unwrap();
         let g16 = nl17.find("16").unwrap();
         assert!(podem.generate(Fault::stuck_at(g16, false)).is_test());
+    }
+
+    #[test]
+    fn implication_loop_respects_deadline_without_backtracks() {
+        // A deep BUF chain justifies in zero backtracks, so the old
+        // backtrack-only deadline check never fired and a zero budget
+        // still returned a test. The amortized in-loop check must trip
+        // during implication instead.
+        let mut src = String::from("INPUT(n0)\nOUTPUT(y)\n");
+        let depth = 4096;
+        for i in 1..depth {
+            src.push_str(&format!("n{i} = BUF(n{})\n", i - 1));
+        }
+        src.push_str(&format!("y = BUF(n{})\n", depth - 1));
+        let nl = bench::parse(&src, "chain").unwrap();
+        let y = nl.find("y").unwrap();
+
+        // Sanity: with no budget the fault is trivially testable.
+        let mut podem = Podem::new(&nl, PodemConfig::justify()).unwrap();
+        assert!(podem.generate(Fault::for_rare_event(y, true)).is_test());
+
+        let cfg = PodemConfig {
+            time_budget: Some(Duration::ZERO),
+            ..PodemConfig::justify()
+        };
+        let mut podem = Podem::new(&nl, cfg).unwrap();
+        assert_eq!(
+            podem.generate(Fault::for_rare_event(y, true)),
+            TestResult::TimedOut
+        );
+    }
+
+    #[test]
+    fn run_budget_cancellation_stops_generation() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let g16 = nl.find("16").unwrap();
+        let mut podem = Podem::new(&nl, PodemConfig::justify()).unwrap();
+        let budget = htforge_obs::RunBudget::unlimited();
+        budget.cancel_token().cancel();
+        podem.set_run_budget(budget);
+        assert_eq!(
+            podem.generate(Fault::for_rare_event(g16, false)),
+            TestResult::TimedOut
+        );
+        // Replacing the budget restores normal operation.
+        podem.set_run_budget(htforge_obs::RunBudget::unlimited());
+        assert!(podem.generate(Fault::for_rare_event(g16, false)).is_test());
     }
 
     #[test]

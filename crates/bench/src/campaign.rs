@@ -1,0 +1,298 @@
+//! Resilient campaign execution for the table binaries.
+//!
+//! A campaign is a loop over circuits where each iteration is expensive
+//! (minutes at `--full` scale) and independent. This module makes that
+//! loop survivable:
+//!
+//! * **Panic isolation** — a circuit whose pipeline panics (or whose
+//!   closure returns `Err`) is recorded as failed and the campaign moves
+//!   on; one bad circuit no longer loses the whole table.
+//! * **Checkpoints** — each completed circuit writes an atomic JSON
+//!   checkpoint (`results/ckpt_<campaign>_<circuit>.json`, schema
+//!   [`CKPT_SCHEMA`]) holding the payload the binary needs to rebuild
+//!   that circuit's table rows.
+//! * **Resume** — a re-run loads existing checkpoints instead of
+//!   recomputing, so a killed campaign continues where it stopped.
+//!   `--fresh` discards checkpoints and recomputes everything.
+//!
+//! Failures are deliberately *not* checkpointed: a re-run retries them.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use htforge_obs::{isolate, parse_json, write_atomic, Json};
+
+/// Schema tag stamped into every checkpoint document.
+pub const CKPT_SCHEMA: &str = "htforge.campaign_ckpt/v1";
+
+/// Per-circuit result of a campaign step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitOutcome {
+    /// The circuit completed — either computed now, or (`resumed`)
+    /// loaded from a previous run's checkpoint.
+    Done {
+        /// The binary-defined payload (table rows, aggregates, …).
+        payload: Json,
+        /// True when the payload came from a checkpoint.
+        resumed: bool,
+    },
+    /// The circuit's closure returned an error or panicked. Not
+    /// checkpointed; a re-run retries it.
+    Failed {
+        /// The error or panic message.
+        error: String,
+    },
+}
+
+impl CircuitOutcome {
+    /// The payload, if the circuit completed.
+    #[must_use]
+    pub fn payload(&self) -> Option<&Json> {
+        match self {
+            CircuitOutcome::Done { payload, .. } => Some(payload),
+            CircuitOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Checkpointing, panic-isolating campaign driver.
+pub struct Campaign {
+    name: String,
+    results_dir: PathBuf,
+    fresh: bool,
+}
+
+impl Campaign {
+    /// A campaign called `name` checkpointing under `results_dir`.
+    /// With `fresh` set, existing checkpoints are discarded instead of
+    /// resumed.
+    pub fn new(name: &str, results_dir: impl Into<PathBuf>, fresh: bool) -> Self {
+        Campaign {
+            name: name.to_owned(),
+            results_dir: results_dir.into(),
+            fresh,
+        }
+    }
+
+    /// Where `circuit`'s checkpoint lives.
+    #[must_use]
+    pub fn checkpoint_path(&self, circuit: &str) -> PathBuf {
+        self.results_dir
+            .join(format!("ckpt_{}_{circuit}.json", self.name))
+    }
+
+    /// Loads and validates `circuit`'s checkpoint, returning its
+    /// payload. Any mismatch (schema, campaign, circuit) or parse
+    /// failure is treated as "no checkpoint".
+    #[must_use]
+    pub fn load_checkpoint(&self, circuit: &str) -> Option<Json> {
+        let text = std::fs::read_to_string(self.checkpoint_path(circuit)).ok()?;
+        let doc = parse_json(&text).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(CKPT_SCHEMA)
+            || doc.get("campaign").and_then(Json::as_str) != Some(self.name.as_str())
+            || doc.get("circuit").and_then(Json::as_str) != Some(circuit)
+        {
+            return None;
+        }
+        doc.get("payload").cloned()
+    }
+
+    fn write_checkpoint(&self, circuit: &str, payload: &Json) -> io::Result<()> {
+        htforge_obs::faultpoint!(
+            "checkpoint.write",
+            io::Error::other("injected fault at `checkpoint.write`")
+        );
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(CKPT_SCHEMA.to_owned())),
+            ("campaign", Json::Str(self.name.clone())),
+            ("circuit", Json::Str(circuit.to_owned())),
+            ("payload", payload.clone()),
+        ]);
+        write_atomic(&self.checkpoint_path(circuit), &doc.pretty())
+    }
+
+    /// Runs one circuit: resume from checkpoint if present (unless
+    /// `fresh`), otherwise execute `f` with panic isolation and
+    /// checkpoint its payload on success.
+    pub fn run_circuit(
+        &self,
+        circuit: &str,
+        f: impl FnOnce() -> Result<Json, String>,
+    ) -> CircuitOutcome {
+        if self.fresh {
+            let _ = std::fs::remove_file(self.checkpoint_path(circuit));
+        } else if let Some(payload) = self.load_checkpoint(circuit) {
+            return CircuitOutcome::Done {
+                payload,
+                resumed: true,
+            };
+        }
+        let result = isolate(&format!("circuit {circuit}"), || {
+            htforge_obs::faultpoint!("campaign.circuit");
+            f()
+        });
+        match result {
+            Ok(Ok(payload)) => {
+                if let Err(e) = self.write_checkpoint(circuit, &payload) {
+                    // A lost checkpoint only degrades resume; the run
+                    // itself succeeded, so carry on with a warning.
+                    eprintln!(
+                        "warning: checkpoint for `{circuit}` not written ({e}); \
+                         a resumed run will recompute it"
+                    );
+                }
+                CircuitOutcome::Done {
+                    payload,
+                    resumed: false,
+                }
+            }
+            Ok(Err(error)) => CircuitOutcome::Failed { error },
+            Err(panic_msg) => CircuitOutcome::Failed { error: panic_msg },
+        }
+    }
+
+    /// Removes the checkpoints of `circuits` (called after the final
+    /// table is written, so the next invocation starts clean).
+    pub fn clear<S: AsRef<str>>(&self, circuits: &[S]) {
+        for c in circuits {
+            let _ = std::fs::remove_file(self.checkpoint_path(c.as_ref()));
+        }
+    }
+
+    /// The directory checkpoints are written under.
+    #[must_use]
+    pub fn results_dir(&self) -> &Path {
+        &self.results_dir
+    }
+}
+
+/// Encodes one table row (a list of cells) as a JSON string array, the
+/// form checkpoint payloads carry rows in.
+#[must_use]
+pub fn str_row(cells: &[String]) -> Json {
+    Json::Arr(cells.iter().map(|c| Json::Str(c.clone())).collect())
+}
+
+/// Decodes a [`str_row`]-encoded row; non-string cells are dropped.
+#[must_use]
+pub fn row_strings(row: &Json) -> Vec<String> {
+    row.as_arr()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|c| c.as_str().map(str::to_owned))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_campaign(tag: &str, fresh: bool) -> Campaign {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "htforge_campaign_{tag}_{}_{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        Campaign::new("testcamp", dir, fresh)
+    }
+
+    #[test]
+    fn success_checkpoints_and_resumes() {
+        let camp = temp_campaign("resume", false);
+        let calls = Cell::new(0u32);
+        let payload = Json::obj(vec![("x", Json::Num(7.0))]);
+        let first = camp.run_circuit("c17", || {
+            calls.set(calls.get() + 1);
+            Ok(payload.clone())
+        });
+        assert_eq!(
+            first,
+            CircuitOutcome::Done {
+                payload: payload.clone(),
+                resumed: false
+            }
+        );
+        assert!(camp.checkpoint_path("c17").exists());
+        // A second campaign over the same directory resumes without
+        // calling the closure.
+        let camp2 = Campaign::new("testcamp", camp.results_dir(), false);
+        let second = camp2.run_circuit("c17", || {
+            calls.set(calls.get() + 100);
+            Ok(Json::Null)
+        });
+        assert_eq!(
+            second,
+            CircuitOutcome::Done {
+                payload,
+                resumed: true
+            }
+        );
+        assert_eq!(calls.get(), 1, "resume must not recompute");
+        camp.clear(&["c17"]);
+        assert!(!camp.checkpoint_path("c17").exists());
+    }
+
+    #[test]
+    fn failure_is_not_checkpointed_and_is_retried() {
+        let camp = temp_campaign("fail", false);
+        let out = camp.run_circuit("c17", || Err("no cliques".to_owned()));
+        assert_eq!(
+            out,
+            CircuitOutcome::Failed {
+                error: "no cliques".to_owned()
+            }
+        );
+        assert!(!camp.checkpoint_path("c17").exists());
+        // The retry runs the closure again.
+        let retried = camp.run_circuit("c17", || Ok(Json::Num(1.0)));
+        assert!(matches!(
+            retried,
+            CircuitOutcome::Done { resumed: false, .. }
+        ));
+    }
+
+    #[test]
+    fn panic_is_isolated_into_a_failure() {
+        let camp = temp_campaign("panic", false);
+        let out = camp.run_circuit("c17", || panic!("boom"));
+        match out {
+            CircuitOutcome::Failed { error } => {
+                assert!(error.contains("boom"), "got: {error}");
+                assert!(error.contains("c17"), "got: {error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(!camp.checkpoint_path("c17").exists());
+    }
+
+    #[test]
+    fn fresh_discards_the_checkpoint() {
+        let camp = temp_campaign("fresh", false);
+        camp.run_circuit("c17", || Ok(Json::Num(1.0)));
+        assert!(camp.checkpoint_path("c17").exists());
+        let fresh = Campaign::new("testcamp", camp.results_dir(), true);
+        let out = fresh.run_circuit("c17", || Ok(Json::Num(2.0)));
+        assert_eq!(
+            out,
+            CircuitOutcome::Done {
+                payload: Json::Num(2.0),
+                resumed: false
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let camp = temp_campaign("mismatch", false);
+        camp.run_circuit("c17", || Ok(Json::Num(1.0)));
+        // A different campaign name must not pick it up.
+        let other = Campaign::new("othercamp", camp.results_dir(), false);
+        assert!(other.load_checkpoint("c17").is_none());
+        // Corrupt the file: load treats it as absent.
+        std::fs::write(camp.checkpoint_path("c17"), "{ not json").unwrap();
+        assert!(camp.load_checkpoint("c17").is_none());
+    }
+}

@@ -16,6 +16,10 @@
 /// the observability summary sink.
 pub use htforge_obs::Table;
 
+pub mod campaign;
+
+const USAGE: &str = "supported flags: --full, --circuits a,b,c, --fresh";
+
 /// Parsed command-line options shared by the table binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOpts {
@@ -23,34 +27,53 @@ pub struct HarnessOpts {
     pub full: bool,
     /// Circuits to run on (defaults chosen by each binary).
     pub circuits: Option<Vec<String>>,
+    /// Ignore campaign checkpoints and recompute everything (`--fresh`).
+    pub fresh: bool,
 }
 
 impl HarnessOpts {
-    /// Parses `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with usage help) on unknown flags.
+    /// Parses `std::env::args`; on a malformed command line prints a
+    /// one-line diagnostic plus usage to stderr and exits with status 2
+    /// (it never panics).
     #[must_use]
     pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator (what [`HarnessOpts::from_env`] feeds
+    /// from the real command line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line diagnostic for unknown flags or a missing
+    /// `--circuits` value.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut opts = HarnessOpts {
             full: false,
             circuits: None,
+            fresh: false,
         };
-        let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--fresh" => opts.fresh = true,
                 "--circuits" => {
                     let list = args
                         .next()
-                        .expect("--circuits requires a comma-separated list");
+                        .ok_or("--circuits requires a comma-separated list")?;
                     opts.circuits = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
                 }
-                other => panic!("unknown flag `{other}` (supported: --full, --circuits a,b,c)"),
+                other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// The circuit list to use, defaulting to `default` (scaled mode) or
@@ -145,17 +168,42 @@ mod tests {
         let opts = HarnessOpts {
             full: false,
             circuits: None,
+            fresh: false,
         };
         assert_eq!(opts.circuits_or(&["c17"]), vec!["c17".to_owned()]);
         let full = HarnessOpts {
             full: true,
             circuits: None,
+            fresh: false,
         };
         assert_eq!(full.circuits_or(&["c17"]).len(), 8);
         let explicit = HarnessOpts {
             full: false,
             circuits: Some(vec!["c2670".into()]),
+            fresh: false,
         };
         assert_eq!(explicit.circuits_or(&["c17"]), vec!["c2670".to_owned()]);
+    }
+
+    #[test]
+    fn parse_accepts_known_flags_and_rejects_unknown() {
+        let ok = HarnessOpts::parse(
+            ["--full", "--fresh", "--circuits", "c17, c2670"]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .unwrap();
+        assert!(ok.full && ok.fresh);
+        assert_eq!(
+            ok.circuits,
+            Some(vec!["c17".to_owned(), "c2670".to_owned()])
+        );
+
+        let unknown = HarnessOpts::parse(["--wat"].iter().map(ToString::to_string)).unwrap_err();
+        assert!(unknown.contains("--wat"));
+
+        let missing =
+            HarnessOpts::parse(["--circuits"].iter().map(ToString::to_string)).unwrap_err();
+        assert!(missing.contains("--circuits"));
     }
 }

@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use htforge_atpg::Cube;
+use htforge_obs::{BudgetTicker, RunBudget};
 
 use crate::compat::CompatGraph;
 
@@ -61,12 +62,34 @@ pub fn enumerate_cliques(
     limit: usize,
     order_seed: u64,
 ) -> Vec<Clique> {
+    enumerate_cliques_budgeted(graph, size, limit, order_seed, &RunBudget::unlimited()).0
+}
+
+/// Budget-aware [`enumerate_cliques`]: the DFS checks the budget
+/// (amortized, every 256 expansions) and stops early when it is spent.
+/// Returns the cliques found so far plus a flag reporting whether the
+/// search was cut short — callers typically fall back to
+/// [`sample_cliques`] (greedy) for the remainder, the framework's
+/// degradation-ladder step.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+#[must_use]
+pub fn enumerate_cliques_budgeted(
+    graph: &CompatGraph,
+    size: usize,
+    limit: usize,
+    order_seed: u64,
+    budget: &RunBudget,
+) -> (Vec<Clique>, bool) {
     assert!(size > 0, "clique size must be positive");
     let n = graph.len();
     let mut out = Vec::new();
     if n < size || limit == 0 {
-        return out;
+        return (out, false);
     }
+    let mut ticker = BudgetTicker::new(budget.clone(), 256);
 
     // Visit vertices in a seeded random order, but keep extension
     // candidates in ascending index order for exactly-once enumeration.
@@ -79,6 +102,7 @@ pub fn enumerate_cliques(
 
     // Iterative DFS with explicit candidate sets. `expanded` counts
     // search-tree nodes visited, for the `clique.nodes_expanded` counter.
+    #[allow(clippy::too_many_arguments)] // recursion-local state, one call site
     fn extend(
         graph: &CompatGraph,
         members: &mut Vec<usize>,
@@ -87,9 +111,10 @@ pub fn enumerate_cliques(
         limit: usize,
         out: &mut Vec<Clique>,
         expanded: &mut u64,
+        ticker: &mut BudgetTicker,
     ) {
         *expanded += 1;
-        if out.len() >= limit {
+        if ticker.tick().is_err() || out.len() >= limit {
             return;
         }
         if members.len() == size {
@@ -120,9 +145,9 @@ pub fn enumerate_cliques(
                 let row = graph.row(v);
                 let next: Vec<u64> = candidates.iter().zip(row).map(|(&c, &r)| c & r).collect();
                 members.push(v);
-                extend(graph, members, &next, size, limit, out, expanded);
+                extend(graph, members, &next, size, limit, out, expanded, ticker);
                 members.pop();
-                if out.len() >= limit {
+                if ticker.exceeded().is_some() || out.len() >= limit {
                     return;
                 }
             }
@@ -131,7 +156,8 @@ pub fn enumerate_cliques(
 
     let mut expanded = 0u64;
     for &root in &roots {
-        if out.len() >= limit {
+        htforge_obs::faultpoint!("clique.extend");
+        if ticker.check_now().is_err() || out.len() >= limit {
             break;
         }
         stack_members.clear();
@@ -167,11 +193,12 @@ pub fn enumerate_cliques(
             limit,
             &mut out,
             &mut expanded,
+            &mut ticker,
         );
     }
     htforge_obs::counter("clique.nodes_expanded").add(expanded);
     htforge_obs::counter("clique.found").add(out.len() as u64);
-    out
+    (out, ticker.exceeded().is_some())
 }
 
 /// Samples up to `count` *distinct* cliques of size exactly `size` by
@@ -184,12 +211,32 @@ pub fn enumerate_cliques(
 /// counts; Table IV's exhaustive counts use [`enumerate_cliques`].
 #[must_use]
 pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64) -> Vec<Clique> {
+    sample_cliques_budgeted(graph, size, count, seed, &RunBudget::unlimited()).0
+}
+
+/// Budget-aware [`sample_cliques`]: the budget is checked before every
+/// greedy start and every randomized restart. Returns the cliques found
+/// plus a flag reporting whether sampling stopped early on a spent
+/// budget.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+#[must_use]
+pub fn sample_cliques_budgeted(
+    graph: &CompatGraph,
+    size: usize,
+    count: usize,
+    seed: u64,
+    budget: &RunBudget,
+) -> (Vec<Clique>, bool) {
     assert!(size > 0, "clique size must be positive");
     let n = graph.len();
     let mut out: Vec<Clique> = Vec::new();
     if n < size || count == 0 {
-        return out;
+        return (out, false);
     }
+    let mut ticker = BudgetTicker::new(budget.clone(), 4);
     let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut push = |members: Vec<usize>, out: &mut Vec<Clique>| {
@@ -213,7 +260,11 @@ pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64)
     starts.shuffle(&mut rng);
     for &start in &starts {
         if out.len() >= count {
-            return out;
+            htforge_obs::counter("clique.found").add(out.len() as u64);
+            return (out, false);
+        }
+        if ticker.tick().is_err() {
+            break;
         }
         let members = greedy_clique(graph, start, size);
         if members.len() == size {
@@ -222,10 +273,10 @@ pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64)
     }
 
     // Pass 2: randomized tie-breaking restarts for additional diversity.
-    let budget = count.saturating_mul(20).max(64);
+    let restart_budget = count.saturating_mul(20).max(64);
     let restarts = htforge_obs::counter("clique.greedy_restarts");
-    for _ in 0..budget {
-        if out.len() >= count {
+    for _ in 0..restart_budget {
+        if out.len() >= count || ticker.tick().is_err() {
             break;
         }
         restarts.incr();
@@ -236,7 +287,8 @@ pub fn sample_cliques(graph: &CompatGraph, size: usize, count: usize, seed: u64)
         }
     }
     htforge_obs::counter("clique.found").add(out.len() as u64);
-    out
+    let timed_out = ticker.exceeded().is_some();
+    (out, timed_out)
 }
 
 /// Greedy growth with randomized tie-breaking among the best few
@@ -510,5 +562,33 @@ z = AND(d1, d2)
     fn size_one_cliques() {
         let g = graph();
         assert_eq!(enumerate_cliques(&g, 1, 100, 0).len(), 4);
+    }
+
+    #[test]
+    fn budgeted_enumeration_matches_unbudgeted_with_time_left() {
+        let g = graph();
+        let budget = RunBudget::with_deadline(std::time::Duration::from_secs(60));
+        let (cliques, timed_out) = enumerate_cliques_budgeted(&g, 3, 100, 0, &budget);
+        assert!(!timed_out);
+        assert_eq!(cliques, enumerate_cliques(&g, 3, 100, 0));
+    }
+
+    #[test]
+    fn spent_budget_stops_enumeration_and_sampling() {
+        let g = graph();
+        let budget = RunBudget::with_deadline(std::time::Duration::ZERO);
+        let (cliques, timed_out) = enumerate_cliques_budgeted(&g, 3, 100, 0, &budget);
+        assert!(timed_out);
+        assert!(cliques.len() < 4, "must stop before full enumeration");
+        let (sampled, timed_out) = sample_cliques_budgeted(&g, 3, 10, 1, &budget);
+        assert!(timed_out);
+        // Whatever was found before the stop is still a valid clique.
+        for c in cliques.iter().chain(&sampled) {
+            for (i, &a) in c.members.iter().enumerate() {
+                for &b in &c.members[i + 1..] {
+                    assert!(g.compatible(a, b));
+                }
+            }
+        }
     }
 }

@@ -10,6 +10,7 @@
 
 use htforge_atpg::{Cube, Fault, Podem, PodemConfig, PodemMode, TestResult};
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
+use htforge_obs::{BudgetTicker, DegradationNote, RunBudget};
 use htforge_sim::RareNodeSet;
 
 /// Per-thread cube generator: a detect-mode engine with a justify-mode
@@ -40,12 +41,22 @@ impl CubeWorker {
         })
     }
 
+    /// Attaches the run budget to both engines so in-flight searches
+    /// stop at the deadline instead of only between faults.
+    fn set_run_budget(&mut self, budget: &RunBudget) {
+        self.podem.set_run_budget(budget.clone());
+        if let Some(j) = self.justify.as_mut() {
+            j.set_run_budget(budget.clone());
+        }
+    }
+
     fn cube_for(
         &mut self,
         index: usize,
         node: htforge_netlist::netlist::NodeId,
         rare_value: bool,
     ) -> Option<Cube> {
+        htforge_obs::faultpoint!("compat.cube");
         if let Some(seed) = self.base_seed {
             // Deterministic per fault, independent of work partitioning.
             let s = seed.wrapping_add(index as u64);
@@ -134,55 +145,114 @@ impl CompatGraph {
         podem_config: PodemConfig,
         threads: usize,
     ) -> Result<Self, NetlistError> {
+        Self::build_inner(nl, rare, podem_config, threads, &RunBudget::unlimited())
+            .map(|(graph, _)| graph)
+    }
+
+    /// Budget-aware [`CompatGraph::build`]: cube generation stops
+    /// attempting new faults once the budget is spent (in-flight PODEM
+    /// searches are interrupted via the shared budget), and the
+    /// pairwise matrix falls back to a budget-checked triangular fill
+    /// that may leave later row pairs unconnected. The graph stays
+    /// internally consistent (symmetric adjacency; missing edges are
+    /// merely conservative) and every shortcut taken is reported as a
+    /// [`DegradationNote`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CompatGraph::build`].
+    pub fn build_budgeted(
+        nl: &Netlist,
+        rare: &RareNodeSet,
+        podem_config: PodemConfig,
+        budget: &RunBudget,
+    ) -> Result<(Self, Vec<DegradationNote>), NetlistError> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::build_inner(nl, rare, podem_config, threads, budget)
+    }
+
+    fn build_inner(
+        nl: &Netlist,
+        rare: &RareNodeSet,
+        podem_config: PodemConfig,
+        threads: usize,
+        budget: &RunBudget,
+    ) -> Result<(Self, Vec<DegradationNote>), NetlistError> {
         assert!(threads > 0, "need at least one worker thread");
         let rare_list: Vec<(htforge_netlist::netlist::NodeId, bool)> =
             rare.iter().map(|r| (r.node, r.rare_value)).collect();
+        let mut notes = Vec::new();
 
-        // Phase A: one cube per rare event (parallel over faults).
+        // Phase A: one cube per rare event (parallel over faults). Each
+        // worker checks the budget before starting a fault; expired
+        // budgets skip the remaining faults (a skip is distinguishable
+        // from a PODEM drop so it can be reported).
         let podem_span = htforge_obs::span("podem");
         let chunk_size = rare_list.len().div_ceil(threads).max(1);
         let mut cube_results: Vec<Option<Cube>> = Vec::new();
+        let mut skipped = 0usize;
         if threads == 1 || rare_list.len() <= 1 {
             let mut worker = CubeWorker::new(nl, podem_config)?;
-            cube_results = rare_list
-                .iter()
-                .enumerate()
-                .map(|(i, &(node, value))| worker.cube_for(i, node, value))
-                .collect();
+            worker.set_run_budget(budget);
+            for (i, &(node, value)) in rare_list.iter().enumerate() {
+                if budget.check().is_err() {
+                    skipped += 1;
+                    cube_results.push(None);
+                } else {
+                    cube_results.push(worker.cube_for(i, node, value));
+                }
+            }
         } else {
             // Engine construction is fallible; build them up front so
             // errors surface before any thread spawns.
             let mut workers: Vec<CubeWorker> = (0..threads.min(rare_list.len()))
-                .map(|_| CubeWorker::new(nl, podem_config))
+                .map(|_| {
+                    CubeWorker::new(nl, podem_config).map(|mut w| {
+                        w.set_run_budget(budget);
+                        w
+                    })
+                })
                 .collect::<Result<_, _>>()?;
             let chunks: Vec<(usize, &[(htforge_netlist::netlist::NodeId, bool)])> = rare_list
                 .chunks(chunk_size)
                 .enumerate()
                 .map(|(k, c)| (k * chunk_size, c))
                 .collect();
-            let results: Vec<Vec<Option<Cube>>> = std::thread::scope(|scope| {
+            let results: Vec<(Vec<Option<Cube>>, usize)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .zip(workers.iter_mut())
                     .map(|((base, chunk), worker)| {
                         scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .enumerate()
-                                .map(|(off, &(node, value))| {
-                                    worker.cube_for(base + off, node, value)
-                                })
-                                .collect::<Vec<_>>()
+                            let mut out = Vec::with_capacity(chunk.len());
+                            let mut skipped = 0usize;
+                            for (off, &(node, value)) in chunk.iter().enumerate() {
+                                if budget.check().is_err() {
+                                    skipped += 1;
+                                    out.push(None);
+                                } else {
+                                    out.push(worker.cube_for(base + off, node, value));
+                                }
+                            }
+                            (out, skipped)
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("cube worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(part) => part,
+                        // Re-raise with the original payload so campaign-level
+                        // isolation reports the real panic message.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
-            for part in results {
+            for (part, part_skipped) in results {
                 cube_results.extend(part);
+                skipped += part_skipped;
             }
         }
 
@@ -197,6 +267,17 @@ impl CompatGraph {
                 }),
                 None => dropped += 1,
             }
+        }
+        dropped -= skipped; // skips are reported separately, not as drops
+        if skipped > 0 {
+            notes.push(DegradationNote::new(
+                "compat_graph",
+                "skipped_faults",
+                format!(
+                    "budget spent: {skipped} of {} rare events not attempted",
+                    rare_list.len()
+                ),
+            ));
         }
         podem_span.finish();
         htforge_obs::counter("compat.events").add(events.len() as u64);
@@ -220,6 +301,7 @@ impl CompatGraph {
                 .any(|(&x, &y)| x & y != 0)
         };
         let row_of = |i: usize| -> Vec<u64> {
+            htforge_obs::faultpoint!("compat.matrix_row");
             let mut row = vec![0u64; words];
             for j in 0..n {
                 if j != i && !conflicts(i, j) {
@@ -228,10 +310,40 @@ impl CompatGraph {
             }
             row
         };
-        let adj: Vec<Vec<u64>> = if threads == 1 || n < 256 {
+        let limited = !budget.is_unlimited() || budget.cancelled();
+        let adj: Vec<Vec<u64>> = if limited {
+            // Budgeted fill is triangular (both directions of a pair are
+            // set together), so stopping early keeps the matrix
+            // symmetric: unvisited pairs are just "incompatible".
+            let mut adj = vec![vec![0u64; words]; n];
+            let mut ticker = BudgetTicker::new(budget.clone(), 8);
+            let mut rows_done = n;
+            for i in 0..n {
+                htforge_obs::faultpoint!("compat.matrix_row");
+                if ticker.tick().is_err() {
+                    rows_done = i;
+                    break;
+                }
+                for j in i + 1..n {
+                    if !conflicts(i, j) {
+                        adj[i][j / 64] |= 1 << (j % 64);
+                        adj[j][i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+            if rows_done < n {
+                notes.push(DegradationNote::new(
+                    "compat_graph",
+                    "truncated_matrix",
+                    format!("pairwise compatibility computed for {rows_done} of {n} rows"),
+                ));
+            }
+            adj
+        } else if threads == 1 || n < 256 {
             // Triangular fill: half the pair checks of the row variant.
             let mut adj = vec![vec![0u64; words]; n];
             for i in 0..n {
+                htforge_obs::faultpoint!("compat.matrix_row");
                 for j in i + 1..n {
                     if !conflicts(i, j) {
                         adj[i][j / 64] |= 1 << (j % 64);
@@ -253,7 +365,10 @@ impl CompatGraph {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("matrix worker panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(rows) => rows,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };
@@ -264,7 +379,7 @@ impl CompatGraph {
             dropped,
         };
         htforge_obs::counter("compat.edges").add(graph.edge_count() as u64);
-        Ok(graph)
+        Ok((graph, notes))
     }
 
     /// The graph's vertices.
@@ -438,5 +553,44 @@ z = NOR(a, b)
         for i in 0..g.len() {
             assert!(g.compatible(i, i));
         }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_build() {
+        let nl = bench::parse(TWO_CONES, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 3);
+        let rare = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        let full = CompatGraph::build(&nl, &rare, PodemConfig::default()).unwrap();
+        let budget = RunBudget::with_deadline(std::time::Duration::from_secs(60));
+        let (g, notes) =
+            CompatGraph::build_budgeted(&nl, &rare, PodemConfig::default(), &budget).unwrap();
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(g.len(), full.len());
+        assert_eq!(g.edge_count(), full.edge_count());
+        assert_eq!(g.dropped(), full.dropped());
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                assert_eq!(g.compatible(i, j), full.compatible(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn spent_budget_skips_faults_and_reports_it() {
+        let nl = bench::parse(TWO_CONES, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 3);
+        let rare = RareNodeExtractor::new(0.30).extract(&nl, &ps).unwrap();
+        assert!(!rare.is_empty());
+        let budget = RunBudget::with_deadline(std::time::Duration::ZERO);
+        let (g, notes) =
+            CompatGraph::build_budgeted(&nl, &rare, PodemConfig::default(), &budget).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.dropped(), 0, "skips must not be counted as drops");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.phase == "compat_graph" && n.action == "skipped_faults"),
+            "{notes:?}"
+        );
     }
 }

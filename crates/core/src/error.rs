@@ -24,6 +24,19 @@ pub enum InsertionError {
     NoPayloadNet,
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// The run budget's wall-clock deadline expired before the named
+    /// phase could produce any usable result. (When partial results
+    /// exist, the run returns `Ok` with `DegradationNote`s instead.)
+    Timeout {
+        /// Pipeline phase that ran out of budget.
+        phase: String,
+    },
+    /// The run's cancellation token was triggered.
+    Cancelled,
+    /// An isolated internal failure (typically a captured panic from a
+    /// campaign circuit), recorded so the surrounding campaign can
+    /// continue.
+    Internal(String),
 }
 
 impl fmt::Display for InsertionError {
@@ -40,6 +53,25 @@ impl fmt::Display for InsertionError {
                 write!(f, "no payload net satisfies the acyclicity constraint")
             }
             InsertionError::Netlist(e) => write!(f, "netlist error: {e}"),
+            InsertionError::Timeout { phase } => {
+                write!(f, "run budget exhausted during `{phase}`")
+            }
+            InsertionError::Cancelled => write!(f, "run cancelled"),
+            InsertionError::Internal(msg) => write!(f, "internal failure: {msg}"),
+        }
+    }
+}
+
+impl From<htforge_obs::BudgetExceeded> for InsertionError {
+    /// Maps a budget verdict with no phase context; phases that know
+    /// where they stopped should construct [`InsertionError::Timeout`]
+    /// directly.
+    fn from(e: htforge_obs::BudgetExceeded) -> Self {
+        match e {
+            htforge_obs::BudgetExceeded::Deadline => InsertionError::Timeout {
+                phase: "unknown".to_owned(),
+            },
+            htforge_obs::BudgetExceeded::Cancelled => InsertionError::Cancelled,
         }
     }
 }
@@ -74,6 +106,22 @@ mod tests {
         assert!(InsertionError::NoCliques { size: 4 }
             .to_string()
             .contains("4"));
+    }
+
+    #[test]
+    fn resilience_variants_display() {
+        let e = InsertionError::Timeout {
+            phase: "compat_graph".to_owned(),
+        };
+        assert!(e.to_string().contains("compat_graph"));
+        assert_eq!(InsertionError::Cancelled.to_string(), "run cancelled");
+        assert!(InsertionError::Internal("panic in c432: boom".to_owned())
+            .to_string()
+            .contains("boom"));
+        assert_eq!(
+            InsertionError::from(htforge_obs::BudgetExceeded::Cancelled),
+            InsertionError::Cancelled
+        );
     }
 
     #[test]

@@ -10,10 +10,11 @@ use std::time::Duration;
 
 use htforge_atpg::PodemConfig;
 use htforge_netlist::{netlist::NodeId, Netlist};
+use htforge_obs::{DegradationNote, RunBudget};
 use htforge_scoap::Scoap;
 use htforge_sim::{PatternSet, RareNodeExtractor, RareNodeSet};
 
-use crate::clique::{enumerate_cliques, Clique};
+use crate::clique::{enumerate_cliques_budgeted, sample_cliques_budgeted, Clique};
 use crate::compat::CompatGraph;
 use crate::error::InsertionError;
 use crate::insert::{insert_trojan_with, TrojanInstance};
@@ -119,6 +120,9 @@ pub struct InsertionOutcome {
     pub graph_stats: GraphStats,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
+    /// Degradation decisions taken under budget pressure (empty for a
+    /// run that completed in full — see `DESIGN.md` §9).
+    pub degradations: Vec<DegradationNote>,
 }
 
 /// Summary statistics of the compatibility graph and clique search.
@@ -181,9 +185,43 @@ impl InsertionFramework {
     /// * [`InsertionError::NoPayloadNet`] — no acyclicity-safe payload,
     /// * [`InsertionError::Netlist`] — structural failures.
     pub fn run(&self, nl: &Netlist) -> Result<InsertionOutcome, InsertionError> {
+        self.run_with_budget(nl, &RunBudget::unlimited())
+    }
+
+    /// [`InsertionFramework::run`] under a [`RunBudget`] — the
+    /// resilience entry point (see `DESIGN.md` §9).
+    ///
+    /// Phases receive sub-budgets derived from the time remaining and
+    /// degrade instead of failing where partial results are possible:
+    /// rare-node profiling truncates its vector set, compatibility-graph
+    /// construction skips unattempted faults and matrix rows, exact
+    /// clique enumeration falls back to the greedy heuristic, and
+    /// `num_instances = N` degrades to "as many as fit". Every shortcut
+    /// is recorded in [`InsertionOutcome::degradations`]. The run only
+    /// *errors* on budget grounds when a phase produced nothing usable
+    /// ([`InsertionError::Timeout`]) or the budget's token was cancelled
+    /// ([`InsertionError::Cancelled`]).
+    ///
+    /// With an unlimited budget this is exactly [`InsertionFramework::run`]:
+    /// same results, same phase structure, one extra atomic load per
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// The variants listed for [`InsertionFramework::run`], plus
+    /// [`InsertionError::Timeout`] and [`InsertionError::Cancelled`].
+    pub fn run_with_budget(
+        &self,
+        nl: &Netlist,
+        budget: &RunBudget,
+    ) -> Result<InsertionOutcome, InsertionError> {
         let cfg = &self.config;
         let mut timings = PhaseTimings::default();
+        let mut degradations: Vec<DegradationNote> = Vec::new();
         let pipeline_span = htforge_obs::span("insertion_pipeline");
+        budget
+            .check()
+            .map_err(|_| budget_error(budget, "preprocess"))?;
 
         // Phase 0: combinational model.
         let t0 = htforge_obs::span("preprocess");
@@ -195,61 +233,145 @@ impl InsertionFramework {
         let scoap = Scoap::compute(nl)?;
         timings.preprocess = t0.finish();
 
-        // Phase 1: rare nodes (Algorithm 1).
+        // Phase 1: rare nodes (Algorithm 1); the profile truncates when
+        // its sub-budget runs out.
         let t1 = htforge_obs::span("rare_extraction");
         let patterns = PatternSet::random(comb.inputs().len(), cfg.num_vectors, cfg.seed);
-        let rare = RareNodeExtractor::new(cfg.theta).extract(&comb, &patterns)?;
+        let (rare, rare_note) = RareNodeExtractor::new(cfg.theta).extract_budgeted(
+            &comb,
+            &patterns,
+            &budget.sub(0.25),
+        )?;
         timings.rare_extraction = t1.finish();
         htforge_obs::counter("rare.nodes").add(rare.len() as u64);
+        let rare_truncated = rare_note.is_some();
+        degradations.extend(rare_note);
         if rare.len() < cfg.trigger_nodes {
-            return Err(InsertionError::NotEnoughRareNodes {
-                found: rare.len(),
-                needed: cfg.trigger_nodes,
+            // An untruncated profile with too few rare nodes is a
+            // property of the circuit; a truncated one is a timeout.
+            return Err(if rare_truncated {
+                budget_error(budget, "rare_extraction")
+            } else {
+                InsertionError::NotEnoughRareNodes {
+                    found: rare.len(),
+                    needed: cfg.trigger_nodes,
+                }
             });
         }
 
-        // Phase 2: compatibility graph (Algorithm 2).
+        // Phase 2: compatibility graph (Algorithm 2); skips faults and
+        // matrix rows when its sub-budget runs out.
         let t2 = htforge_obs::span("compat_graph");
-        let graph = CompatGraph::build(&comb, &rare, cfg.podem)?;
+        let (graph, compat_notes) =
+            CompatGraph::build_budgeted(&comb, &rare, cfg.podem, &budget.sub(0.70))?;
         timings.compat_graph = t2.finish();
+        let compat_degraded = !compat_notes.is_empty();
+        degradations.extend(compat_notes);
         if graph.len() < cfg.trigger_nodes {
-            return Err(InsertionError::NotEnoughRareNodes {
-                found: graph.len(),
-                needed: cfg.trigger_nodes,
+            return Err(if compat_degraded {
+                budget_error(budget, "compat_graph")
+            } else {
+                InsertionError::NotEnoughRareNodes {
+                    found: graph.len(),
+                    needed: cfg.trigger_nodes,
+                }
             });
         }
 
         // Phase 3: clique selection. Small trigger counts use exhaustive
         // enumeration (cheap and maximally diverse); large ones use
         // greedy sampling, because exact search near the graph's clique
-        // number degenerates into exponential nonexistence proofs.
+        // number degenerates into exponential nonexistence proofs. On a
+        // spent sub-budget the exact search degrades to the greedy
+        // sampler for the remaining instances (the degradation ladder).
         let t3 = htforge_obs::span("clique_enumeration");
-        let cliques = if cfg.trigger_nodes <= 8 {
-            enumerate_cliques(
+        let clique_budget = budget.sub(0.60);
+        let order_seed = cfg.seed ^ 0x5EED;
+        let mut cliques;
+        if cfg.trigger_nodes <= 8 {
+            let (exact, cut_short) = enumerate_cliques_budgeted(
                 &graph,
                 cfg.trigger_nodes,
                 cfg.num_instances,
-                cfg.seed ^ 0x5EED,
-            )
+                order_seed,
+                &clique_budget,
+            );
+            cliques = exact;
+            if cut_short && cliques.len() < cfg.num_instances {
+                let missing = cfg.num_instances - cliques.len();
+                let (sampled, _) = sample_cliques_budgeted(
+                    &graph,
+                    cfg.trigger_nodes,
+                    cfg.num_instances,
+                    order_seed,
+                    &budget.sub(0.50),
+                );
+                let mut seen: std::collections::HashSet<Vec<usize>> =
+                    cliques.iter().map(|c| sorted_members(&c.members)).collect();
+                cliques.extend(
+                    sampled
+                        .into_iter()
+                        .filter(|c| seen.insert(sorted_members(&c.members)))
+                        .take(missing),
+                );
+                degradations.push(DegradationNote::new(
+                    "clique_enumeration",
+                    "greedy_fallback",
+                    format!(
+                        "exact enumeration cut short by the budget; \
+                         greedy sampling filled {} of {} instances",
+                        cliques.len(),
+                        cfg.num_instances
+                    ),
+                ));
+            }
         } else {
-            crate::clique::sample_cliques(
+            let (sampled, cut_short) = sample_cliques_budgeted(
                 &graph,
                 cfg.trigger_nodes,
                 cfg.num_instances,
-                cfg.seed ^ 0x5EED,
-            )
-        };
+                order_seed,
+                &clique_budget,
+            );
+            cliques = sampled;
+            if cut_short {
+                degradations.push(DegradationNote::new(
+                    "clique_enumeration",
+                    "truncated_sampling",
+                    format!(
+                        "greedy sampling stopped at {} of {} instances",
+                        cliques.len(),
+                        cfg.num_instances
+                    ),
+                ));
+            }
+        }
         timings.clique_enumeration = t3.finish();
         if cliques.is_empty() {
-            return Err(InsertionError::NoCliques {
-                size: cfg.trigger_nodes,
+            // "No cliques" is only a statement about the circuit when
+            // nothing upstream was cut short; a truncated profile or
+            // matrix makes an empty result a budget artifact.
+            return Err(if budget.check().is_err() || !degradations.is_empty() {
+                budget_error(budget, "clique_enumeration")
+            } else {
+                InsertionError::NoCliques {
+                    size: cfg.trigger_nodes,
+                }
             });
         }
 
-        // Phase 4: trigger synthesis + insertion (Algorithm 3).
+        // Phase 4: trigger synthesis + insertion (Algorithm 3). On a
+        // spent budget, `num_instances = N` degrades to "as many as
+        // fit".
         let t4 = htforge_obs::span("insertion");
         let mut infected = Vec::with_capacity(cliques.len());
+        let mut stopped_at = None;
         for (i, clique) in cliques.iter().enumerate() {
+            if budget.check().is_err() {
+                stopped_at = Some(i);
+                break;
+            }
+            htforge_obs::faultpoint!("insert.instance");
             match self.insert_one(nl, &graph, clique, &scoap, i) {
                 Ok(design) => infected.push(design),
                 // A clique without a safe payload is skipped, not fatal —
@@ -260,21 +382,38 @@ impl InsertionFramework {
         }
         timings.insertion = t4.finish();
         htforge_obs::counter("insertion.instances").add(infected.len() as u64);
+        if let Some(done) = stopped_at {
+            degradations.push(DegradationNote::new(
+                "insertion",
+                "fewer_instances",
+                format!("budget spent after {done} of {} cliques", cliques.len()),
+            ));
+        }
         if infected.is_empty() {
-            return Err(InsertionError::NoPayloadNet);
+            return Err(if stopped_at.is_some() {
+                budget_error(budget, "insertion")
+            } else {
+                InsertionError::NoPayloadNet
+            });
         }
 
         // Phase 5: structural validation of every emitted design. This
         // was previously left to callers (and tests); making it a pipeline
         // phase means a malformed netlist can never leave the framework
         // silently, and gives the timing tables a `validation` column.
+        // Validation is never skipped under budget pressure: an
+        // unvalidated partial result is not a result.
         let t5 = htforge_obs::span("validation");
+        htforge_obs::faultpoint!("framework.validate");
         for design in &infected {
             design.netlist.validate()?;
         }
         timings.validation = t5.finish();
 
         pipeline_span.finish();
+        if !degradations.is_empty() {
+            htforge_obs::counter("framework.degradations").add(degradations.len() as u64);
+        }
         let graph_stats = GraphStats {
             vertices: graph.len(),
             dropped: graph.dropped(),
@@ -286,6 +425,7 @@ impl InsertionFramework {
             rare_nodes: rare,
             graph_stats,
             timings,
+            degradations,
         })
     }
 
@@ -303,7 +443,23 @@ impl InsertionFramework {
         &self,
         nl: &Netlist,
     ) -> Result<(Netlist, Vec<TrojanInstance>), InsertionError> {
-        let outcome = self.run(nl)?;
+        self.run_combined_with_budget(nl, &RunBudget::unlimited())
+            .map(|(combined, instances, _)| (combined, instances))
+    }
+
+    /// [`InsertionFramework::run_combined`] under a [`RunBudget`]; the
+    /// third tuple element reports any degradation decisions (see
+    /// [`InsertionFramework::run_with_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`InsertionFramework::run_with_budget`].
+    pub fn run_combined_with_budget(
+        &self,
+        nl: &Netlist,
+        budget: &RunBudget,
+    ) -> Result<(Netlist, Vec<TrojanInstance>, Vec<DegradationNote>), InsertionError> {
+        let outcome = self.run_with_budget(nl, budget)?;
         let mut combined = nl.clone();
         combined.set_name(format!("{}_multi", nl.name()));
         let mut instances = Vec::new();
@@ -350,7 +506,7 @@ impl InsertionFramework {
         let v = htforge_obs::span("validation");
         combined.validate()?;
         v.finish();
-        Ok((combined, instances))
+        Ok((combined, instances, outcome.degradations))
     }
 
     fn insert_one(
@@ -399,6 +555,27 @@ impl InsertionFramework {
     }
 }
 
+/// The error a phase reports when its budget ran out and it produced
+/// nothing usable. Cancellation wins over the deadline: a cancelled run
+/// is `Cancelled` even if the deadline also passed.
+fn budget_error(budget: &RunBudget, phase: &str) -> InsertionError {
+    if budget.cancelled() {
+        InsertionError::Cancelled
+    } else {
+        InsertionError::Timeout {
+            phase: phase.to_string(),
+        }
+    }
+}
+
+/// Canonical member list for clique dedup across the exact/greedy
+/// fallback boundary.
+fn sorted_members(members: &[usize]) -> Vec<usize> {
+    let mut m = members.to_vec();
+    m.sort_unstable();
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +609,60 @@ mod tests {
             assert_eq!(design.trojan.trigger_node_count(), 2);
         }
         assert!(outcome.graph_stats.vertices >= 2);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let fw = InsertionFramework::new(cfg);
+        let plain = fw.run(&nl).unwrap();
+        let budgeted = fw
+            .run_with_budget(&nl, &RunBudget::with_deadline(Duration::from_secs(600)))
+            .unwrap();
+        assert!(budgeted.degradations.is_empty());
+        assert_eq!(budgeted.infected.len(), plain.infected.len());
+        assert_eq!(budgeted.rare_nodes.len(), plain.rare_nodes.len());
+        assert_eq!(budgeted.graph_stats.edges, plain.graph_stats.edges);
+        for (a, b) in plain.infected.iter().zip(budgeted.infected.iter()) {
+            assert_eq!(a.trojan.trigger_inputs, b.trojan.trigger_inputs);
+        }
+    }
+
+    #[test]
+    fn spent_budget_yields_timeout_with_phase() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let err = InsertionFramework::new(cfg)
+            .run_with_budget(&nl, &RunBudget::with_deadline(Duration::ZERO))
+            .unwrap_err();
+        match err {
+            InsertionError::Timeout { phase } => {
+                assert!(!phase.is_empty(), "timeout must name the phase")
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_yields_cancelled() {
+        let nl = htforge_circuits::load("c17").unwrap();
+        let cfg = InsertionConfig {
+            theta: 0.30,
+            ..quick_config(2, 3)
+        };
+        let budget = RunBudget::unlimited();
+        budget.cancel_token().cancel();
+        let err = InsertionFramework::new(cfg)
+            .run_with_budget(&nl, &budget)
+            .unwrap_err();
+        assert!(matches!(err, InsertionError::Cancelled), "got {err}");
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub enum PayloadStrategy {
 /// net that feeds the trigger would change the activation condition.
 #[must_use]
 pub fn safe_payload_candidates(nl: &Netlist, trigger_nodes: &[NodeId]) -> Vec<NodeId> {
+    // One backward pass from the trigger taps: `reaches_trigger[n]` set
+    // ⟺ some trigger node lies in `n`'s combinational fan-out. Each
+    // candidate then checks its direct consumers against the mask in
+    // O(fanout) instead of running a fresh forward traversal per node
+    // (which made this O(gates²) — seconds on s38584-scale hosts).
+    let reaches_trigger = graph::transitive_fanin(nl, trigger_nodes);
     let mut out = Vec::new();
     for (id, node) in nl.iter() {
         if !matches!(node.kind(), NodeKind::Gate(_)) {
@@ -65,13 +71,7 @@ pub fn safe_payload_candidates(nl: &Netlist, trigger_nodes: &[NodeId]) -> Vec<No
         }
         // Acyclicity: the XOR output feeds the victim's current consumers;
         // a cycle forms iff a trigger node is reachable from any of them.
-        let consumers: Vec<NodeId> = node.fanouts().to_vec();
-        if consumers.is_empty() {
-            out.push(id); // pure PO: nothing downstream, trivially safe
-            continue;
-        }
-        let cone = graph::transitive_fanout(nl, &consumers);
-        if trigger_nodes.iter().all(|t| !cone[t.index()]) {
+        if node.fanouts().iter().all(|c| !reaches_trigger[c.index()]) {
             out.push(id);
         }
     }

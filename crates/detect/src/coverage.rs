@@ -78,10 +78,10 @@ fn percent(num: usize, den: usize) -> f64 {
 ///
 /// Returns [`NetlistError`] for cyclic netlists.
 ///
-/// # Panics
-///
-/// Panics if a design's scan-cut output count differs from the golden's
-/// (they are the same design modulo the trojan, so this indicates a bug).
+/// A design whose evaluation *panics* (a malformed netlist tripping an
+/// internal invariant, an injected fault) is isolated: it is graded
+/// `{triggered: false, detected: false}`, the panic message is counted
+/// under `detect.isolated_panics`, and the rest of the batch proceeds.
 pub fn evaluate_designs(
     golden: &Netlist,
     designs: &[InfectedDesign],
@@ -97,37 +97,50 @@ pub fn evaluate_designs(
     let golden_vals = golden_sim.run_on(&golden_cut, tests);
 
     let mut verdicts = Vec::with_capacity(designs.len());
-    for design in designs {
-        let infected_cut = if design.netlist.dffs().is_empty() {
-            design.netlist.clone()
-        } else {
-            design.netlist.scan_cut()
-        };
-        assert_eq!(
-            infected_cut.outputs().len(),
-            golden_cut.outputs().len(),
-            "infected design must preserve the output interface"
-        );
-        let sim = Simulator::new(&infected_cut)?;
-        let vals = sim.run_on(&infected_cut, tests);
+    for (i, design) in designs.iter().enumerate() {
+        let graded = htforge_obs::isolate(&format!("design {i}"), || {
+            htforge_obs::faultpoint!("detect.design");
+            let infected_cut = if design.netlist.dffs().is_empty() {
+                design.netlist.clone()
+            } else {
+                design.netlist.scan_cut()
+            };
+            assert_eq!(
+                infected_cut.outputs().len(),
+                golden_cut.outputs().len(),
+                "infected design must preserve the output interface"
+            );
+            let sim = Simulator::new(&infected_cut)?;
+            let vals = sim.run_on(&infected_cut, tests);
 
-        let trigger = design.trojan.trigger_output;
-        let triggered = vals.words(trigger).iter().any(|&w| w != 0);
+            let trigger = design.trojan.trigger_output;
+            let triggered = vals.words(trigger).iter().any(|&w| w != 0);
 
-        let mut detected = false;
-        'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs()) {
-            let gw = golden_vals.words(go);
-            let iw = vals.words(io);
-            for (a, b) in gw.iter().zip(iw) {
-                if a != b {
-                    detected = true;
-                    break 'outer;
+            let mut detected = false;
+            'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs()) {
+                let gw = golden_vals.words(go);
+                let iw = vals.words(io);
+                for (a, b) in gw.iter().zip(iw) {
+                    if a != b {
+                        detected = true;
+                        break 'outer;
+                    }
                 }
             }
-        }
-        verdicts.push(DesignVerdict {
-            triggered,
-            detected,
+            Ok(DesignVerdict {
+                triggered,
+                detected,
+            })
+        });
+        verdicts.push(match graded {
+            Ok(result) => result?,
+            Err(_panic_msg) => {
+                htforge_obs::counter("detect.isolated_panics").add(1);
+                DesignVerdict {
+                    triggered: false,
+                    detected: false,
+                }
+            }
         });
     }
     htforge_obs::counter("detect.designs_graded").add(designs.len() as u64);
@@ -212,6 +225,28 @@ mod tests {
         // c17 is tiny: MERO should trigger these trojans (the paper's
         // evasion results require the large-q trojans of real circuits).
         assert!(report.triggered() > 0);
+    }
+
+    #[test]
+    fn panicking_design_is_isolated_not_fatal() {
+        let (nl, mut designs) = infected_c17();
+        // Keep a healthy copy as the survivor, then sabotage the first
+        // design so its evaluation trips the output-interface invariant
+        // (a panic, not an Err): c432 has 7 outputs, c17 has 2.
+        let survivor = designs[0].clone();
+        designs[0].netlist = htforge_circuits::load("c432").unwrap();
+        designs.push(survivor);
+        let mut tests = PatternSet::zeros(nl.inputs().len(), 0);
+        for d in &designs[1..] {
+            tests.push(&d.trojan.activation_cube.fill_with(false));
+        }
+        let report = evaluate_designs(&nl, &designs, &tests).unwrap();
+        assert_eq!(report.total(), designs.len());
+        // The sabotaged design is graded "not triggered, not detected"...
+        assert!(!report.verdicts[0].triggered);
+        assert!(!report.verdicts[0].detected);
+        // ...while the healthy designs still got their real verdicts.
+        assert!(report.triggered() > 0, "survivors must still be graded");
     }
 
     #[test]

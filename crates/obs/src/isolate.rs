@@ -1,0 +1,60 @@
+//! Panic isolation: run a closure, convert an unwind into an error
+//! string carrying the panic payload. Used by campaign drivers so one
+//! panicking circuit cannot kill a multi-circuit run.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Extracts a human-readable message from a panic payload.
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f`, catching any panic and reporting it as
+/// `Err("panic in <label>: <payload>")`.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers must not
+/// rely on state the closure was mutating when it panicked (campaign
+/// drivers discard the circuit's partial state, which is exactly the
+/// intended use).
+///
+/// # Errors
+///
+/// The captured panic message, prefixed with `label`.
+pub fn isolate<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(format!("panic in {label}: {}", panic_message(&*payload))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_success() {
+        assert_eq!(isolate("unit", || 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn captures_str_and_string_payloads() {
+        let err = isolate("circuit c17", || panic!("static payload")).unwrap_err();
+        assert_eq!(err, "panic in circuit c17: static payload");
+        let err = isolate("x", || panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(err, "panic in x: formatted 7");
+    }
+
+    #[test]
+    fn reports_non_string_payloads() {
+        let err = isolate("x", || std::panic::panic_any(17_u32)).unwrap_err();
+        assert!(err.contains("non-string panic payload"), "{err}");
+    }
+}

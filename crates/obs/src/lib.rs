@@ -16,6 +16,11 @@
 //! * **Run reports** ([`RunReport`]) — the `htforge.run_report/v1` JSON
 //!   artifact written per circuit by the benchmark binaries and
 //!   validated in CI by the `obs_validate` binary.
+//! * **Resilience substrate** ([`RunBudget`], [`DegradationNote`],
+//!   [`faultpoint!`], [`isolate`]) — cooperative deadlines and
+//!   cancellation, structured degradation records, named
+//!   fault-injection points (`HTFORGE_FAULT`) and panic isolation for
+//!   campaign drivers (see `DESIGN.md` §9).
 //!
 //! ## The global recorder
 //!
@@ -35,6 +40,9 @@
 //! the returned [`ObsSession`] guard), `progress` (counter digest every
 //! few seconds). Any non-empty value also enables the recorder.
 
+pub mod budget;
+pub mod faultpoint;
+pub mod isolate;
 pub mod json;
 pub mod metrics;
 pub mod progress;
@@ -45,13 +53,17 @@ pub mod table;
 use std::sync::OnceLock;
 use std::time::Duration;
 
+pub use budget::{BudgetExceeded, BudgetTicker, CancelToken, DegradationNote, RunBudget};
+pub use isolate::{isolate, panic_message};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::ProgressReporter;
 pub use recorder::{
     Event, InMemorySink, JsonlSink, MetricsSnapshot, Recorder, Sink, SpanGuard, SpanRecord,
 };
-pub use report::{validate_json, validate_str, HistogramReport, RunReport, SpanEntry, SCHEMA};
+pub use report::{
+    validate_json, validate_str, write_atomic, HistogramReport, RunReport, SpanEntry, SCHEMA,
+};
 pub use table::Table;
 
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();

@@ -6,6 +6,7 @@
 use std::io;
 use std::path::Path;
 
+use crate::budget::DegradationNote;
 use crate::json::{self, Json};
 use crate::recorder::Recorder;
 
@@ -46,6 +47,9 @@ pub struct RunReport {
     pub gauges: Vec<(String, f64)>,
     /// Histogram name → summary, sorted.
     pub histograms: Vec<(String, HistogramReport)>,
+    /// Degradation decisions the run took under budget pressure
+    /// (empty for a run that completed in full).
+    pub degradations: Vec<DegradationNote>,
 }
 
 /// One span row in a report.
@@ -103,6 +107,7 @@ impl RunReport {
                     (name, report)
                 })
                 .collect(),
+            degradations: Vec::new(),
         }
     }
 
@@ -113,10 +118,19 @@ impl RunReport {
         self
     }
 
-    /// The report as a JSON document.
+    /// Attaches degradation notes (builder style).
+    #[must_use]
+    pub fn with_degradations(mut self, notes: &[DegradationNote]) -> Self {
+        self.degradations.extend(notes.iter().cloned());
+        self
+    }
+
+    /// The report as a JSON document. The `degradations` array is only
+    /// emitted when non-empty, so fully-completed runs keep the exact
+    /// pre-resilience layout.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::Str(SCHEMA.to_owned())),
             ("name", Json::Str(self.name.clone())),
             ("meta", Json::Obj(self.meta.clone())),
@@ -180,7 +194,19 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if !self.degradations.is_empty() {
+            fields.push((
+                "degradations",
+                Json::Arr(
+                    self.degradations
+                        .iter()
+                        .map(DegradationNote::to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Serializes the report (pretty, trailing newline).
@@ -189,16 +215,14 @@ impl RunReport {
         self.to_json().pretty()
     }
 
-    /// Writes the report to `path`, creating parent directories.
+    /// Writes the report to `path` atomically (temp file + rename),
+    /// creating parent directories.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.pretty())
+        write_atomic(path, &self.pretty())
     }
 
     /// The counter value recorded under `name`, if present.
@@ -215,6 +239,37 @@ impl RunReport {
     pub fn span_names(&self) -> Vec<&str> {
         self.spans.iter().map(|s| s.name.as_str()).collect()
     }
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file which is then renamed over `path`, so readers (and an
+/// interrupted run) only ever observe the old complete file or the new
+/// complete file — never a truncated one. Parent directories are
+/// created as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temporary file is removed on a
+/// failed rename.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            std::fs::create_dir_all(p)?;
+            p.to_owned()
+        }
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = parent.join(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Checks that `doc` is a structurally valid `v1` run report.
@@ -307,6 +362,17 @@ pub fn validate_json(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("histograms.{key}: missing number `mean`"))?;
     }
+    // `degradations` is optional (absent for fully-completed runs).
+    if let Some(deg) = doc.get("degradations") {
+        let arr = deg.as_arr().ok_or("`degradations` must be an array")?;
+        for (i, note) in arr.iter().enumerate() {
+            for field in ["phase", "action", "detail"] {
+                note.get(field)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("degradations[{i}]: missing string `{field}`"))?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -396,6 +462,57 @@ mod tests {
         assert!(validate_json(&report.to_json())
             .unwrap_err()
             .contains("negative"));
+    }
+
+    #[test]
+    fn degradations_round_trip_and_validate() {
+        let plain = sample_report();
+        // Absent when empty: pre-resilience layout is preserved.
+        assert!(plain.to_json().get("degradations").is_none());
+
+        let report = plain.with_degradations(&[DegradationNote::new(
+            "clique_enumeration",
+            "greedy_fallback",
+            "deadline hit after 12 cliques",
+        )]);
+        let text = report.pretty();
+        validate_str(&text).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let deg = doc.get("degradations").unwrap().as_arr().unwrap();
+        assert_eq!(deg.len(), 1);
+        assert_eq!(
+            deg[0].get("action").unwrap().as_str(),
+            Some("greedy_fallback")
+        );
+
+        // Malformed notes are rejected.
+        let bad = Json::obj(vec![("phase", Json::Str("x".into()))]);
+        let mut doc = json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "degradations" {
+                    *v = Json::Arr(vec![bad.clone()]);
+                }
+            }
+        }
+        assert!(validate_json(&doc).unwrap_err().contains("degradations[0]"));
+    }
+
+    #[test]
+    fn write_to_is_atomic_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("htforge_obs_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("report.json");
+        sample_report().write_to(&path).unwrap();
+        validate_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // Overwrite in place; no temp files left behind.
+        sample_report().write_to(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("report.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! The paper selects θ_RN = 20 % and |V| = 10 000 (§IV-A, Figs. 2–3).
 
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError, NodeKind};
+use htforge_obs::{DegradationNote, RunBudget};
 
 use crate::patterns::PatternSet;
 use crate::simulator::Simulator;
@@ -184,16 +185,88 @@ impl RareNodeExtractor {
         nl: &Netlist,
         patterns: &PatternSet,
     ) -> Result<RareNodeSet, NetlistError> {
+        htforge_obs::faultpoint!("rare.extract_chunk");
         let sim = Simulator::new(nl)?;
         let values = sim.run_on(nl, patterns);
-        let threshold = (self.theta * patterns.len() as f64).floor() as u64;
+        let ones: Vec<u64> = nl.node_ids().map(|id| values.count_ones(id)).collect();
+        Ok(self.classify(nl, &ones, patterns.len()))
+    }
 
+    /// Budget-aware Algorithm 1: like [`RareNodeExtractor::extract`],
+    /// but the simulation is chunked (2048 patterns per chunk) and the
+    /// budget is checked between chunks. When the budget runs out the
+    /// profile is computed from the patterns simulated so far and a
+    /// [`DegradationNote`] reports the truncation; counts over the
+    /// simulated prefix are identical to what a full run would have
+    /// seen for those patterns.
+    ///
+    /// With an unlimited budget this delegates to `extract` outright —
+    /// same code path, zero overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the input count.
+    pub fn extract_budgeted(
+        &self,
+        nl: &Netlist,
+        patterns: &PatternSet,
+        budget: &RunBudget,
+    ) -> Result<(RareNodeSet, Option<DegradationNote>), NetlistError> {
+        if budget.is_unlimited() && !budget.cancelled() {
+            return Ok((self.extract(nl, patterns)?, None));
+        }
+        // Chunk length must be word-aligned so columns can be copied
+        // wholesale out of the source pattern set.
+        const CHUNK: usize = 2048;
+        let sim = Simulator::new(nl)?;
+        let num_inputs = patterns.num_inputs();
+        let mut ones = vec![0u64; nl.node_count()];
+        let mut simulated = 0usize;
+        while simulated < patterns.len() {
+            if budget.check().is_err() {
+                break;
+            }
+            htforge_obs::faultpoint!("rare.extract_chunk");
+            let len = CHUNK.min(patterns.len() - simulated);
+            let mut chunk = PatternSet::zeros(num_inputs, len);
+            let w0 = simulated / 64;
+            let w1 = w0 + PatternSet::words_for(len);
+            for input in 0..num_inputs {
+                chunk.set_input_words(input, &patterns.input_words(input)[w0..w1]);
+            }
+            let values = sim.run_on(nl, &chunk);
+            for (i, id) in nl.node_ids().enumerate() {
+                ones[i] += values.count_ones(id);
+            }
+            simulated += len;
+        }
+        let note = (simulated < patterns.len()).then(|| {
+            DegradationNote::new(
+                "rare_extraction",
+                "truncated_profile",
+                format!("profiled {simulated} of {} patterns", patterns.len()),
+            )
+        });
+        Ok((self.classify(nl, &ones, simulated), note))
+    }
+
+    /// Classifies nodes into RN1/RN0 given per-node one-counts over
+    /// `samples` simulated patterns (the tail of Algorithm 1).
+    fn classify(&self, nl: &Netlist, ones: &[u64], samples: usize) -> RareNodeSet {
+        let threshold = (self.theta * samples as f64).floor() as u64;
         let mut set = RareNodeSet {
             rn1: Vec::new(),
             rn0: Vec::new(),
-            samples: patterns.len(),
+            samples,
         };
-        for (id, node) in nl.iter() {
+        if samples == 0 {
+            return set;
+        }
+        for (i, (id, node)) in nl.iter().enumerate() {
             match node.kind() {
                 NodeKind::Input if !self.include_inputs => continue,
                 NodeKind::Dff => continue, // Q of an uncut DFF is not simulated
@@ -202,8 +275,8 @@ impl RareNodeExtractor {
             if !self.include_outputs && nl.is_output(id) {
                 continue;
             }
-            let ones = values.count_ones(id);
-            let zeros = values.count_zeros(id);
+            let ones = ones[i];
+            let zeros = samples as u64 - ones;
             if ones <= threshold {
                 set.rn1.push(RareNode {
                     node: id,
@@ -218,7 +291,7 @@ impl RareNodeExtractor {
                 });
             }
         }
-        Ok(set)
+        set
     }
 }
 
@@ -313,5 +386,48 @@ y = OR(a, b, c, d)
     #[should_panic(expected = "theta")]
     fn invalid_theta_panics() {
         let _ = RareNodeExtractor::new(1.5);
+    }
+
+    #[test]
+    fn budgeted_extraction_matches_unbudgeted_when_time_allows() {
+        let nl = bench::parse(TREE, "t").unwrap();
+        // 5000 patterns: exercises both full chunks and a partial tail.
+        let ps = PatternSet::random(4, 5_000, 11);
+        let ex = RareNodeExtractor::new(0.20);
+        let full = ex.extract(&nl, &ps).unwrap();
+        let budget = RunBudget::with_deadline(std::time::Duration::from_secs(60));
+        let (chunked, note) = ex.extract_budgeted(&nl, &ps, &budget).unwrap();
+        assert!(note.is_none());
+        assert_eq!(chunked.samples(), full.samples());
+        assert_eq!(chunked.rare_at_one(), full.rare_at_one());
+        assert_eq!(chunked.rare_at_zero(), full.rare_at_zero());
+    }
+
+    #[test]
+    fn exhausted_budget_yields_truncation_note() {
+        let nl = bench::parse(TREE, "t").unwrap();
+        let ps = PatternSet::random(4, 10_000, 11);
+        let budget = RunBudget::with_deadline(std::time::Duration::ZERO);
+        let (set, note) = RareNodeExtractor::new(0.20)
+            .extract_budgeted(&nl, &ps, &budget)
+            .unwrap();
+        assert_eq!(set.samples(), 0);
+        assert!(set.is_empty());
+        let note = note.expect("truncation must be reported");
+        assert_eq!(note.phase, "rare_extraction");
+        assert_eq!(note.action, "truncated_profile");
+    }
+
+    #[test]
+    fn cancelled_unlimited_budget_takes_the_chunked_path() {
+        let nl = bench::parse(TREE, "t").unwrap();
+        let ps = PatternSet::random(4, 1_000, 11);
+        let budget = RunBudget::unlimited();
+        budget.cancel_token().cancel();
+        let (set, note) = RareNodeExtractor::new(0.20)
+            .extract_budgeted(&nl, &ps, &budget)
+            .unwrap();
+        assert!(set.is_empty());
+        assert!(note.is_some());
     }
 }

@@ -23,6 +23,7 @@ use htforge::atpg::{all_faults, fault_simulate, PodemConfig};
 use htforge::core::{InsertionConfig, InsertionFramework, PayloadKind};
 use htforge::detect::{DetectionScheme, MeroDetection, NdAtpgDetection, RandomDetection};
 use htforge::netlist::{bench, verilog, AreaModel, Netlist};
+use htforge::obs::RunBudget;
 use htforge::sim::{PatternSet, RareNodeExtractor};
 
 const USAGE: &str = "\
@@ -33,12 +34,17 @@ commands:
   rare   <netlist> [--theta F] [--vectors N]
   insert <netlist> [--q N] [--n N] [--theta F] [--vectors N]
                    [--payload flip|force0|force1] [--combined] [--out DIR]
+                   [--deadline SECS]
   grade  <netlist> [--scheme random|mero|ndatpg] [--n N]
   detect <golden> --infected FILE[,FILE...]
                   [--scheme random|mero|ndatpg] [--n N]
 
 <netlist> is a .bench or .v file, or a built-in circuit name (c17, c2670,
 c3540, c5315, c6288, s1423, s13207, s15850, s35932).
+
+--deadline bounds the insert pipeline's wall clock; when it expires the
+run returns whatever it finished (printing the degradations) instead of
+hanging (see DESIGN.md §9).
 ";
 
 struct Options {
@@ -51,16 +57,31 @@ impl Options {
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
-                    _ => None,
-                };
+                let value = it.next_if(|v| !v.starts_with("--")).map(ToOwned::to_owned);
                 flags.push((name.to_owned(), value));
             } else {
                 return Err(format!("unexpected positional argument `{arg}`"));
             }
         }
         Ok(Options { flags })
+    }
+
+    /// Rejects flags outside `allowed` — each subcommand validates its
+    /// own vocabulary so a typo is a diagnostic, not silence.
+    fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.flags {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag `--{name}` (supported: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -172,6 +193,18 @@ fn cmd_insert(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         "force1" => PayloadKind::ForceOne,
         other => return Err(format!("unknown payload kind `{other}`").into()),
     };
+    let budget = match opts.get("deadline") {
+        None => RunBudget::unlimited(),
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|e| format!("invalid value for --deadline: {e}"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err("--deadline must be a non-negative number of seconds".into());
+            }
+            RunBudget::with_deadline(std::time::Duration::from_secs_f64(secs))
+        }
+    };
 
     let nl = load_netlist(spec)?;
     let framework = InsertionFramework::new(InsertionConfig {
@@ -186,7 +219,11 @@ fn cmd_insert(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
 
     fs::create_dir_all(&out_dir)?;
     if opts.has("combined") {
-        let (combined, instances) = framework.run_combined(&nl)?;
+        let (combined, instances, degradations) =
+            framework.run_combined_with_budget(&nl, &budget)?;
+        for note in &degradations {
+            println!("degraded {note}");
+        }
         let path = out_dir.join(format!("{}_multi.bench", nl.name()));
         fs::write(&path, bench::write(&combined))?;
         println!(
@@ -196,7 +233,10 @@ fn cmd_insert(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
             combined.node_count() - nl.node_count()
         );
     } else {
-        let outcome = framework.run(&nl)?;
+        let outcome = framework.run_with_budget(&nl, &budget)?;
+        for note in &outcome.degradations {
+            println!("degraded {note}");
+        }
         println!(
             "rare: {}, graph: {}v/{}e, time: {:?}",
             outcome.rare_nodes.len(),
@@ -286,8 +326,14 @@ fn cmd_detect(spec: &str, opts: &Options) -> Result<(), Box<dyn Error>> {
         }
         for &pg in &payload_gates {
             let fanins = nl.node(pg).fanins();
-            let victim = fanins[0];
-            let trigger_output = *fanins.last().expect("payload gate has fan-ins");
+            let [victim, .., trigger_output] = *fanins else {
+                return Err(format!(
+                    "{path}: payload gate `{}` has {} fan-in(s), expected victim + trigger",
+                    nl.node(pg).name(),
+                    fanins.len()
+                )
+                .into());
+            };
             designs.push(htforge::core::InfectedDesign {
                 netlist: nl.clone(),
                 trojan: TrojanInstance {
@@ -354,11 +400,28 @@ fn run() -> Result<(), Box<dyn Error>> {
     };
     let opts = Options::parse(flag_args)?;
     match command {
-        "stats" => cmd_stats(spec),
-        "rare" => cmd_rare(spec, &opts),
-        "insert" => cmd_insert(spec, &opts),
-        "grade" => cmd_grade(spec, &opts),
-        "detect" => cmd_detect(spec, &opts),
+        "stats" => {
+            opts.ensure_known(&[])?;
+            cmd_stats(spec)
+        }
+        "rare" => {
+            opts.ensure_known(&["theta", "vectors"])?;
+            cmd_rare(spec, &opts)
+        }
+        "insert" => {
+            opts.ensure_known(&[
+                "q", "n", "theta", "vectors", "payload", "combined", "out", "deadline",
+            ])?;
+            cmd_insert(spec, &opts)
+        }
+        "grade" => {
+            opts.ensure_known(&["scheme", "n"])?;
+            cmd_grade(spec, &opts)
+        }
+        "detect" => {
+            opts.ensure_known(&["infected", "scheme", "n"])?;
+            cmd_detect(spec, &opts)
+        }
         other => {
             eprint!("{USAGE}");
             Err(format!("unknown command `{other}`").into())

@@ -1,0 +1,97 @@
+//! Fuzz (proptest): the netlist parser entry points must never panic —
+//! on arbitrary byte soup, and on structured mutations of valid
+//! netlists (truncation, duplicated outputs, shuffled lines). They
+//! either parse or return a diagnostic `Err`; a panic is a bug
+//! (`DESIGN.md` §9).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use htforge::netlist::{bench, verilog};
+
+fn c17_bench() -> String {
+    bench::write(&htforge::circuits::load("c17").unwrap())
+}
+
+fn c17_verilog() -> String {
+    verilog::write(&htforge::circuits::load("c17").unwrap())
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded) through the `.bench` parser.
+    #[test]
+    fn bench_parse_survives_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = bench::parse(&text, "fuzz");
+    }
+
+    /// Arbitrary bytes (lossily decoded) through the Verilog parser.
+    #[test]
+    fn verilog_parse_survives_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = verilog::parse(&text, "fuzz");
+    }
+
+    /// A valid netlist cut off mid-stream (killed download, partial
+    /// write) must parse or error, never panic.
+    #[test]
+    fn bench_parse_survives_truncation(cut in any::<usize>()) {
+        let text = c17_bench();
+        let _ = bench::parse(&text[..cut % (text.len() + 1)], "fuzz");
+    }
+
+    #[test]
+    fn verilog_parse_survives_truncation(cut in any::<usize>()) {
+        let text = c17_verilog();
+        let _ = verilog::parse(&text[..cut % (text.len() + 1)], "fuzz");
+    }
+
+    /// Duplicated lines (outputs declared twice, gates redefined) and
+    /// shuffled declaration order.
+    #[test]
+    fn bench_parse_survives_dup_and_shuffle(
+        seed in any::<u64>(),
+        dup_index in any::<usize>(),
+        duplicate in any::<bool>(),
+    ) {
+        let text = c17_bench();
+        let mut lines: Vec<&str> = text.lines().collect();
+        if duplicate && !lines.is_empty() {
+            lines.push(lines[dup_index % lines.len()]);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        lines.shuffle(&mut rng);
+        let _ = bench::parse(&lines.join("\n"), "fuzz");
+    }
+
+    #[test]
+    fn verilog_parse_survives_dup_and_shuffle(
+        seed in any::<u64>(),
+        dup_index in any::<usize>(),
+        duplicate in any::<bool>(),
+    ) {
+        let text = c17_verilog();
+        let mut lines: Vec<&str> = text.lines().collect();
+        if duplicate && !lines.is_empty() {
+            lines.push(lines[dup_index % lines.len()]);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        lines.shuffle(&mut rng);
+        let _ = verilog::parse(&lines.join("\n"), "fuzz");
+    }
+
+    /// Valid netlist with a window overwritten by junk bytes — exercises
+    /// tokenizer paths that byte soup rarely reaches (valid prefixes).
+    #[test]
+    fn bench_parse_survives_splice(
+        at in any::<usize>(),
+        junk in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let text = c17_bench();
+        let at = at % (text.len() + 1);
+        let spliced = format!("{}{}{}", &text[..at], String::from_utf8_lossy(&junk), &text[at..]);
+        let _ = bench::parse(&spliced, "fuzz");
+    }
+}
