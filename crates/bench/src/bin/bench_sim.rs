@@ -1,22 +1,47 @@
 //! Simulation-kernel throughput baseline: writes `BENCH_sim.json` at the
 //! repository root.
 //!
-//! For each circuit, measures patterns/second of the reference
-//! gate-at-a-time interpreter ([`htforge_bench::scalar`]) and of the
-//! compiled [`SimProgram`] kernel at 1, 2 and `available_parallelism`
-//! threads, over 16 384 random patterns. The compiled/max row on a
-//! ≥2000-gate circuit is the number the kernel's ≥2× acceptance bar is
-//! checked against.
+//! Three sections:
 //!
-//! Run with `cargo run --release -p htforge-bench --bin bench_sim`.
+//! * **Large batch** — for each circuit, patterns/second of the
+//!   reference gate-at-a-time interpreter ([`htforge_bench::scalar`])
+//!   and of the compiled [`SimProgram`] kernel at 1, 2 and
+//!   `available_parallelism` threads over 16 384 random patterns. The
+//!   compiled/max row on a ≥2000-gate circuit is the number the
+//!   kernel's ≥2× acceptance bar is checked against.
+//! * **Small batch** — 64-pattern (1-word) and 256-pattern (4-word)
+//!   runs under every forced [`KernelStrategy`], the MERO/sequential
+//!   regime where column parallelism alone degrades to one worker.
+//! * **Pattern append** — `PatternSet::extend_from` word-blit vs the
+//!   per-bit path on a 10 000-pattern append (the MERO growth loop).
+//!
+//! Every row records `host_threads` and the planner's chosen strategy
+//! so single-core-runner numbers are machine-detectable. When
+//! `HTFORGE_OBS` is set, a run report goes to
+//! `results/report_bench_sim.json` after the timed section — the
+//! `sim.kernel_strategy` / `sim.kernel_threads_effective` gauges in it
+//! come from one final 1-word c5315 planner run, not from the timings
+//! (the recorder stays off while the clock is running).
+//!
+//! Run with `cargo run --release -p htforge-bench --bin bench_sim`
+//! (`--quick` trims repetitions for CI).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use htforge_sim::{PatternSet, SimProgram};
+use htforge_obs::{Json, RunReport};
+use htforge_sim::{KernelStrategy, PatternSet, SimProgram};
 
 const VECTORS: usize = 16_384;
+const APPEND_PATTERNS: usize = 10_000;
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+const ALL_STRATEGIES: [KernelStrategy; 4] = [
+    KernelStrategy::Single,
+    KernelStrategy::Column,
+    KernelStrategy::Level,
+    KernelStrategy::Hybrid,
+];
 
 /// Median seconds per run over `runs` timed repetitions (after one
 /// untimed warm-up).
@@ -36,14 +61,13 @@ fn time_median<F: FnMut() -> usize>(runs: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    // Opt-in only (`HTFORGE_OBS=...`): enabling the recorder here would
-    // perturb the timings this baseline exists to pin down.
-    let _obs = htforge_obs::init_from_env();
-    let max_threads = std::thread::available_parallelism()
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let mut rows = Vec::new();
 
+    // ---- Large batch: scalar vs compiled at 1/2/max threads --------
     for name in ["c2670", "c5315", "c6288", "s13207"] {
         let nl = htforge_circuits::load(name).expect("known circuit");
         let comb = if nl.dffs().is_empty() {
@@ -54,17 +78,24 @@ fn main() {
         let prog = SimProgram::compile(&comb).expect("combinational");
         let patterns = PatternSet::random(comb.inputs().len(), VECTORS, 9);
 
-        let runs = if comb.gate_count() > 5_000 { 5 } else { 9 };
+        let runs = match (quick, comb.gate_count() > 5_000) {
+            (true, _) => 3,
+            (false, true) => 5,
+            (false, false) => 9,
+        };
         let scalar = time_median(runs, || {
             htforge_bench::scalar::simulate(&comb, &patterns).len()
         });
         let t1 = time_median(runs, || prog.run_with_threads(&patterns, 1).len());
         let t2 = time_median(runs, || prog.run_with_threads(&patterns, 2).len());
-        let tmax = time_median(runs, || prog.run_with_threads(&patterns, max_threads).len());
+        let tmax = time_median(runs, || {
+            prog.run_with_threads(&patterns, host_threads).len()
+        });
 
         let pps = |sec: f64| VECTORS as f64 / sec;
+        let strat = |threads: usize| prog.plan(VECTORS, threads).strategy.name();
         eprintln!(
-            "{name}: {} gates | scalar {:.2e} pat/s | compiled 1t {:.2e} ({:.2}x) | 2t {:.2e} ({:.2}x) | {max_threads}t {:.2e} ({:.2}x)",
+            "{name}: {} gates | scalar {:.2e} pat/s | compiled 1t {:.2e} ({:.2}x) | 2t {:.2e} ({:.2}x) | {host_threads}t {:.2e} ({:.2}x)",
             comb.gate_count(),
             pps(scalar),
             pps(t1),
@@ -78,8 +109,11 @@ fn main() {
         let mut row = String::new();
         let _ = write!(
             row,
-            "    {{\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {VECTORS},\n      \"patterns_per_sec\": {{\n        \"scalar\": {:.1},\n        \"compiled_1t\": {:.1},\n        \"compiled_2t\": {:.1},\n        \"compiled_max\": {:.1}\n      }},\n      \"speedup_vs_scalar\": {{\n        \"compiled_1t\": {:.2},\n        \"compiled_2t\": {:.2},\n        \"compiled_max\": {:.2}\n      }}\n    }}",
+            "    {{\n      \"bench\": \"large_batch\",\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {VECTORS},\n      \"host_threads\": {host_threads},\n      \"strategy\": {{\n        \"compiled_1t\": \"{}\",\n        \"compiled_2t\": \"{}\",\n        \"compiled_max\": \"{}\"\n      }},\n      \"patterns_per_sec\": {{\n        \"scalar\": {:.1},\n        \"compiled_1t\": {:.1},\n        \"compiled_2t\": {:.1},\n        \"compiled_max\": {:.1}\n      }},\n      \"speedup_vs_scalar\": {{\n        \"compiled_1t\": {:.2},\n        \"compiled_2t\": {:.2},\n        \"compiled_max\": {:.2}\n      }}\n    }}",
             comb.gate_count(),
+            strat(1),
+            strat(2),
+            strat(host_threads),
             pps(scalar),
             pps(t1),
             pps(t2),
@@ -91,10 +125,107 @@ fn main() {
         rows.push(row);
     }
 
+    // ---- Small batch: every strategy in the 1-word / 4-word regime -
+    for name in ["c2670", "c5315"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let prog = SimProgram::compile(&nl).expect("combinational");
+        for len in [64usize, 256] {
+            let patterns = PatternSet::random(nl.inputs().len(), len, 7);
+            let runs = if quick { 5 } else { 25 };
+            let planner = prog.plan(len, host_threads);
+            let mut speeds = Vec::new();
+            for strategy in ALL_STRATEGIES {
+                let sec = time_median(runs, || {
+                    prog.run_with_strategy(&patterns, strategy, host_threads)
+                        .len()
+                });
+                speeds.push((strategy.name(), len as f64 / sec));
+            }
+            eprintln!(
+                "{name}/{len}p: planner {} ({} workers) | {}",
+                planner.strategy.name(),
+                planner.workers,
+                speeds
+                    .iter()
+                    .map(|(s, v)| format!("{s} {v:.2e} pat/s"))
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
+            let per_strategy = speeds
+                .iter()
+                .map(|(s, v)| format!("        \"{s}\": {v:.1}"))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "    {{\n      \"bench\": \"small_batch\",\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {len},\n      \"host_threads\": {host_threads},\n      \"strategy\": \"{}\",\n      \"strategy_workers\": {},\n      \"patterns_per_sec\": {{\n{per_strategy}\n      }}\n    }}",
+                nl.gate_count(),
+                planner.strategy.name(),
+                planner.workers,
+            );
+            rows.push(row);
+        }
+    }
+
+    // ---- Pattern append: extend_from word-blit vs per-bit ----------
+    {
+        let inputs = 64;
+        let src = PatternSet::random(inputs, APPEND_PATTERNS, 3);
+        let runs = if quick { 9 } else { 25 };
+        // Unaligned destination (37 % 64 != 0): the shift-splice path,
+        // which is the one MERO's growth loop actually hits.
+        let per_bit = time_median(runs, || {
+            let mut dst = PatternSet::random(inputs, 37, 4);
+            dst.extend_from_per_bit(&src);
+            dst.len()
+        });
+        let blit = time_median(runs, || {
+            let mut dst = PatternSet::random(inputs, 37, 4);
+            dst.extend_from(&src);
+            dst.len()
+        });
+        eprintln!(
+            "extend_from {APPEND_PATTERNS}p append: per-bit {:.2e} pat/s | blit {:.2e} pat/s ({:.1}x)",
+            APPEND_PATTERNS as f64 / per_bit,
+            APPEND_PATTERNS as f64 / blit,
+            per_bit / blit,
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"bench\": \"patternset_extend\",\n      \"inputs\": {inputs},\n      \"patterns\": {APPEND_PATTERNS},\n      \"host_threads\": {host_threads},\n      \"patterns_per_sec\": {{\n        \"per_bit\": {:.1},\n        \"word_blit\": {:.1}\n      }},\n      \"speedup_word_blit\": {:.2}\n    }}",
+            APPEND_PATTERNS as f64 / per_bit,
+            APPEND_PATTERNS as f64 / blit,
+            per_bit / blit,
+        );
+        rows.push(row);
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"simulation-kernel\",\n  \"command\": \"cargo run --release -p htforge-bench --bin bench_sim\",\n  \"max_threads\": {max_threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"simulation-kernel\",\n  \"command\": \"cargo run --release -p htforge-bench --bin bench_sim\",\n  \"host_threads\": {host_threads},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(OUT_PATH, &json).expect("write BENCH_sim.json");
     eprintln!("wrote {OUT_PATH}");
+
+    // ---- Run report (recorder enabled only after the timings) ------
+    let _obs = htforge_obs::init_from_env();
+    if htforge_obs::enabled() {
+        let nl = htforge_circuits::load("c5315").expect("known circuit");
+        let prog = SimProgram::compile(&nl).expect("combinational");
+        let patterns = PatternSet::random(nl.inputs().len(), 64, 11);
+        let plan = prog.plan(64, host_threads);
+        let _ = prog.run_with_threads(&patterns, host_threads);
+        let report = RunReport::from_recorder("bench_sim", htforge_obs::global())
+            .with_meta("host_threads", Json::Num(host_threads as f64))
+            .with_meta(
+                "small_batch_strategy",
+                Json::Str(plan.strategy.name().to_owned()),
+            )
+            .with_meta("small_batch_workers", Json::Num(plan.workers as f64));
+        let path = std::path::Path::new("results/report_bench_sim.json");
+        report.write_to(path).expect("write run report");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -26,6 +26,7 @@ use std::time::Duration;
 /// Every faultpoint compiled into the workspace, in pipeline order.
 /// Chaos tests iterate this list; [`arm`] rejects names not on it.
 pub const CATALOG: &[&str] = &[
+    "sim.level_worker",
     "rare.extract_chunk",
     "podem.generate",
     "compat.cube",

@@ -41,6 +41,11 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds (monotonic clock).
     pub dur_ns: u64,
+    /// Key/value attributes attached via [`SpanGuard::attr`], in
+    /// attachment order. Empty for most spans; the JSON encodings omit
+    /// the field entirely when empty so pre-attribute consumers see the
+    /// exact old layout.
+    pub attrs: Vec<(String, String)>,
 }
 
 /// A point-in-time copy of every registered metric.
@@ -70,17 +75,31 @@ impl Event {
     #[must_use]
     pub fn to_json(&self) -> Json {
         match self {
-            Event::Span(s) => Json::obj(vec![
-                ("t", Json::Str("span".into())),
-                ("id", Json::Num(s.id as f64)),
-                (
-                    "parent",
-                    s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
-                ),
-                ("name", Json::Str(s.name.clone())),
-                ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
-                ("dur_us", Json::Num(s.dur_ns as f64 / 1_000.0)),
-            ]),
+            Event::Span(s) => {
+                let mut fields = vec![
+                    ("t", Json::Str("span".into())),
+                    ("id", Json::Num(s.id as f64)),
+                    (
+                        "parent",
+                        s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                    ),
+                    ("name", Json::Str(s.name.clone())),
+                    ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
+                    ("dur_us", Json::Num(s.dur_ns as f64 / 1_000.0)),
+                ];
+                if !s.attrs.is_empty() {
+                    fields.push((
+                        "attrs",
+                        Json::Obj(
+                            s.attrs
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::obj(fields)
+            }
             Event::Snapshot(snap) => Json::obj(vec![
                 ("t", Json::Str("snapshot".into())),
                 ("at_us", Json::Num(snap.at_ns as f64 / 1_000.0)),
@@ -339,6 +358,7 @@ impl Recorder {
                 parent,
                 name: name.to_owned(),
                 start_ns: self.now_ns(),
+                attrs: Vec::new(),
             })
         } else {
             None
@@ -366,6 +386,7 @@ impl Recorder {
             name: open.name,
             start_ns: open.start_ns,
             dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+            attrs: open.attrs,
         };
         self.inner
             .spans
@@ -555,6 +576,7 @@ struct OpenSpan {
     parent: Option<u64>,
     name: String,
     start_ns: u64,
+    attrs: Vec<(String, String)>,
 }
 
 /// Guard for an open span; ends the span on drop.
@@ -566,6 +588,15 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// Attaches a key/value attribute to the span (recorded when the
+    /// span ends). No-op while the recorder is disabled, so hot paths
+    /// can attach unconditionally.
+    pub fn attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(open) = &mut self.open {
+            open.attrs.push((key.to_owned(), value.into()));
+        }
+    }
+
     /// Ends the span now and returns its wall-clock duration (measured
     /// whether or not the recorder is enabled).
     pub fn finish(mut self) -> Duration {
@@ -655,6 +686,42 @@ mod tests {
         let worker = spans.iter().find(|s| s.name == "worker").unwrap();
         // The worker thread's stack is empty: no parent.
         assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn span_attrs_are_recorded_and_serialized() {
+        let rec = Recorder::new();
+        rec.enable();
+        let mut sp = rec.span("sim.kernel_run");
+        sp.attr("strategy", "level");
+        sp.attr("threads_requested", 8.to_string());
+        sp.finish();
+        let spans = rec.spans();
+        assert_eq!(
+            spans[0].attrs,
+            vec![
+                ("strategy".to_owned(), "level".to_owned()),
+                ("threads_requested".to_owned(), "8".to_owned()),
+            ]
+        );
+        let json = Event::Span(spans[0].clone()).to_json();
+        assert_eq!(
+            json.get("attrs").unwrap().get("strategy").unwrap().as_str(),
+            Some("level")
+        );
+        // Attribute-free spans keep the pre-attribute JSON layout.
+        rec.span("plain").finish();
+        let plain = rec.spans().pop().unwrap();
+        assert!(Event::Span(plain).to_json().get("attrs").is_none());
+    }
+
+    #[test]
+    fn attrs_on_disabled_recorder_are_a_no_op() {
+        let rec = Recorder::new();
+        let mut sp = rec.span("quiet");
+        sp.attr("k", "v");
+        sp.finish();
+        assert!(rec.spans().is_empty());
     }
 
     #[test]

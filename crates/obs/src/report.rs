@@ -65,6 +65,9 @@ pub struct SpanEntry {
     pub start_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
+    /// Key/value span attributes (e.g. the kernel's chosen strategy).
+    /// Omitted from the JSON when empty.
+    pub attrs: Vec<(String, String)>,
 }
 
 impl RunReport {
@@ -86,6 +89,7 @@ impl RunReport {
                     name: s.name,
                     start_us: s.start_ns as f64 / 1_000.0,
                     dur_us: s.dur_ns as f64 / 1_000.0,
+                    attrs: s.attrs,
                 })
                 .collect(),
             counters: snap.counters.into_iter().filter(|(_, v)| *v > 0).collect(),
@@ -140,7 +144,7 @@ impl RunReport {
                     self.spans
                         .iter()
                         .map(|s| {
-                            Json::obj(vec![
+                            let mut span_fields = vec![
                                 ("id", Json::Num(s.id as f64)),
                                 (
                                     "parent",
@@ -149,7 +153,19 @@ impl RunReport {
                                 ("name", Json::Str(s.name.clone())),
                                 ("start_us", Json::Num(s.start_us)),
                                 ("dur_us", Json::Num(s.dur_us)),
-                            ])
+                            ];
+                            if !s.attrs.is_empty() {
+                                span_fields.push((
+                                    "attrs",
+                                    Json::Obj(
+                                        s.attrs
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(span_fields)
                         })
                         .collect(),
                 ),
@@ -321,6 +337,18 @@ pub fn validate_json(doc: &Json) -> Result<(), String> {
                     .ok_or_else(|| format!("spans[{i}]: `parent` must be null or integer"))?;
             }
         }
+        // `attrs` is optional; when present it must be a string→string
+        // object.
+        if let Some(attrs) = span.get("attrs") {
+            let obj = attrs
+                .as_obj()
+                .ok_or_else(|| format!("spans[{i}]: `attrs` must be an object"))?;
+            for (key, value) in obj {
+                if value.as_str().is_none() {
+                    return Err(format!("spans[{i}]: attrs.{key} must be a string"));
+                }
+            }
+        }
     }
     // Parents must reference spans in the same report.
     for (i, span) in spans.iter().enumerate() {
@@ -462,6 +490,49 @@ mod tests {
         assert!(validate_json(&report.to_json())
             .unwrap_err()
             .contains("negative"));
+    }
+
+    #[test]
+    fn span_attrs_round_trip_and_validate() {
+        let rec = Recorder::new();
+        rec.enable();
+        let mut sp = rec.span("sim.kernel_run");
+        sp.attr("strategy", "hybrid");
+        sp.attr("threads_effective", "4");
+        sp.finish();
+        let report = RunReport::from_recorder("unit", &rec);
+        let text = report.pretty();
+        validate_str(&text).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let span = &doc.get("spans").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            span.get("attrs").unwrap().get("strategy").unwrap().as_str(),
+            Some("hybrid")
+        );
+
+        // Attribute-free reports must not grow an `attrs` field, and
+        // non-string attribute values are rejected.
+        let plain = sample_report();
+        let plain_span = &plain.to_json().get("spans").unwrap().as_arr().unwrap()[0].clone();
+        assert!(plain_span.get("attrs").is_none());
+        let mut bad = report;
+        bad.spans[0].attrs = vec![("k".to_owned(), "v".to_owned())];
+        let mut doc = bad.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "spans" {
+                    *value = Json::Arr(vec![Json::obj(vec![
+                        ("id", Json::Num(1.0)),
+                        ("name", Json::Str("s".into())),
+                        ("start_us", Json::Num(0.0)),
+                        ("dur_us", Json::Num(1.0)),
+                        ("attrs", Json::obj(vec![("n", Json::Num(3.0))])),
+                    ])]);
+                }
+            }
+        }
+        let err = validate_json(&doc).unwrap_err();
+        assert!(err.contains("attrs.n"), "{err}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod simulator;
 pub mod tri;
 
 pub use patterns::PatternSet;
-pub use program::SimProgram;
+pub use program::{KernelPlan, KernelStrategy, LevelPlan, SimProgram};
 pub use rare::{RareNode, RareNodeExtractor, RareNodeSet};
 pub use seq_batch::{BatchedSequentialSimulator, FirstFireMonitor};
 pub use sequential::{CycleSnapshot, SequentialSimulator};

@@ -246,10 +246,51 @@ impl PatternSet {
 
     /// Appends every pattern of `other` to `self`.
     ///
+    /// Word-level, not bit-level: when the current length is a word
+    /// multiple the columns of `other` are block-copied; otherwise each
+    /// source word is shift-spliced across two destination words. Either
+    /// way the cost is O(inputs × words), not O(inputs × patterns) —
+    /// this is the hot path of MERO's iterative pattern-set growth.
+    ///
     /// # Panics
     ///
     /// Panics if the input counts differ.
     pub fn extend_from(&mut self, other: &PatternSet) {
+        assert_eq!(self.num_inputs, other.num_inputs, "input count mismatch");
+        let old_len = self.len;
+        let new_len = old_len + other.len;
+        let words = Self::words_for(new_len);
+        let shift = old_len % 64;
+        for (input_bits, src) in self.bits.iter_mut().zip(&other.bits) {
+            input_bits.resize(words, 0);
+            if shift == 0 {
+                // Aligned: `other`'s tail bits are already zero, so a
+                // straight block copy preserves the tail invariant.
+                input_bits[old_len / 64..][..src.len()].copy_from_slice(src);
+            } else {
+                // Unaligned: source word k straddles destination words
+                // `old_len/64 + k` and the next one. ORing is safe —
+                // the destination tail above `shift` is zero (invariant)
+                // and every later word was just resized to zero. The
+                // `>> (64 - shift)` is split in two to avoid the
+                // shift-by-64 edge (shift >= 1 here).
+                for (k, &s) in src.iter().enumerate() {
+                    let w = old_len / 64 + k;
+                    input_bits[w] |= s << shift;
+                    if w + 1 < words {
+                        input_bits[w + 1] |= (s >> (63 - shift)) >> 1;
+                    }
+                }
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// The pre-word-blit [`extend_from`](Self::extend_from): one
+    /// [`get`](Self::get)/[`set`](Self::set) round trip per (input,
+    /// pattern). Kept as the proptest oracle and the benchmark baseline.
+    #[doc(hidden)]
+    pub fn extend_from_per_bit(&mut self, other: &PatternSet) {
         assert_eq!(self.num_inputs, other.num_inputs, "input count mismatch");
         let old_len = self.len;
         let new_len = old_len + other.len;
@@ -267,7 +308,8 @@ impl PatternSet {
         }
     }
 
-    /// Appends a single pattern.
+    /// Appends a single pattern (one word append or OR per input — no
+    /// per-bit index arithmetic beyond the shared shift).
     ///
     /// # Panics
     ///
@@ -275,16 +317,16 @@ impl PatternSet {
     pub fn push(&mut self, vector: &[bool]) {
         assert_eq!(vector.len(), self.num_inputs, "pattern has wrong width");
         let p = self.len;
-        let words = Self::words_for(p + 1);
-        for input_bits in &mut self.bits {
-            input_bits.resize(words, 0);
-        }
-        self.len = p + 1;
-        for (i, &bit) in vector.iter().enumerate() {
-            if bit {
-                self.set(i, p, true);
+        let bit = 1u64 << (p % 64);
+        let grow = p.is_multiple_of(64);
+        for (input_bits, &value) in self.bits.iter_mut().zip(vector) {
+            if grow {
+                input_bits.push(if value { bit } else { 0 });
+            } else if value {
+                *input_bits.last_mut().expect("non-empty column") |= bit;
             }
         }
+        self.len = p + 1;
     }
 }
 
@@ -358,6 +400,62 @@ mod tests {
         assert_eq!(a.pattern(1), vec![false, true]);
         assert_eq!(a.pattern(2), vec![true, true]);
         assert_eq!(a.pattern(3), vec![false, false]);
+    }
+
+    #[test]
+    fn extend_from_unaligned_splices_across_words() {
+        // 70 + 130 patterns: shift = 6, source spans 3 words, result 4.
+        let mut a = PatternSet::random(3, 70, 11);
+        let b = PatternSet::random(3, 130, 22);
+        let mut oracle = a.clone();
+        a.extend_from(&b);
+        oracle.extend_from_per_bit(&b);
+        assert_eq!(a, oracle);
+        assert_eq!(a.len(), 200);
+        // Tail invariant survives the splice.
+        let tail = PatternSet::tail_mask(200);
+        for i in 0..3 {
+            assert_eq!(a.input_words(i).last().unwrap() & !tail, 0, "input {i}");
+        }
+    }
+
+    #[test]
+    fn push_appends_word_at_a_time() {
+        let mut ps = PatternSet::zeros(2, 0);
+        for p in 0..130 {
+            ps.push(&[p % 2 == 0, p % 3 == 0]);
+        }
+        assert_eq!(ps.len(), 130);
+        assert_eq!(ps.input_words(0).len(), 3);
+        for p in 0..130 {
+            assert_eq!(ps.get(0, p), p % 2 == 0, "pattern {p}");
+            assert_eq!(ps.get(1, p), p % 3 == 0, "pattern {p}");
+        }
+        assert_eq!(ps.input_words(0)[2] & !PatternSet::tail_mask(130), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn extend_from_matches_per_bit_path(
+            inputs in 1usize..6,
+            len_a in 0usize..200,
+            len_b in 0usize..200,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let mut fast = PatternSet::random(inputs, len_a, seed);
+            let b = PatternSet::random(inputs, len_b, seed ^ 0xDEAD);
+            let mut slow = fast.clone();
+            fast.extend_from(&b);
+            slow.extend_from_per_bit(&b);
+            proptest::prop_assert_eq!(&fast, &slow);
+            // Round-trip spot check: the appended patterns read back.
+            for p in 0..len_b {
+                for i in 0..inputs {
+                    proptest::prop_assert_eq!(fast.get(i, len_a + p), b.get(i, p));
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! [`SimProgram`] lowers a [`Netlist`] **once** into a flat instruction
 //! tape and then evaluates pattern sets against that tape, instead of
 //! re-walking the graph gate-by-gate the way the original interpreter
-//! did. Two properties make the tape fast:
+//! did. Three properties make the tape fast:
 //!
 //! * **SoA layout, no per-gate allocation.** The tape is four parallel
 //!   arrays — opcode, destination, fanin offset, and one contiguous
@@ -13,11 +13,28 @@
 //!   gates that dominate real netlists.
 //! * **Column parallelism.** Values are packed 64 patterns per word, and
 //!   the word *columns* of a pattern set are fully independent: word `w`
-//!   of every node depends only on word `w` of its fanins. [`SimProgram::run_with_threads`]
-//!   therefore splits the columns across scoped [`std::thread`] workers
-//!   with zero synchronization inside the hot loop (the same
-//!   `thread::scope` idiom used by the compatibility-graph builder in
-//!   `htforge-core`).
+//!   of every node depends only on word `w` of its fanins. With enough
+//!   columns the kernel splits them across scoped [`std::thread`]
+//!   workers with zero synchronization inside the hot loop.
+//! * **Level parallelism.** The tape is emitted in *levelized* order
+//!   (still topological), and [`SimProgram::compile`] records the step
+//!   range of every logic level as a [`LevelPlan`]. All gates of one
+//!   level are independent — every fanin lives at a strictly lower
+//!   level — so workers can split a level's steps between them over one
+//!   shared buffer and meet at a barrier before the next level. This is
+//!   what parallelizes the *small-batch* workloads (≤64 vectors, one
+//!   word per node) where column splitting is impossible by
+//!   construction: MERO-style refinement, per-cube simulation, and
+//!   every cycle of the batched sequential stepper.
+//!
+//! [`SimProgram::run_with_threads`] consults a planner
+//! ([`SimProgram::plan`]) that picks column-parallel (words ≥ threads),
+//! level-parallel (one word, wide levels), a hybrid (each column group
+//! runs level-parallel), or plain single-threaded execution, and reports
+//! the choice through the `sim.kernel_strategy` /
+//! `sim.kernel_threads_effective` gauges plus `sim.kernel_run` span
+//! attributes. All strategies are bit-identical — proven per node/word
+//! by `tests/differential_sim.rs` and `tests/differential_seq.rs`.
 //!
 //! The public [`crate::simulator::Simulator`] API is a thin wrapper over
 //! this kernel, so every existing caller — rare-node extraction, signal
@@ -25,7 +42,11 @@
 //! evaluation, fault simulation's good-machine run — upgrades without
 //! code changes.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError, NodeKind};
 
@@ -56,6 +77,97 @@ enum OpCode {
     XnorN,
 }
 
+/// How one kernel run distributes its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// One thread walks the whole tape (small workloads, where spawn
+    /// and synchronization overhead dominate).
+    Single,
+    /// Word columns split across workers; no synchronization inside the
+    /// run (many-word pattern sets).
+    Column,
+    /// Each logic level's steps split across workers sharing one
+    /// buffer, with a barrier between levels (one-word pattern sets on
+    /// wide netlists).
+    Level,
+    /// Column groups, each running level-parallel over its own columns
+    /// (a few words, more threads than words).
+    Hybrid,
+}
+
+impl KernelStrategy {
+    /// Stable lowercase name (span attribute / bench row value).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelStrategy::Single => "single",
+            KernelStrategy::Column => "column",
+            KernelStrategy::Level => "level",
+            KernelStrategy::Hybrid => "hybrid",
+        }
+    }
+
+    /// Numeric encoding for the `sim.kernel_strategy` gauge:
+    /// 1 = single, 2 = column, 3 = level, 4 = hybrid.
+    #[must_use]
+    pub fn code(self) -> f64 {
+        match self {
+            KernelStrategy::Single => 1.0,
+            KernelStrategy::Column => 2.0,
+            KernelStrategy::Level => 3.0,
+            KernelStrategy::Hybrid => 4.0,
+        }
+    }
+}
+
+/// The planner's decision for one run: which strategy, how many workers
+/// actually execute, and how many the caller asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPlan {
+    /// Chosen execution strategy.
+    pub strategy: KernelStrategy,
+    /// Workers that will actually run (the *effective* parallelism —
+    /// may be below the request when columns or levels are too narrow).
+    pub workers: usize,
+    /// The caller's requested thread count, before any clamping.
+    pub requested: usize,
+}
+
+/// The levelized structure of a compiled tape: per-level `[lo, hi)`
+/// step ranges, in ascending level order (empty levels are skipped).
+///
+/// Because the tape is emitted level-sorted, the ranges tile
+/// `0..steps()` exactly; the level executor hands each worker a
+/// balanced contiguous slice of every range.
+#[derive(Debug, Clone)]
+pub struct LevelPlan {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl LevelPlan {
+    /// Number of (non-empty) logic levels.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Per-level `[step_lo, step_hi)` ranges into the tape.
+    #[must_use]
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Gate count of the widest level.
+    #[must_use]
+    pub fn widest(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A netlist compiled to a flat simulation tape.
 ///
 /// # Examples
@@ -80,7 +192,7 @@ pub struct SimProgram {
     node_count: usize,
     /// `(node, column index into the PatternSet)` for each primary input.
     input_positions: Vec<(NodeId, usize)>,
-    /// Per-step opcode, in topological order.
+    /// Per-step opcode, in level-sorted topological order.
     ops: Vec<OpCode>,
     /// Per-step destination node index.
     dsts: Vec<u32>,
@@ -89,9 +201,12 @@ pub struct SimProgram {
     offs: Vec<u32>,
     /// Contiguous fanin node indices for every step.
     pool: Vec<u32>,
+    /// Levelized step ranges for the level-parallel executor.
+    levels: LevelPlan,
     /// Observability handles, fetched once at compile time so each run
-    /// records with one atomic add (`sim.kernel_words`) plus — only when
-    /// the recorder is enabled — a throughput gauge update.
+    /// records with one atomic add (`sim.kernel_words`) plus two gauge
+    /// stores, and — only when the recorder is enabled — a throughput
+    /// gauge update and a `sim.kernel_run` span.
     metrics: KernelMetrics,
 }
 
@@ -99,6 +214,12 @@ pub struct SimProgram {
 struct KernelMetrics {
     words: htforge_obs::Counter,
     throughput: htforge_obs::Gauge,
+    /// Last run's [`KernelStrategy::code`].
+    strategy: htforge_obs::Gauge,
+    /// Last run's effective worker count (vs the caller's request,
+    /// which goes on the `sim.kernel_run` span) — makes the "1-core CI
+    /// container" caveat machine-detectable in run reports.
+    threads_effective: htforge_obs::Gauge,
 }
 
 impl KernelMetrics {
@@ -106,13 +227,97 @@ impl KernelMetrics {
         KernelMetrics {
             words: htforge_obs::counter("sim.kernel_words"),
             throughput: htforge_obs::gauge("sim.kernel_words_per_sec"),
+            strategy: htforge_obs::gauge("sim.kernel_strategy"),
+            threads_effective: htforge_obs::gauge("sim.kernel_threads_effective"),
+        }
+    }
+}
+
+/// A raw view of the shared node-major value buffer, passed to level
+/// workers. Plain `&mut [u64]` splitting cannot express the level
+/// executor's access pattern (each worker writes the *non-contiguous*
+/// destination rows of its step slice), so workers get the base pointer
+/// and the safety argument lives at the spawn site.
+#[derive(Clone, Copy)]
+struct SharedWords {
+    ptr: *mut u64,
+    len: usize,
+}
+
+// SAFETY: `SharedWords` is only handed to scoped workers whose step
+// slices touch disjoint `u64` elements between barriers (see
+// `run_levels`); the buffer outlives the scope.
+unsafe impl Send for SharedWords {}
+unsafe impl Sync for SharedWords {}
+
+/// The column window one executor call operates on: node `n`, column
+/// `k` (`k < width`) lives at `buf[n * stride + col0 + k]`.
+#[derive(Clone, Copy)]
+struct ColumnWindow {
+    stride: usize,
+    col0: usize,
+    width: usize,
+    /// Tail mask for the window's last column, when that column is the
+    /// final (partially filled) word of the pattern set.
+    mask: Option<u64>,
+}
+
+/// One group of the level executor: workers `0..workers` cooperate on
+/// columns `[w0, w0 + width)` with a barrier per level. The hybrid
+/// strategy runs one group per column; pure level mode runs one group
+/// over all columns.
+#[derive(Clone, Copy)]
+struct LevelGroup {
+    w0: usize,
+    width: usize,
+    workers: usize,
+}
+
+/// Sense-reversing spin barrier for the level executor. Levels are
+/// microseconds apart, so parking on a mutex/condvar
+/// ([`std::sync::Barrier`]) would dominate the compute; spinning (with
+/// a yield fallback for oversubscribed hosts) keeps the inter-level gap
+/// in the nanoseconds.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver: reset the count *before* releasing the
+            // generation, so waiters entering the next round see zero.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(generation + 1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
         }
     }
 }
 
 impl SimProgram {
-    /// Lowers `nl` into a simulation tape (topological order, SoA
-    /// arrays, specialized opcodes).
+    /// Lowers `nl` into a simulation tape (level-sorted topological
+    /// order, SoA arrays, specialized opcodes) and records the
+    /// [`LevelPlan`] the level-parallel executor needs.
     ///
     /// Sequential netlists are accepted under the same convention as
     /// [`crate::simulator::Simulator`]: DFF Q outputs listed in
@@ -125,6 +330,7 @@ impl SimProgram {
     /// part of `nl` is cyclic.
     pub fn compile(nl: &Netlist) -> Result<Self, NetlistError> {
         let order = htforge_netlist::graph::topo_order(nl)?;
+        let level = htforge_netlist::graph::levelize(nl)?;
         let node_count = nl.node_count();
         let input_positions: Vec<(NodeId, usize)> = nl
             .inputs()
@@ -133,16 +339,27 @@ impl SimProgram {
             .map(|(pos, &id)| (id, pos))
             .collect();
 
-        let mut ops = Vec::new();
-        let mut dsts = Vec::new();
+        // Gate steps in topo order, then stably sorted by level: within
+        // a level the original topo order is preserved, and since every
+        // fanin of a level-L gate sits at a level < L, the level-sorted
+        // tape is still a valid topological order for the sequential
+        // executors.
+        let mut steps: Vec<NodeId> = order
+            .into_iter()
+            .filter(|&id| matches!(nl.node(id).kind(), NodeKind::Gate(_)))
+            .collect();
+        steps.sort_by_key(|id| level[id.index()]);
+
+        let mut ops = Vec::with_capacity(steps.len());
+        let mut dsts = Vec::with_capacity(steps.len());
         let mut offs = vec![0u32];
         let mut pool: Vec<u32> = Vec::new();
 
-        for &id in &order {
+        for &id in &steps {
             let node = nl.node(id);
             let kind = match node.kind() {
                 NodeKind::Gate(k) => k,
-                NodeKind::Input | NodeKind::Dff => continue,
+                NodeKind::Input | NodeKind::Dff => unreachable!("steps are gates"),
             };
             let fanins = node.fanins();
             let op = match fanins.len() {
@@ -188,9 +405,18 @@ impl SimProgram {
             offs.push(pool.len() as u32);
         }
 
+        // Per-level [lo, hi) step ranges over the now level-sorted tape.
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut lo = 0usize;
+        for s in 1..=steps.len() {
+            if s == steps.len() || level[steps[s].index()] != level[steps[lo].index()] {
+                ranges.push((lo as u32, s as u32));
+                lo = s;
+            }
+        }
+
         // Kernel safety invariant: every node index on the tape is in
         // bounds, so the hot loop can use unchecked accesses.
-        debug_assert!(dsts.iter().all(|&d| (d as usize) < node_count));
         assert!(
             pool.iter().all(|&f| (f as usize) < node_count),
             "fanin index out of bounds"
@@ -207,6 +433,7 @@ impl SimProgram {
             dsts,
             offs,
             pool,
+            levels: LevelPlan { ranges },
             metrics: KernelMetrics::from_global(),
         })
     }
@@ -229,6 +456,12 @@ impl SimProgram {
         self.input_positions.len()
     }
 
+    /// The levelized step ranges recorded at compile time.
+    #[must_use]
+    pub fn level_plan(&self) -> &LevelPlan {
+        &self.levels
+    }
+
     /// Simulates `patterns`, choosing a thread count automatically:
     /// single-threaded for small workloads (where spawn overhead
     /// dominates), [`std::thread::available_parallelism`] otherwise.
@@ -247,22 +480,107 @@ impl SimProgram {
     #[must_use]
     pub fn default_threads(&self, len: usize) -> usize {
         let words = PatternSet::words_for(len);
-        // Below ~2^15 word-gate evaluations a spawn costs more than it
-        // saves; also never run more workers than there are columns.
-        if words < 4 || self.steps().saturating_mul(words) < (1 << 15) {
+        if words == 0 {
             return 1;
         }
-        std::thread::available_parallelism()
+        let avail = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(words)
+            .unwrap_or(1);
+        if words >= 4 {
+            // Column regime. Below ~2^15 word-gate evaluations a spawn
+            // costs more than it saves.
+            if self.steps().saturating_mul(words) < (1 << 15) {
+                1
+            } else {
+                avail.min(words)
+            }
+        } else {
+            // Small-batch regime: only a level split can use extra
+            // workers, and its barriers only pay off on deep tapes.
+            if self.steps() >= Self::LEVEL_AUTO_MIN_STEPS {
+                avail
+            } else {
+                1
+            }
+        }
     }
 
-    /// Simulates `patterns` over exactly `threads` workers (clamped to
-    /// at least 1 and at most the number of 64-pattern word columns).
-    ///
-    /// Output is bit-identical at every thread count: each worker owns a
-    /// contiguous range of word columns, and columns never interact.
+    /// Below this many tape steps the automatic heuristic keeps
+    /// small-word runs single-threaded (per-level barrier overhead
+    /// would eat the split's gain on shallow netlists).
+    const LEVEL_AUTO_MIN_STEPS: usize = 4096;
+
+    /// A level-split worker wants at least this many word-evaluations
+    /// per level; narrower shares are all barrier, no compute.
+    const MIN_WORDS_PER_LEVEL_WORKER: usize = 16;
+
+    /// Most workers a level split can usefully feed: average level
+    /// width divided by the per-worker minimum.
+    fn max_level_workers(&self) -> usize {
+        let levels = self.levels.level_count();
+        if levels == 0 {
+            return 1;
+        }
+        (self.steps() / levels) / Self::MIN_WORDS_PER_LEVEL_WORKER
+    }
+
+    /// Picks the execution strategy for a `len`-pattern run with
+    /// `threads` requested workers. Pure function of the compiled tape
+    /// shape — bench and tests call it to label runs.
+    #[must_use]
+    pub fn plan(&self, len: usize, threads: usize) -> KernelPlan {
+        let words = PatternSet::words_for(len);
+        let requested = threads;
+        let threads = threads.max(1);
+        if words == 0 || threads == 1 || self.steps() == 0 {
+            return KernelPlan {
+                strategy: KernelStrategy::Single,
+                workers: 1,
+                requested,
+            };
+        }
+        if words >= threads {
+            // Enough columns to feed every worker — the cheapest split
+            // (no synchronization at all inside the run).
+            return KernelPlan {
+                strategy: KernelStrategy::Column,
+                workers: threads,
+                requested,
+            };
+        }
+        // Fewer columns than workers: level-split each column group if
+        // the levels are wide enough to amortize the barriers.
+        let per_column = (threads / words).min(self.max_level_workers());
+        if per_column <= 1 {
+            let workers = words;
+            return KernelPlan {
+                strategy: if workers == 1 {
+                    KernelStrategy::Single
+                } else {
+                    KernelStrategy::Column
+                },
+                workers,
+                requested,
+            };
+        }
+        if words == 1 {
+            KernelPlan {
+                strategy: KernelStrategy::Level,
+                workers: per_column,
+                requested,
+            }
+        } else {
+            KernelPlan {
+                strategy: KernelStrategy::Hybrid,
+                workers: words * per_column,
+                requested,
+            }
+        }
+    }
+
+    /// Simulates `patterns` with `threads` requested workers, routed
+    /// through the planner ([`SimProgram::plan`]). Output is
+    /// bit-identical at every thread count and strategy.
     ///
     /// # Panics
     ///
@@ -270,13 +588,113 @@ impl SimProgram {
     /// netlist's input count.
     #[must_use]
     pub fn run_with_threads(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
-        // Timing only when the recorder is enabled: two clock reads per
-        // run would still be noise, but the disabled path stays exactly
-        // the pre-instrumentation code.
-        let started = htforge_obs::enabled().then(std::time::Instant::now);
-        let values = self.run_columns(patterns, threads);
-        let words_done = (self.steps() * PatternSet::words_for(patterns.len())) as u64;
+        self.run_planned(patterns, self.plan(patterns.len(), threads))
+    }
+
+    /// Simulates `patterns` forcing `strategy` (the differential suites
+    /// and bench rows use this to exercise every executor on the same
+    /// input; production code goes through [`SimProgram::run`] /
+    /// [`SimProgram::run_with_threads`]).
+    ///
+    /// The worker count is still clamped to what the strategy can use:
+    /// `Column` to the column count, `Hybrid` to at least one worker
+    /// per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.num_inputs()` differs from the compiled
+    /// netlist's input count.
+    #[must_use]
+    pub fn run_with_strategy(
+        &self,
+        patterns: &PatternSet,
+        strategy: KernelStrategy,
+        threads: usize,
+    ) -> NodeValues {
+        let words = PatternSet::words_for(patterns.len());
+        let requested = threads;
+        let threads = threads.max(1);
+        let plan = if words == 0 {
+            KernelPlan {
+                strategy: KernelStrategy::Single,
+                workers: 1,
+                requested,
+            }
+        } else {
+            match strategy {
+                KernelStrategy::Single => KernelPlan {
+                    strategy,
+                    workers: 1,
+                    requested,
+                },
+                KernelStrategy::Column => KernelPlan {
+                    strategy,
+                    workers: threads.min(words),
+                    requested,
+                },
+                KernelStrategy::Level => KernelPlan {
+                    strategy,
+                    workers: threads,
+                    requested,
+                },
+                KernelStrategy::Hybrid => KernelPlan {
+                    strategy,
+                    workers: words * (threads / words).max(1),
+                    requested,
+                },
+            }
+        };
+        self.run_planned(patterns, plan)
+    }
+
+    fn run_planned(&self, patterns: &PatternSet, plan: KernelPlan) -> NodeValues {
+        assert_eq!(
+            patterns.num_inputs(),
+            self.input_positions.len(),
+            "pattern width does not match netlist input count"
+        );
+        // Timing and the span only when the recorder is enabled: the
+        // disabled path stays the pre-instrumentation code plus three
+        // relaxed atomic stores.
+        let enabled = htforge_obs::enabled();
+        let started = enabled.then(std::time::Instant::now);
+        let mut span = enabled.then(|| htforge_obs::span("sim.kernel_run"));
+
+        let words_per_node = PatternSet::words_for(patterns.len());
+        let values = match plan.strategy {
+            KernelStrategy::Single => self.run_columns(patterns, 1),
+            KernelStrategy::Column => self.run_columns(patterns, plan.workers),
+            KernelStrategy::Level => {
+                let group = LevelGroup {
+                    w0: 0,
+                    width: words_per_node,
+                    workers: plan.workers,
+                };
+                self.run_levels(patterns, &[group])
+            }
+            KernelStrategy::Hybrid => {
+                let per_column = (plan.workers / words_per_node).max(1);
+                let groups: Vec<LevelGroup> = (0..words_per_node)
+                    .map(|w| LevelGroup {
+                        w0: w,
+                        width: 1,
+                        workers: per_column,
+                    })
+                    .collect();
+                self.run_levels(patterns, &groups)
+            }
+        };
+
+        let words_done = (self.steps() * words_per_node) as u64;
         self.metrics.words.add(words_done);
+        self.metrics.strategy.set(plan.strategy.code());
+        self.metrics.threads_effective.set(plan.workers as f64);
+        if let Some(span) = &mut span {
+            span.attr("strategy", plan.strategy.name());
+            span.attr("threads_requested", plan.requested.to_string());
+            span.attr("threads_effective", plan.workers.to_string());
+            span.attr("words", words_per_node.to_string());
+        }
         if let Some(t0) = started {
             let dt = t0.elapsed().as_secs_f64();
             if dt > 0.0 {
@@ -287,11 +705,6 @@ impl SimProgram {
     }
 
     fn run_columns(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
-        assert_eq!(
-            patterns.num_inputs(),
-            self.input_positions.len(),
-            "pattern width does not match netlist input count"
-        );
         let len = patterns.len();
         let words_per_node = PatternSet::words_for(len);
         let tail_mask = PatternSet::tail_mask(len);
@@ -343,15 +756,147 @@ impl SimProgram {
                 w0 += chunk;
             }
             for handle in handles {
-                let (start, chunk, local) = handle.join().expect("simulation worker panicked");
-                for node in 0..self.node_count {
-                    let dst = node * words_per_node + start;
-                    let src = node * chunk;
-                    words[dst..dst + chunk].copy_from_slice(&local[src..src + chunk]);
+                // Re-raise a worker panic with its original payload so
+                // injected-fault messages survive to the caller.
+                match handle.join() {
+                    Ok((start, chunk, local)) => {
+                        for node in 0..self.node_count {
+                            let dst = node * words_per_node + start;
+                            let src = node * chunk;
+                            words[dst..dst + chunk].copy_from_slice(&local[src..src + chunk]);
+                        }
+                    }
+                    Err(payload) => resume_unwind(payload),
                 }
             }
         });
         NodeValues::from_raw(len, words_per_node, words)
+    }
+
+    /// Runs the tape level by level over one shared node-major buffer,
+    /// one barrier-synchronized worker team per [`LevelGroup`].
+    fn run_levels(&self, patterns: &PatternSet, groups: &[LevelGroup]) -> NodeValues {
+        let len = patterns.len();
+        let words_per_node = PatternSet::words_for(len);
+        let tail_mask = PatternSet::tail_mask(len);
+        let mut words = vec![0u64; self.node_count * words_per_node];
+        if words_per_node == 0 {
+            return NodeValues::from_raw(len, words_per_node, words);
+        }
+
+        // Input columns land in their final node-major rows before any
+        // worker starts; unconnected DFF outputs stay constant 0.
+        for &(node, pos) in &self.input_positions {
+            let base = node.index() * words_per_node;
+            words[base..base + words_per_node].copy_from_slice(patterns.input_words(pos));
+        }
+
+        let shared = SharedWords {
+            ptr: words.as_mut_ptr(),
+            len: words.len(),
+        };
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for group in groups {
+                // Each group owns a disjoint column window; inside a
+                // group the per-level step split assigns each worker
+                // disjoint destination rows, so no two threads ever
+                // touch the same u64 between barriers.
+                let barrier = Arc::new(SpinBarrier::new(group.workers));
+                let poisoned = Arc::new(AtomicBool::new(false));
+                for worker in 0..group.workers {
+                    let barrier = Arc::clone(&barrier);
+                    let poisoned = Arc::clone(&poisoned);
+                    let group = *group;
+                    handles.push(scope.spawn(move || {
+                        self.level_worker(
+                            shared,
+                            group,
+                            worker,
+                            &barrier,
+                            &poisoned,
+                            words_per_node,
+                            tail_mask,
+                        );
+                    }));
+                }
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    // Keep the first payload; the others are the same
+                    // injected fault re-raised per worker.
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        });
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        NodeValues::from_raw(len, words_per_node, words)
+    }
+
+    /// One level-executor worker: takes its balanced share of every
+    /// level, meeting the group at the barrier in between.
+    ///
+    /// Panic protocol: a panicking worker would strand its teammates at
+    /// the barrier forever, so each level's compute runs under
+    /// `catch_unwind`; on panic the worker poisons the group, keeps
+    /// attending every remaining barrier (teammates see the poison and
+    /// skip their compute), and re-raises the original payload at the
+    /// end so `run_levels` can propagate it.
+    #[allow(clippy::too_many_arguments)]
+    fn level_worker(
+        &self,
+        buf: SharedWords,
+        group: LevelGroup,
+        worker: usize,
+        barrier: &SpinBarrier,
+        poisoned: &AtomicBool,
+        words_per_node: usize,
+        tail_mask: u64,
+    ) {
+        let mask = (group.w0 + group.width == words_per_node && tail_mask != u64::MAX)
+            .then_some(tail_mask);
+        let window = ColumnWindow {
+            stride: words_per_node,
+            col0: group.w0,
+            width: group.width,
+            mask,
+        };
+        let mut caught: Option<Box<dyn Any + Send>> = None;
+        for (li, &(lo, hi)) in self.levels.ranges.iter().enumerate() {
+            if caught.is_none() && !poisoned.load(Ordering::Acquire) {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if li == 0 {
+                        htforge_obs::faultpoint!("sim.level_worker");
+                    }
+                    let steps = (hi - lo) as usize;
+                    let share = steps / group.workers;
+                    let extra = steps % group.workers;
+                    let my_lo = lo as usize + worker * share + worker.min(extra);
+                    let my_steps = share + usize::from(worker < extra);
+                    if my_steps > 0 {
+                        // SAFETY: `compile` bounds-checked every tape
+                        // index; workers of this group own disjoint
+                        // step sub-ranges of the level (disjoint
+                        // destination rows), other groups own disjoint
+                        // columns, and every fanin of this level was
+                        // written at a lower level — published by the
+                        // previous barrier.
+                        unsafe { self.exec_steps(my_lo, my_lo + my_steps, buf, window) };
+                    }
+                }));
+                if let Err(payload) = result {
+                    poisoned.store(true, Ordering::Release);
+                    caught = Some(payload);
+                }
+            }
+            barrier.wait();
+        }
+        if let Some(payload) = caught {
+            resume_unwind(payload);
+        }
     }
 
     /// Executes the tape over columns `[w0, w0 + chunk)` into `buf`,
@@ -378,141 +923,167 @@ impl SimProgram {
 
         // The last global column carries the tail; only the worker that
         // owns it masks anything.
-        let masked_at = if w0 + chunk == words_per_node && tail_mask != u64::MAX {
-            chunk - 1
-        } else {
-            usize::MAX
+        let mask = (w0 + chunk == words_per_node && tail_mask != u64::MAX).then_some(tail_mask);
+        let shared = SharedWords {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
         };
+        let window = ColumnWindow {
+            stride: chunk,
+            col0: 0,
+            width: chunk,
+            mask,
+        };
+        // SAFETY: single-threaded over a uniquely borrowed buffer;
+        // `compile` bounds-checked every tape index against node_count
+        // and `buf` spans node_count * chunk words.
+        unsafe { self.exec_steps(0, self.steps(), shared, window) };
+    }
 
+    /// Executes tape steps `[lo, hi)` over one column window of `buf`.
+    /// Shared by every strategy: the column path passes its dense local
+    /// buffer (`stride = chunk, col0 = 0`), the level path the final
+    /// node-major buffer (`stride = words_per_node, col0 = group start`).
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that
+    /// * every tape index times `window.stride` plus `window.col0 +
+    ///   window.width` stays within `buf.len()` (upheld by `compile`'s
+    ///   bounds assertions plus a correctly sized buffer), and
+    /// * no other thread touches this window's destination elements
+    ///   concurrently, and all fanin elements of steps `[lo, hi)` were
+    ///   written-and-published before the call.
+    unsafe fn exec_steps(&self, lo: usize, hi: usize, buf: SharedWords, window: ColumnWindow) {
+        let ColumnWindow {
+            stride,
+            col0,
+            width,
+            mask,
+        } = window;
+        debug_assert!(col0 + width <= stride);
+        debug_assert!(self.node_count * stride <= buf.len);
+        let p = buf.ptr;
         let offs = &self.offs;
         let pool = &self.pool;
-        for (s, (&op, &dst)) in self.ops.iter().zip(&self.dsts).enumerate() {
-            let d = dst as usize * chunk;
-            let off = offs[s] as usize;
-            // SAFETY: `compile` asserted every destination and fanin
-            // index is < node_count, and `buf` spans node_count * chunk
-            // words, so every `idx * chunk + w` with `w < chunk` is in
-            // bounds. Sources and destination may never alias within one
-            // step (a gate is not its own fanin in an acyclic order),
-            // and each word is read before the destination word is
-            // written.
-            unsafe {
-                match op {
-                    OpCode::Not => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) = !*buf.get_unchecked(a + w);
+        for s in lo..hi {
+            let op = *self.ops.get_unchecked(s);
+            let d = *self.dsts.get_unchecked(s) as usize * stride + col0;
+            let off = *offs.get_unchecked(s) as usize;
+            // SAFETY (for the whole match): `compile` asserted every
+            // destination and fanin index is < node_count, and the
+            // caller sized `buf` so `idx * stride + col0 + w` with
+            // `w < width <= stride - col0` is in bounds. Sources and
+            // destination never alias within one step (a gate is not
+            // its own fanin in an acyclic order), and distinct nodes'
+            // windows are disjoint (their base offsets differ by at
+            // least `stride`).
+            match op {
+                OpCode::Not => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = !*p.add(a + w);
+                    }
+                }
+                OpCode::Buf => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = *p.add(a + w);
+                    }
+                }
+                OpCode::And2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = *p.add(a + w) & *p.add(b + w);
+                    }
+                }
+                OpCode::Nand2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = !(*p.add(a + w) & *p.add(b + w));
+                    }
+                }
+                OpCode::Or2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = *p.add(a + w) | *p.add(b + w);
+                    }
+                }
+                OpCode::Nor2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = !(*p.add(a + w) | *p.add(b + w));
+                    }
+                }
+                OpCode::Xor2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = *p.add(a + w) ^ *p.add(b + w);
+                    }
+                }
+                OpCode::Xnor2 => {
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    let b = *pool.get_unchecked(off + 1) as usize * stride + col0;
+                    for w in 0..width {
+                        *p.add(d + w) = !(*p.add(a + w) ^ *p.add(b + w));
+                    }
+                }
+                OpCode::AndN | OpCode::NandN => {
+                    let end = *offs.get_unchecked(s + 1) as usize;
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    std::ptr::copy_nonoverlapping(p.add(a), p.add(d), width);
+                    for &f in &pool[off + 1..end] {
+                        let fb = f as usize * stride + col0;
+                        for w in 0..width {
+                            *p.add(d + w) &= *p.add(fb + w);
                         }
                     }
-                    OpCode::Buf => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) = *buf.get_unchecked(a + w);
+                    if op == OpCode::NandN {
+                        for w in 0..width {
+                            *p.add(d + w) = !*p.add(d + w);
                         }
                     }
-                    OpCode::And2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                *buf.get_unchecked(a + w) & *buf.get_unchecked(b + w);
+                }
+                OpCode::OrN | OpCode::NorN => {
+                    let end = *offs.get_unchecked(s + 1) as usize;
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    std::ptr::copy_nonoverlapping(p.add(a), p.add(d), width);
+                    for &f in &pool[off + 1..end] {
+                        let fb = f as usize * stride + col0;
+                        for w in 0..width {
+                            *p.add(d + w) |= *p.add(fb + w);
                         }
                     }
-                    OpCode::Nand2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                !(*buf.get_unchecked(a + w) & *buf.get_unchecked(b + w));
+                    if op == OpCode::NorN {
+                        for w in 0..width {
+                            *p.add(d + w) = !*p.add(d + w);
                         }
                     }
-                    OpCode::Or2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                *buf.get_unchecked(a + w) | *buf.get_unchecked(b + w);
+                }
+                OpCode::XorN | OpCode::XnorN => {
+                    let end = *offs.get_unchecked(s + 1) as usize;
+                    let a = *pool.get_unchecked(off) as usize * stride + col0;
+                    std::ptr::copy_nonoverlapping(p.add(a), p.add(d), width);
+                    for &f in &pool[off + 1..end] {
+                        let fb = f as usize * stride + col0;
+                        for w in 0..width {
+                            *p.add(d + w) ^= *p.add(fb + w);
                         }
                     }
-                    OpCode::Nor2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                !(*buf.get_unchecked(a + w) | *buf.get_unchecked(b + w));
-                        }
-                    }
-                    OpCode::Xor2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                *buf.get_unchecked(a + w) ^ *buf.get_unchecked(b + w);
-                        }
-                    }
-                    OpCode::Xnor2 => {
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        let b = *pool.get_unchecked(off + 1) as usize * chunk;
-                        for w in 0..chunk {
-                            *buf.get_unchecked_mut(d + w) =
-                                !(*buf.get_unchecked(a + w) ^ *buf.get_unchecked(b + w));
-                        }
-                    }
-                    OpCode::AndN | OpCode::NandN => {
-                        let end = offs[s + 1] as usize;
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        buf.copy_within(a..a + chunk, d);
-                        for &f in &pool[off + 1..end] {
-                            let fb = f as usize * chunk;
-                            for w in 0..chunk {
-                                *buf.get_unchecked_mut(d + w) &= *buf.get_unchecked(fb + w);
-                            }
-                        }
-                        if op == OpCode::NandN {
-                            for w in 0..chunk {
-                                let v = buf.get_unchecked_mut(d + w);
-                                *v = !*v;
-                            }
-                        }
-                    }
-                    OpCode::OrN | OpCode::NorN => {
-                        let end = offs[s + 1] as usize;
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        buf.copy_within(a..a + chunk, d);
-                        for &f in &pool[off + 1..end] {
-                            let fb = f as usize * chunk;
-                            for w in 0..chunk {
-                                *buf.get_unchecked_mut(d + w) |= *buf.get_unchecked(fb + w);
-                            }
-                        }
-                        if op == OpCode::NorN {
-                            for w in 0..chunk {
-                                let v = buf.get_unchecked_mut(d + w);
-                                *v = !*v;
-                            }
-                        }
-                    }
-                    OpCode::XorN | OpCode::XnorN => {
-                        let end = offs[s + 1] as usize;
-                        let a = *pool.get_unchecked(off) as usize * chunk;
-                        buf.copy_within(a..a + chunk, d);
-                        for &f in &pool[off + 1..end] {
-                            let fb = f as usize * chunk;
-                            for w in 0..chunk {
-                                *buf.get_unchecked_mut(d + w) ^= *buf.get_unchecked(fb + w);
-                            }
-                        }
-                        if op == OpCode::XnorN {
-                            for w in 0..chunk {
-                                let v = buf.get_unchecked_mut(d + w);
-                                *v = !*v;
-                            }
+                    if op == OpCode::XnorN {
+                        for w in 0..width {
+                            *p.add(d + w) = !*p.add(d + w);
                         }
                     }
                 }
             }
-            if masked_at != usize::MAX {
-                buf[d + masked_at] &= tail_mask;
+            if let Some(m) = mask {
+                *p.add(d + width - 1) &= m;
             }
         }
     }
@@ -560,6 +1131,30 @@ y = NAND(n, w)
     }
 
     #[test]
+    fn level_plan_tiles_the_tape_in_order() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let plan = prog.level_plan();
+        // c17 is three NAND levels: 2 + 2 + 2 gates.
+        assert_eq!(plan.level_count(), 3);
+        assert_eq!(plan.ranges(), &[(0, 2), (2, 4), (4, 6)]);
+        assert_eq!(plan.widest(), 2);
+        // Ranges tile 0..steps and the tape stays topological: every
+        // fanin of a step is an input or an earlier step's destination.
+        let mut ready = vec![false; prog.node_count()];
+        for &(node, _) in &prog.input_positions {
+            ready[node.index()] = true;
+        }
+        for s in 0..prog.steps() {
+            let (lo, hi) = (prog.offs[s] as usize, prog.offs[s + 1] as usize);
+            for &f in &prog.pool[lo..hi] {
+                assert!(ready[f as usize], "step {s} reads unwritten node {f}");
+            }
+            ready[prog.dsts[s] as usize] = true;
+        }
+    }
+
+    #[test]
     fn c17_exhaustive_all_thread_counts() {
         let nl = bench::parse(C17, "c17").unwrap();
         let prog = SimProgram::compile(&nl).unwrap();
@@ -582,6 +1177,34 @@ y = NAND(n, w)
     }
 
     #[test]
+    fn every_strategy_is_bit_identical() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        for len in [1, 63, 64, 65, 200] {
+            let ps = PatternSet::random(5, len, 0xFEED + len as u64);
+            let reference = prog.run_with_strategy(&ps, KernelStrategy::Single, 1);
+            for strategy in [
+                KernelStrategy::Column,
+                KernelStrategy::Level,
+                KernelStrategy::Hybrid,
+            ] {
+                for threads in [1, 2, 4, 8] {
+                    let vals = prog.run_with_strategy(&ps, strategy, threads);
+                    for id in nl.node_ids() {
+                        assert_eq!(
+                            vals.words(id),
+                            reference.words(id),
+                            "node {} len {len} {} threads {threads}",
+                            nl.node(id).name(),
+                            strategy.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tail_masked_at_every_thread_count() {
         // NOT of constant 0 is all-ones: tail bits must not leak.
         let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
@@ -595,6 +1218,16 @@ y = NAND(n, w)
                 "{threads} threads"
             );
         }
+        // The level and hybrid executors must mask the same tail.
+        for strategy in [KernelStrategy::Level, KernelStrategy::Hybrid] {
+            let vals = prog.run_with_strategy(&ps, strategy, 4);
+            assert_eq!(
+                vals.count_ones(nl.find("y").unwrap()),
+                70,
+                "{}",
+                strategy.name()
+            );
+        }
     }
 
     #[test]
@@ -603,6 +1236,12 @@ y = NAND(n, w)
         let prog = SimProgram::compile(&nl).unwrap();
         let vals = prog.run(&PatternSet::zeros(5, 0));
         assert!(vals.is_empty());
+        // Forced strategies degrade gracefully on empty sets too.
+        for strategy in [KernelStrategy::Level, KernelStrategy::Hybrid] {
+            assert!(prog
+                .run_with_strategy(&PatternSet::zeros(5, 0), strategy, 4)
+                .is_empty());
+        }
     }
 
     #[test]
@@ -623,6 +1262,68 @@ y = NAND(n, w)
         let prog = SimProgram::compile(&nl).unwrap();
         assert_eq!(prog.default_threads(1), 1);
         assert_eq!(prog.default_threads(64), 1);
+    }
+
+    #[test]
+    fn planner_picks_strategies_by_shape() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        // One thread or no words: single.
+        assert_eq!(prog.plan(1000, 1).strategy, KernelStrategy::Single);
+        assert_eq!(prog.plan(0, 8).strategy, KernelStrategy::Single);
+        // Words >= threads: column, workers = request.
+        let p = prog.plan(64 * 8, 4);
+        assert_eq!((p.strategy, p.workers), (KernelStrategy::Column, 4));
+        // c17's levels are 2 gates wide — far below the per-worker
+        // minimum — so a 1-word run falls back to a single worker and
+        // the "64 threads on 2 words" request clamps to the columns.
+        let p = prog.plan(64, 8);
+        assert_eq!((p.strategy, p.workers), (KernelStrategy::Single, 1));
+        let p = prog.plan(100, 64);
+        assert_eq!((p.strategy, p.workers), (KernelStrategy::Column, 2));
+        assert_eq!(p.requested, 64);
+
+        // A wide synthetic netlist (1 level with 64 parallel NOTs, one
+        // OR): level for 1 word, hybrid for 2 words.
+        let mut src = String::from("INPUT(a)\nOUTPUT(y)\n");
+        let mut or_in = Vec::new();
+        for i in 0..64 {
+            src.push_str(&format!("n{i} = NOT(a)\n"));
+            or_in.push(format!("n{i}"));
+        }
+        src.push_str(&format!("y = OR({})\n", or_in.join(", ")));
+        let wide = bench::parse(&src, "wide").unwrap();
+        let prog = SimProgram::compile(&wide).unwrap();
+        let p = prog.plan(64, 2);
+        assert_eq!((p.strategy, p.workers), (KernelStrategy::Level, 2));
+        let p = prog.plan(128, 4);
+        assert_eq!((p.strategy, p.workers), (KernelStrategy::Hybrid, 4));
+    }
+
+    #[test]
+    fn wide_netlist_level_split_matches_reference() {
+        // 200 parallel XOR gates in one level, then a tree — wide
+        // enough that 4 workers genuinely split each level.
+        let mut src = String::from("INPUT(a)\nINPUT(b)\nOUTPUT(y)\n");
+        let mut names = Vec::new();
+        for i in 0..200 {
+            let name = format!("x{i}");
+            src.push_str(&format!("{name} = XOR(a, b)\n"));
+            names.push(name);
+        }
+        src.push_str(&format!("y = AND({})\n", names.join(", ")));
+        let nl = bench::parse(&src, "wide").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        for len in [5, 64, 130] {
+            let ps = PatternSet::random(2, len, len as u64);
+            let reference = prog.run_with_strategy(&ps, KernelStrategy::Single, 1);
+            for threads in [2, 3, 4, 8] {
+                let vals = prog.run_with_strategy(&ps, KernelStrategy::Level, threads);
+                for id in nl.node_ids() {
+                    assert_eq!(vals.words(id), reference.words(id), "len {len} t{threads}");
+                }
+            }
+        }
     }
 
     #[test]

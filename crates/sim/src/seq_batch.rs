@@ -8,8 +8,9 @@
 //! per-trace primary inputs plus the packed DFF state, and the D-driver
 //! columns of the result are copied back as next-cycle state — the
 //! scan-cut feedback loop closed word-at-a-time. Batches wider than 64
-//! traces span multiple words and inherit the kernel's column-parallel
-//! thread split for free.
+//! traces split across columns; single-word batches (≤64 traces) go
+//! through the kernel's level-parallel mode instead of pinning one
+//! core, with the planner choosing per cycle (see `DESIGN.md` §5).
 //!
 //! [`FirstFireMonitor`] rides along for trojan campaigns: fed one node's
 //! packed values per cycle, it records the first cycle each trace saw a
@@ -24,7 +25,7 @@
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
 
 use crate::patterns::PatternSet;
-use crate::program::SimProgram;
+use crate::program::{KernelStrategy, SimProgram};
 use crate::simulator::NodeValues;
 
 /// A sequential simulator stepping many independent traces per cycle.
@@ -62,6 +63,8 @@ pub struct BatchedSequentialSimulator {
     frame: PatternSet,
     /// Explicit worker count for the kernel; `None` = automatic.
     threads: Option<usize>,
+    /// Forced kernel strategy; `None` = planner's choice.
+    strategy: Option<KernelStrategy>,
     last: Option<NodeValues>,
     cycles_run: u64,
     /// Cached handle for the global `seq.trace_cycles` counter (see
@@ -98,6 +101,7 @@ impl BatchedSequentialSimulator {
             d_drivers,
             frame,
             threads: None,
+            strategy: None,
             last: None,
             cycles_run: 0,
             trace_cycles: htforge_obs::counter("seq.trace_cycles"),
@@ -142,6 +146,19 @@ impl BatchedSequentialSimulator {
     /// only multi-word batches (>64 traces) can actually split.
     pub fn set_threads(&mut self, threads: Option<usize>) {
         self.threads = threads;
+    }
+
+    /// Forces a kernel execution strategy for every subsequent [`step`]
+    /// (`None` restores the planner's automatic choice). Combine with
+    /// [`set_threads`] to pin the worker count the forced strategy runs
+    /// with. Output is bit-identical across strategies; single-word
+    /// batches (≤64 traces) only gain real concurrency from
+    /// [`KernelStrategy::Level`].
+    ///
+    /// [`step`]: BatchedSequentialSimulator::step
+    /// [`set_threads`]: BatchedSequentialSimulator::set_threads
+    pub fn set_strategy(&mut self, strategy: Option<KernelStrategy>) {
+        self.strategy = strategy;
     }
 
     /// Packed state words of flop `flop` (bit `t % 64` of word `t / 64`
@@ -241,9 +258,13 @@ impl BatchedSequentialSimulator {
         for i in 0..self.primary_inputs {
             self.frame.set_input_words(i, stimulus.input_words(i));
         }
-        let values = match self.threads {
-            Some(t) => self.prog.run_with_threads(&self.frame, t),
-            None => self.prog.run(&self.frame),
+        let values = match (self.strategy, self.threads) {
+            (Some(s), t) => {
+                let threads = t.unwrap_or_else(|| self.prog.default_threads(self.traces));
+                self.prog.run_with_strategy(&self.frame, s, threads)
+            }
+            (None, Some(t)) => self.prog.run_with_threads(&self.frame, t),
+            (None, None) => self.prog.run(&self.frame),
         };
         for (k, &d) in self.d_drivers.iter().enumerate() {
             self.frame
@@ -360,15 +381,20 @@ impl FirstFireMonitor {
     }
 
     /// Records one cycle's packed values of the monitored node. Bits
-    /// beyond the trace count must be zero (the simulation kernel's tail
-    /// masking guarantees this for any node column).
+    /// beyond the trace count are masked off internally, so callers may
+    /// feed raw words from sources without the kernel's tail-masking
+    /// guarantee (e.g. hand-built columns or inverted slices) without
+    /// risking phantom fires or an out-of-bounds `first_cycle` index.
     ///
     /// # Panics
     ///
     /// Panics if `words.len()` differs from the monitor's word count.
     pub fn observe(&mut self, words: &[u64]) {
         assert_eq!(words.len(), self.fired.len(), "column word count mismatch");
+        let last = words.len().wrapping_sub(1);
+        let tail = PatternSet::tail_mask(self.traces);
         for (w, (&word, fired)) in words.iter().zip(&mut self.fired).enumerate() {
+            let word = if w == last { word & tail } else { word };
             let mut fresh = word & !*fired;
             *fired |= word;
             while fresh != 0 {
@@ -568,6 +594,57 @@ q1 = DFF(d1)
         let nl = bench::parse(COUNTER2, "cnt").unwrap();
         let mut sim = BatchedSequentialSimulator::new(&nl, 8).unwrap();
         sim.step(&PatternSet::zeros(1, 9));
+    }
+
+    #[test]
+    fn forced_strategies_are_bit_identical_to_auto() {
+        let nl = bench::parse(COUNTER2, "cnt").unwrap();
+        let traces = 130; // 3 words, last one partial
+        let mut auto = BatchedSequentialSimulator::new(&nl, traces).unwrap();
+        let mut forced: Vec<BatchedSequentialSimulator> = [
+            KernelStrategy::Column,
+            KernelStrategy::Level,
+            KernelStrategy::Hybrid,
+        ]
+        .into_iter()
+        .map(|s| {
+            let mut sim = BatchedSequentialSimulator::new(&nl, traces).unwrap();
+            sim.set_strategy(Some(s));
+            sim.set_threads(Some(4));
+            sim
+        })
+        .collect();
+        for cycle in 0..6 {
+            let stim = PatternSet::random(1, traces, 7 + cycle);
+            auto.step(&stim);
+            for sim in &mut forced {
+                sim.step(&stim);
+            }
+        }
+        for t in 0..traces {
+            for sim in &forced {
+                assert_eq!(auto.state_of_trace(t), sim.state_of_trace(t), "trace {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_masks_raw_unmasked_tail_words() {
+        // 70 traces = 2 words with only 6 live bits in the last word.
+        // Feed raw all-ones words (as an inverting-gate slice without
+        // tail masking would produce): the monitor must neither record
+        // phantom fires for traces 70..127 nor index out of bounds.
+        let mut mon = FirstFireMonitor::new(70);
+        mon.observe(&[u64::MAX, u64::MAX]);
+        assert_eq!(mon.fired_count(), 70);
+        assert_eq!(mon.first_fire(0), Some(0));
+        assert_eq!(mon.first_fire(69), Some(0));
+        assert_eq!(mon.first_fire_cycles().len(), 70);
+
+        // Word-aligned trace count: the mask must be all-ones, not 0.
+        let mut aligned = FirstFireMonitor::new(64);
+        aligned.observe(&[u64::MAX]);
+        assert_eq!(aligned.fired_count(), 64);
     }
 
     #[test]

@@ -132,8 +132,9 @@ impl Simulator {
 
     /// Simulates `patterns` over the netlist this simulator was built for.
     ///
-    /// Thin wrapper over [`SimProgram::run`]: the thread count is chosen
-    /// automatically from the workload size.
+    /// Thin wrapper over [`SimProgram::run`]: the thread count and
+    /// execution strategy (column-, level-parallel or hybrid) are chosen
+    /// automatically from the workload shape by the kernel's planner.
     ///
     /// # Panics
     ///

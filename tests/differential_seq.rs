@@ -366,6 +366,62 @@ fn trojan_activation_latency_batched_equals_scalar() {
     assert!(monitor.any_fired(), "schedule must arm some traces");
 }
 
+/// Strategy × worker matrix for the sequential stepper: {1, 2, 4}
+/// kernel threads × {column, level} forced strategies must all
+/// reproduce the scalar oracle cycle for cycle. The level rows are the
+/// interesting ones — they route every cycle's feedback frame through
+/// the shared-buffer barrier path, so a stale-level read would
+/// compound across cycles and diverge loudly here.
+#[test]
+fn stepper_strategy_thread_matrix_matches_scalar() {
+    use htforge::sim::KernelStrategy;
+
+    let profile = CircuitProfile {
+        name: "matrix".into(),
+        inputs: 6,
+        outputs: 2,
+        gates: 140,
+        dffs: 5,
+        seed: 0x3A7,
+    };
+    let nl = generate(&profile);
+    // 63 traces: the single-word regime where only level splits.
+    // 130 traces: multi-word with a partial tail, so column splits too.
+    for traces in [63usize, 130] {
+        let cycles = 4;
+        let stimuli: Vec<PatternSet> = (0..cycles)
+            .map(|c| PatternSet::random(6, traces, 0xA11 ^ (c as u64) << 3))
+            .collect();
+        let expected: Vec<Vec<bool>> = (0..traces)
+            .map(|t| {
+                let mut scalar = SequentialSimulator::new(&nl).unwrap();
+                for stim in &stimuli {
+                    scalar.step(&stim.pattern(t)).unwrap();
+                }
+                scalar.state().to_vec()
+            })
+            .collect();
+        for strategy in [KernelStrategy::Column, KernelStrategy::Level] {
+            for threads in [1usize, 2, 4] {
+                let mut sim = BatchedSequentialSimulator::new(&nl, traces).unwrap();
+                sim.set_strategy(Some(strategy));
+                sim.set_threads(Some(threads));
+                for stim in &stimuli {
+                    sim.step(stim);
+                }
+                for (t, exp) in expected.iter().enumerate() {
+                    assert_eq!(
+                        &sim.state_of_trace(t),
+                        exp,
+                        "{traces} traces, {}/{threads}t, trace {t}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The batched stepper's `step_n`-style snapshots (via the scalar
 /// convenience API) agree with batched columns — ties the satellite
 /// `SequentialSimulator::step_n` into the differential net.

@@ -9,9 +9,16 @@
 use htforge_circuits::multiplier::multiplier;
 use htforge_circuits::synth::{generate, CircuitProfile};
 use htforge_netlist::{Netlist, NodeKind};
-use htforge_sim::{PatternSet, SimProgram, Simulator};
+use htforge_sim::{KernelStrategy, PatternSet, SimProgram, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+const ALL_STRATEGIES: [KernelStrategy; 4] = [
+    KernelStrategy::Single,
+    KernelStrategy::Column,
+    KernelStrategy::Level,
+    KernelStrategy::Hybrid,
+];
 
 /// Gate-at-a-time scalar oracle: evaluates every node over every pattern
 /// with `GateKind::eval_bool`, one bool at a time. Non-scan DFF outputs
@@ -88,6 +95,103 @@ fn assert_differential(nl: &Netlist, patterns: &PatternSet, label: &str) {
                 nl.node(id).name()
             );
         }
+    }
+}
+
+/// Asserts every forced kernel strategy at 1/2/4/8 workers is
+/// bit-identical — per node, per packed word — to the scalar oracle.
+/// This is the 4-way `scalar ≡ column ≡ level ≡ hybrid` proof: the
+/// level-parallel and hybrid paths share a mutable buffer across worker
+/// threads, so any aliasing or barrier bug shows up here as a flipped
+/// bit or an unmasked tail.
+fn assert_strategies_agree(nl: &Netlist, patterns: &PatternSet, label: &str) {
+    let expected = scalar_reference(nl, patterns);
+    let prog = SimProgram::compile(nl).expect("compiles");
+    let words = PatternSet::words_for(patterns.len());
+    for threads in [1usize, 2, 4, 8] {
+        for strategy in ALL_STRATEGIES {
+            let vals = prog.run_with_strategy(patterns, strategy, threads);
+            let mode = format!("{}/{threads}t", strategy.name());
+            assert_eq!(vals.len(), patterns.len(), "{label} [{mode}]: length");
+            for id in nl.node_ids() {
+                let col = vals.words(id);
+                assert_eq!(col.len(), words, "{label} [{mode}]: column width");
+                for (p, &exp) in expected[id.index()].iter().enumerate() {
+                    assert_eq!(
+                        vals.value(id, p),
+                        exp,
+                        "{label} [{mode}]: node {} pattern {p}",
+                        nl.node(id).name()
+                    );
+                }
+                let ones: u64 = col.iter().map(|w| u64::from(w.count_ones())).sum();
+                let expected_ones = expected[id.index()].iter().filter(|&&b| b).count() as u64;
+                assert_eq!(
+                    ones,
+                    expected_ones,
+                    "{label} [{mode}]: popcount of {}",
+                    nl.node(id).name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn c17_strategy_equivalence() {
+    let nl = htforge_circuits::iscas::c17();
+    // 32 is exhaustive; 63/65 exercise the tail-mask and multi-word
+    // paths under every strategy.
+    for len in [32usize, 63, 65] {
+        let ps = PatternSet::random(nl.inputs().len(), len, 0x517 + len as u64);
+        assert_strategies_agree(&nl, &ps, &format!("c17/{len}"));
+    }
+}
+
+#[test]
+fn multiplier_strategy_equivalence() {
+    let nl = multiplier("mul16", 16);
+    let ps = PatternSet::random(nl.inputs().len(), 100, 0x5016);
+    assert_strategies_agree(&nl, &ps, "mul16/100");
+}
+
+#[test]
+fn c2670_c5315_strategy_equivalence() {
+    for name in ["c2670", "c5315"] {
+        let nl = htforge_circuits::load(name).expect("built-in circuit");
+        // 63 patterns = the single-word regime where only level
+        // parallelism can split; 100 = two words with a partial tail.
+        for len in [63usize, 100] {
+            let ps = PatternSet::random(nl.inputs().len(), len, 0x5000 + len as u64);
+            assert_strategies_agree(&nl, &ps, &format!("{name}/{len}"));
+        }
+    }
+}
+
+#[test]
+fn synthetic_dags_strategy_equivalence() {
+    // 25 random DAG shapes spanning flat and deep level structures;
+    // every 5th is sequential (non-scan DFFs read as constant 0 under
+    // every strategy).
+    let mut rng = StdRng::seed_from_u64(0x51E7);
+    for i in 0..25u64 {
+        let outputs = rng.gen_range(1..5usize);
+        let profile = CircuitProfile {
+            name: format!("lev{i}"),
+            inputs: rng.gen_range(3..20usize),
+            outputs,
+            gates: rng.gen_range(2 * outputs..180),
+            dffs: if i % 5 == 0 {
+                rng.gen_range(1..6usize)
+            } else {
+                0
+            },
+            seed: 0xACE ^ (i * 0x9E37_79B9),
+        };
+        let nl = generate(&profile);
+        let len = [1usize, 63, 64, 65, 130][i as usize % 5];
+        let ps = PatternSet::random(nl.inputs().len(), len, i + 0x51);
+        assert_strategies_agree(&nl, &ps, &format!("{}/{len}", profile.name));
     }
 }
 
