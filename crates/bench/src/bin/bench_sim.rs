@@ -12,6 +12,17 @@
 //! * **Small batch** — 64-pattern (1-word) and 256-pattern (4-word)
 //!   runs under every forced [`KernelStrategy`], the MERO/sequential
 //!   regime where column parallelism alone degrades to one worker.
+//! * **Wide lanes** — forced lane widths W∈{1,4,8} plus the unblocked
+//!   plane at one thread over 2 048 patterns; every row records
+//!   `patterns_per_sec` per `lane_width` and W=4/8 speedups over the
+//!   W=1 narrow baseline.
+//! * **Incremental** — a persistent `DeltaSim` session answering
+//!   1-bit-flip queries against a 64-pattern base vs a full kernel run,
+//!   with the average dirty-set size (`dirty_set_size` step-words) per
+//!   row — the MERO / cube-validation regime.
+//! * **MERO refinement** — `generate_tests` (compile per call) vs
+//!   `generate_tests_with_sim` (one shared compiled tape) end to end on
+//!   c2670.
 //! * **Pattern append** — `PatternSet::extend_from` word-blit vs the
 //!   per-bit path on a 10 000-pattern append (the MERO growth loop).
 //!
@@ -168,6 +179,147 @@ fn main() {
         }
     }
 
+    // ---- Wide lanes: forced W=1/4/8 vs the unblocked plane ---------
+    // Single-thread, ≥1024-pattern runs: the regime the W∈{4,8} blocked
+    // executors are specified against. `lane_width` 0 is the planner's
+    // production (unblocked variable-width) plane; 1 is the honest
+    // narrow one-word baseline the wide widths are measured over.
+    for name in ["c2670", "c5315", "c6288", "s13207"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let comb = if nl.dffs().is_empty() {
+            nl.clone()
+        } else {
+            nl.scan_cut()
+        };
+        let prog = SimProgram::compile(&comb).expect("combinational");
+        let len = 2_048usize;
+        let patterns = PatternSet::random(comb.inputs().len(), len, 21);
+        let runs = if quick { 3 } else { 9 };
+        let mut secs = Vec::new();
+        for lanes in [0usize, 1, 4, 8] {
+            let sec = time_median(runs, || prog.run_with_lanes(&patterns, lanes, 1).len());
+            secs.push((lanes, sec));
+        }
+        let sec_of = |w: usize| secs.iter().find(|&&(l, _)| l == w).unwrap().1;
+        let pps = |sec: f64| len as f64 / sec;
+        eprintln!(
+            "{name}/{len}p wide lanes: unblocked {:.2e} pat/s | w1 {:.2e} | w4 {:.2e} ({:.2}x) | w8 {:.2e} ({:.2}x)",
+            pps(sec_of(0)),
+            pps(sec_of(1)),
+            pps(sec_of(4)),
+            sec_of(1) / sec_of(4),
+            pps(sec_of(8)),
+            sec_of(1) / sec_of(8),
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"bench\": \"wide_lane\",\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {len},\n      \"host_threads\": {host_threads},\n      \"threads\": 1,\n      \"patterns_per_sec\": {{\n        \"lane_width_0\": {:.1},\n        \"lane_width_1\": {:.1},\n        \"lane_width_4\": {:.1},\n        \"lane_width_8\": {:.1}\n      }},\n      \"speedup_vs_w1\": {{\n        \"lane_width_4\": {:.2},\n        \"lane_width_8\": {:.2}\n      }}\n    }}",
+            comb.gate_count(),
+            pps(sec_of(0)),
+            pps(sec_of(1)),
+            pps(sec_of(4)),
+            pps(sec_of(8)),
+            sec_of(1) / sec_of(4),
+            sec_of(1) / sec_of(8),
+        );
+        rows.push(row);
+    }
+
+    // ---- Incremental: 1-bit flip DeltaSim vs a full kernel run -----
+    // The MERO / cube-validation regime: one 64-pattern word, one input
+    // bit flipped per query. The session should settle the changed cone
+    // in a small fraction of a full tape walk.
+    for name in ["c2670", "c5315"] {
+        let nl = htforge_circuits::load(name).expect("known circuit");
+        let prog = SimProgram::compile(&nl).expect("combinational");
+        let len = 64usize;
+        let patterns = PatternSet::random(nl.inputs().len(), len, 13);
+        let runs = if quick { 25 } else { 101 };
+        let full = time_median(runs, || prog.run(&patterns).len());
+
+        let mut session = prog.delta_sim(patterns.clone());
+        let num_inputs = nl.inputs().len();
+        let mut turn = 0usize;
+        let mut dirty_total = 0usize;
+        let mut dirty_samples = 0usize;
+        let delta = time_median(runs, || {
+            let input = turn % num_inputs;
+            turn += 1;
+            let old = session.patterns().get(input, 17);
+            session.set_input(input, 17, !old);
+            match session.propagate() {
+                htforge_sim::DeltaOutcome::Incremental { step_words } => {
+                    dirty_total += step_words;
+                    dirty_samples += 1;
+                    step_words.max(1)
+                }
+                htforge_sim::DeltaOutcome::FullFallback => 1,
+            }
+        });
+        let full_step_words = prog.steps() * PatternSet::words_for(len);
+        let avg_dirty = if dirty_samples > 0 {
+            dirty_total as f64 / dirty_samples as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{name}/{len}p incremental: full {:.2e}s | 1-bit delta {:.2e}s ({:.1}% of full) | avg dirty {:.1}/{} step-words",
+            full,
+            delta,
+            100.0 * delta / full,
+            avg_dirty,
+            full_step_words,
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"bench\": \"incremental\",\n      \"circuit\": \"{name}\",\n      \"gates\": {},\n      \"patterns\": {len},\n      \"host_threads\": {host_threads},\n      \"dirty_set_size\": {avg_dirty:.1},\n      \"full_step_words\": {full_step_words},\n      \"seconds\": {{\n        \"full_run\": {full:.3e},\n        \"one_bit_delta\": {delta:.3e}\n      }},\n      \"delta_fraction_of_full\": {:.4}\n    }}",
+            nl.gate_count(),
+            delta / full,
+        );
+        rows.push(row);
+    }
+
+    // ---- MERO refinement: shared compiled tape vs per-call compile -
+    // The campaign regime satellite: `generate_tests` pays a fresh
+    // levelization + tape build per call, `generate_tests_with_sim`
+    // reuses one compiled program (and its DeltaSim session machinery)
+    // across the whole campaign.
+    {
+        use htforge_detect::{DetectionScheme, MeroDetection};
+        use htforge_sim::{RareNodeExtractor, Simulator};
+
+        let nl = htforge_circuits::load("c2670").expect("known circuit");
+        let profile = PatternSet::random(nl.inputs().len(), 2_000, 1);
+        let rare = RareNodeExtractor::new(0.25)
+            .extract(&nl, &profile)
+            .expect("profile");
+        let mero = MeroDetection::new(2, if quick { 100 } else { 200 }, 42);
+        let runs = if quick { 3 } else { 7 };
+        let per_call = time_median(runs, || mero.generate_tests(&nl, &rare).unwrap().len());
+        let sim = Simulator::new(&nl).expect("compiles");
+        let shared = time_median(runs, || {
+            mero.generate_tests_with_sim(&nl, &sim, &rare)
+                .unwrap()
+                .len()
+        });
+        eprintln!(
+            "mero refinement c2670: per-call compile {:.3}s | shared tape {:.3}s ({:.2}x)",
+            per_call,
+            shared,
+            per_call / shared,
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\n      \"bench\": \"mero_refinement\",\n      \"circuit\": \"c2670\",\n      \"rare_events\": {},\n      \"host_threads\": {host_threads},\n      \"seconds\": {{\n        \"per_call_compile\": {per_call:.4},\n        \"shared_tape\": {shared:.4}\n      }},\n      \"speedup_shared_tape\": {:.2}\n    }}",
+            rare.len(),
+            per_call / shared,
+        );
+        rows.push(row);
+    }
+
     // ---- Pattern append: extend_from word-blit vs per-bit ----------
     {
         let inputs = 64;
@@ -217,13 +369,32 @@ fn main() {
         let patterns = PatternSet::random(nl.inputs().len(), 64, 11);
         let plan = prog.plan(64, host_threads);
         let _ = prog.run_with_threads(&patterns, host_threads);
+        // One forced wide run and one 1-bit delta propagate so the
+        // sim.kernel_lanes gauge and the sim.delta_* counters/gauges
+        // appear in the report alongside the strategy gauges.
+        let wide = PatternSet::random(nl.inputs().len(), 1_024, 11);
+        let _ = prog.run_with_lanes(&wide, 8, 1);
+        let mut session = prog.delta_sim(patterns);
+        let flipped = !session.patterns().get(0, 0);
+        session.set_input(0, 0, flipped);
+        let delta_outcome = session.propagate();
         let report = RunReport::from_recorder("bench_sim", htforge_obs::global())
             .with_meta("host_threads", Json::Num(host_threads as f64))
             .with_meta(
                 "small_batch_strategy",
                 Json::Str(plan.strategy.name().to_owned()),
             )
-            .with_meta("small_batch_workers", Json::Num(plan.workers as f64));
+            .with_meta("small_batch_workers", Json::Num(plan.workers as f64))
+            .with_meta(
+                "lane_widths",
+                Json::Arr(vec![
+                    Json::Num(0.0),
+                    Json::Num(1.0),
+                    Json::Num(4.0),
+                    Json::Num(8.0),
+                ]),
+            )
+            .with_meta("delta_outcome", Json::Str(format!("{delta_outcome:?}")));
         let path = std::path::Path::new("results/report_bench_sim.json");
         report.write_to(path).expect("write run report");
         eprintln!("wrote {}", path.display());

@@ -269,6 +269,35 @@ impl CompatGraph {
             }
         }
         dropped -= skipped; // skips are reported separately, not as drops
+
+        // Phase A′: functional re-check of every cube on one incremental
+        // re-simulation session. Consecutive cubes differ in a handful
+        // of care bits, so each check re-evaluates only the cones those
+        // bits feed instead of the whole netlist. A cube that fails to
+        // drive its event (which would take a PODEM defect) is dropped
+        // like an unattainable fault — the graph stays sound either way.
+        let verify_span = htforge_obs::span("compat_cube_verify");
+        let prog = htforge_sim::SimProgram::compile(nl)?;
+        let mut session = prog.delta_sim(htforge_sim::PatternSet::zeros(nl.inputs().len(), 1));
+        let mut verified = Vec::with_capacity(events.len());
+        for e in events {
+            let vector = e.cube.fill_with(false);
+            for (i, &bit) in vector.iter().enumerate() {
+                if session.patterns().get(i, 0) != bit {
+                    session.set_input(i, 0, bit);
+                }
+            }
+            session.propagate();
+            if session.value(e.node, 0) == e.rare_value {
+                verified.push(e);
+            } else {
+                dropped += 1;
+                htforge_obs::counter("compat.cube_verify_failures").incr();
+            }
+        }
+        let events = verified;
+        verify_span.finish();
+
         if skipped > 0 {
             notes.push(DegradationNote::new(
                 "compat_graph",

@@ -222,6 +222,14 @@ impl InsertionFramework {
         budget
             .check()
             .map_err(|_| budget_error(budget, "preprocess"))?;
+        // Staged split over rare / compat / clique / insertion. The
+        // weights solve the historical static chain (25% rare, 70% of
+        // the remainder compat, 60% of that remainder clique) so
+        // full-pressure behavior is unchanged — but a phase finishing
+        // early now donates its slack to every later phase instead of
+        // stranding it (each stage takes w_i / Σ_{j≥i} w_j of the time
+        // remaining at the moment it starts).
+        let mut stages = budget.staged(&[0.25, 0.52, 0.14, 0.09]);
 
         // Phase 0: combinational model.
         let t0 = htforge_obs::span("preprocess");
@@ -240,7 +248,7 @@ impl InsertionFramework {
         let (rare, rare_note) = RareNodeExtractor::new(cfg.theta).extract_budgeted(
             &comb,
             &patterns,
-            &budget.sub(0.25),
+            &stages.next_stage(),
         )?;
         timings.rare_extraction = t1.finish();
         htforge_obs::counter("rare.nodes").add(rare.len() as u64);
@@ -263,7 +271,7 @@ impl InsertionFramework {
         // matrix rows when its sub-budget runs out.
         let t2 = htforge_obs::span("compat_graph");
         let (graph, compat_notes) =
-            CompatGraph::build_budgeted(&comb, &rare, cfg.podem, &budget.sub(0.70))?;
+            CompatGraph::build_budgeted(&comb, &rare, cfg.podem, &stages.next_stage())?;
         timings.compat_graph = t2.finish();
         let compat_degraded = !compat_notes.is_empty();
         degradations.extend(compat_notes);
@@ -285,7 +293,7 @@ impl InsertionFramework {
         // spent sub-budget the exact search degrades to the greedy
         // sampler for the remaining instances (the degradation ladder).
         let t3 = htforge_obs::span("clique_enumeration");
-        let clique_budget = budget.sub(0.60);
+        let clique_budget = stages.next_stage();
         let order_seed = cfg.seed ^ 0x5EED;
         let mut cliques;
         if cfg.trigger_nodes <= 8 {
@@ -364,10 +372,13 @@ impl InsertionFramework {
         // spent budget, `num_instances = N` degrades to "as many as
         // fit".
         let t4 = htforge_obs::span("insertion");
+        // The last stage inherits the entire remainder (its weight is
+        // the tail of the sequence), so this equals the parent budget.
+        let insertion_budget = stages.next_stage();
         let mut infected = Vec::with_capacity(cliques.len());
         let mut stopped_at = None;
         for (i, clique) in cliques.iter().enumerate() {
-            if budget.check().is_err() {
+            if insertion_budget.check().is_err() {
                 stopped_at = Some(i);
                 break;
             }
@@ -397,16 +408,21 @@ impl InsertionFramework {
             });
         }
 
-        // Phase 5: structural validation of every emitted design. This
-        // was previously left to callers (and tests); making it a pipeline
-        // phase means a malformed netlist can never leave the framework
-        // silently, and gives the timing tables a `validation` column.
-        // Validation is never skipped under budget pressure: an
+        // Phase 5: structural + functional validation of every emitted
+        // design. Structure was previously left to callers (and tests);
+        // making it a pipeline phase means a malformed netlist can never
+        // leave the framework silently, and gives the timing tables a
+        // `validation` column. The functional check re-simulates each
+        // design under its activation cube (incrementally — only the
+        // care-bit cones move off the all-zero base) and asserts the
+        // trigger fires and the payload gate shows the configured
+        // effect. Validation is never skipped under budget pressure: an
         // unvalidated partial result is not a result.
         let t5 = htforge_obs::span("validation");
         htforge_obs::faultpoint!("framework.validate");
-        for design in &infected {
+        for (i, design) in infected.iter().enumerate() {
             design.netlist.validate()?;
+            validate_functional(design, i)?;
         }
         timings.validation = t5.finish();
 
@@ -553,6 +569,52 @@ impl InsertionFramework {
         )?;
         Ok(InfectedDesign { netlist, trojan })
     }
+}
+
+/// Functional validation of one emitted design: under its activation
+/// cube the trigger must fire, and the payload gate must show the
+/// configured effect (`Flip` inverts the victim net, `ForceZero`/
+/// `ForceOne` pin it). The check runs on an incremental re-simulation
+/// session over an all-zero base, so only the cube's care-bit cones are
+/// evaluated.
+fn validate_functional(design: &InfectedDesign, index: usize) -> Result<(), InsertionError> {
+    let cut = if design.netlist.dffs().is_empty() {
+        design.netlist.clone()
+    } else {
+        design.netlist.scan_cut()
+    };
+    let trojan = &design.trojan;
+    let vector = trojan.activation_cube.fill_with(false);
+    assert_eq!(
+        vector.len(),
+        cut.inputs().len(),
+        "activation cube width must match the scan-cut input count"
+    );
+    let prog = htforge_sim::SimProgram::compile(&cut)?;
+    let mut session = prog.delta_sim(PatternSet::zeros(vector.len(), 1));
+    for (i, &bit) in vector.iter().enumerate() {
+        if bit {
+            session.set_input(i, 0, true);
+        }
+    }
+    session.propagate();
+    if !session.value(trojan.trigger_output, 0) {
+        return Err(InsertionError::Internal(format!(
+            "activation cube fails to fire the trigger of instance {index}"
+        )));
+    }
+    let expected = match trojan.payload_kind {
+        PayloadKind::Flip => !session.value(trojan.payload_net, 0),
+        PayloadKind::ForceZero => false,
+        PayloadKind::ForceOne => true,
+    };
+    if session.value(trojan.payload_gate, 0) != expected {
+        return Err(InsertionError::Internal(format!(
+            "payload gate of instance {index} does not show the {:?} effect",
+            trojan.payload_kind
+        )));
+    }
+    Ok(())
 }
 
 /// The error a phase reports when its budget ran out and it produced

@@ -67,12 +67,122 @@ fn percent(num: usize, den: usize) -> f64 {
     }
 }
 
+/// A coverage evaluator bound to one golden design.
+///
+/// Construction scan-cuts the golden netlist (when sequential) and
+/// compiles its simulator once; every [`evaluate`](Self::evaluate) call
+/// reuses both. Campaigns that grade several test sets against the same
+/// design batch — one per [`DetectionScheme`](crate::DetectionScheme)
+/// under comparison — pay one golden compile instead of one per scheme.
+#[derive(Debug)]
+pub struct CoverageEvaluator {
+    golden_cut: Netlist,
+    golden_sim: Simulator,
+}
+
+impl CoverageEvaluator {
+    /// Prepares an evaluator for `golden` (scan-cutting sequential
+    /// designs and compiling the simulation tape up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] for cyclic netlists.
+    pub fn new(golden: &Netlist) -> Result<Self, NetlistError> {
+        let golden_cut = if golden.dffs().is_empty() {
+            golden.clone()
+        } else {
+            golden.scan_cut()
+        };
+        let golden_sim = Simulator::new(&golden_cut)?;
+        Ok(CoverageEvaluator {
+            golden_cut,
+            golden_sim,
+        })
+    }
+
+    /// The (scan-cut) golden netlist verdicts are graded against. Test
+    /// sets passed to [`evaluate`](Self::evaluate) must be sized for its
+    /// input count.
+    #[must_use]
+    pub fn golden(&self) -> &Netlist {
+        &self.golden_cut
+    }
+
+    /// Evaluates `designs` against `tests` (see [`evaluate_designs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] for cyclic infected netlists.
+    pub fn evaluate(
+        &self,
+        designs: &[InfectedDesign],
+        tests: &PatternSet,
+    ) -> Result<CoverageReport, NetlistError> {
+        let campaign_span = htforge_obs::span("detect_campaign");
+        let golden_cut = &self.golden_cut;
+        let golden_vals = self.golden_sim.run_on(golden_cut, tests);
+
+        let mut verdicts = Vec::with_capacity(designs.len());
+        for (i, design) in designs.iter().enumerate() {
+            let graded = htforge_obs::isolate(&format!("design {i}"), || {
+                htforge_obs::faultpoint!("detect.design");
+                let infected_cut = if design.netlist.dffs().is_empty() {
+                    design.netlist.clone()
+                } else {
+                    design.netlist.scan_cut()
+                };
+                assert_eq!(
+                    infected_cut.outputs().len(),
+                    golden_cut.outputs().len(),
+                    "infected design must preserve the output interface"
+                );
+                let sim = Simulator::new(&infected_cut)?;
+                let vals = sim.run_on(&infected_cut, tests);
+
+                let trigger = design.trojan.trigger_output;
+                let triggered = vals.words(trigger).iter().any(|&w| w != 0);
+
+                let mut detected = false;
+                'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs()) {
+                    let gw = golden_vals.words(go);
+                    let iw = vals.words(io);
+                    for (a, b) in gw.iter().zip(iw) {
+                        if a != b {
+                            detected = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                Ok(DesignVerdict {
+                    triggered,
+                    detected,
+                })
+            });
+            verdicts.push(match graded {
+                Ok(result) => result?,
+                Err(_panic_msg) => {
+                    htforge_obs::counter("detect.isolated_panics").add(1);
+                    DesignVerdict {
+                        triggered: false,
+                        detected: false,
+                    }
+                }
+            });
+        }
+        htforge_obs::counter("detect.designs_graded").add(designs.len() as u64);
+        htforge_obs::counter("detect.patterns_graded").add((tests.len() * designs.len()) as u64);
+        campaign_span.finish();
+        Ok(CoverageReport { verdicts })
+    }
+}
+
 /// Evaluates `designs` against `tests` generated for `golden`.
 ///
 /// Sequential designs are scan-cut internally; `tests` must be sized for
 /// the scan-cut input count (which is what every
 /// [`DetectionScheme`](crate::DetectionScheme) in this crate produces
-/// when handed the scan-cut golden netlist).
+/// when handed the scan-cut golden netlist). Callers grading multiple
+/// test sets should build a [`CoverageEvaluator`] once instead.
 ///
 /// # Errors
 ///
@@ -87,66 +197,7 @@ pub fn evaluate_designs(
     designs: &[InfectedDesign],
     tests: &PatternSet,
 ) -> Result<CoverageReport, NetlistError> {
-    let campaign_span = htforge_obs::span("detect_campaign");
-    let golden_cut = if golden.dffs().is_empty() {
-        golden.clone()
-    } else {
-        golden.scan_cut()
-    };
-    let golden_sim = Simulator::new(&golden_cut)?;
-    let golden_vals = golden_sim.run_on(&golden_cut, tests);
-
-    let mut verdicts = Vec::with_capacity(designs.len());
-    for (i, design) in designs.iter().enumerate() {
-        let graded = htforge_obs::isolate(&format!("design {i}"), || {
-            htforge_obs::faultpoint!("detect.design");
-            let infected_cut = if design.netlist.dffs().is_empty() {
-                design.netlist.clone()
-            } else {
-                design.netlist.scan_cut()
-            };
-            assert_eq!(
-                infected_cut.outputs().len(),
-                golden_cut.outputs().len(),
-                "infected design must preserve the output interface"
-            );
-            let sim = Simulator::new(&infected_cut)?;
-            let vals = sim.run_on(&infected_cut, tests);
-
-            let trigger = design.trojan.trigger_output;
-            let triggered = vals.words(trigger).iter().any(|&w| w != 0);
-
-            let mut detected = false;
-            'outer: for (&go, &io) in golden_cut.outputs().iter().zip(infected_cut.outputs()) {
-                let gw = golden_vals.words(go);
-                let iw = vals.words(io);
-                for (a, b) in gw.iter().zip(iw) {
-                    if a != b {
-                        detected = true;
-                        break 'outer;
-                    }
-                }
-            }
-            Ok(DesignVerdict {
-                triggered,
-                detected,
-            })
-        });
-        verdicts.push(match graded {
-            Ok(result) => result?,
-            Err(_panic_msg) => {
-                htforge_obs::counter("detect.isolated_panics").add(1);
-                DesignVerdict {
-                    triggered: false,
-                    detected: false,
-                }
-            }
-        });
-    }
-    htforge_obs::counter("detect.designs_graded").add(designs.len() as u64);
-    htforge_obs::counter("detect.patterns_graded").add((tests.len() * designs.len()) as u64);
-    campaign_span.finish();
-    Ok(CoverageReport { verdicts })
+    CoverageEvaluator::new(golden)?.evaluate(designs, tests)
 }
 
 #[cfg(test)]

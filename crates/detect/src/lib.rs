@@ -29,7 +29,7 @@ pub mod random;
 pub mod scheme;
 pub mod sequential;
 
-pub use coverage::{evaluate_designs, CoverageReport, DesignVerdict};
+pub use coverage::{evaluate_designs, CoverageEvaluator, CoverageReport, DesignVerdict};
 pub use mero::MeroDetection;
 pub use ndatpg::NdAtpgDetection;
 pub use random::RandomDetection;

@@ -10,10 +10,17 @@
 //! time, accepting a flip when it increases the number of satisfied rare
 //! events. We batch 64 candidate flips into one bit-parallel simulation
 //! and accept the best flip of each batch — the same greedy hill-climb,
-//! one simulation per 64 candidate bits.
+//! one simulation per 64 candidate bits. The per-vector *scoring*
+//! queries (the climb's starting score and the final keep-check) run
+//! through one persistent [`DeltaSim`] session instead: between
+//! consecutive queries only a handful of input bits move, so the
+//! session re-evaluates the changed fanout cones rather than the whole
+//! tape. The candidate batches stay on the full kernel — 64 flips dirty
+//! most of the circuit at once, which is exactly the regime where the
+//! bit-parallel walk wins (and where the session would just fall back).
 
 use htforge_netlist::{netlist::NodeId, Netlist, NetlistError};
-use htforge_sim::{PatternSet, RareNodeSet, Simulator};
+use htforge_sim::{DeltaSim, PatternSet, RareNodeSet, Simulator};
 
 use crate::scheme::DetectionScheme;
 
@@ -71,21 +78,48 @@ impl MeroDetection {
             .filter(|&&(node, want)| values.value(node, pattern) == want)
             .count()
     }
-}
 
-impl DetectionScheme for MeroDetection {
-    fn name(&self) -> &str {
-        "MERO"
+    /// Moves the one-pattern delta session to `vector` (staging only the
+    /// bits that differ) and propagates the changed cones.
+    fn sync_session(session: &mut DeltaSim<'_>, vector: &[bool]) {
+        for (i, &bit) in vector.iter().enumerate() {
+            if session.patterns().get(i, 0) != bit {
+                session.set_input(i, 0, bit);
+            }
+        }
+        session.propagate();
     }
 
-    fn generate_tests(
+    /// Number of rare events satisfied by the session's current pattern.
+    fn count_satisfied_session(session: &DeltaSim<'_>, events: &[(NodeId, bool)]) -> usize {
+        events
+            .iter()
+            .filter(|&&(node, want)| session.value(node, 0) == want)
+            .count()
+    }
+
+    /// [`DetectionScheme::generate_tests`] against an already-compiled
+    /// simulator for `golden`. Campaign drivers that run MERO (or rate
+    /// it against other schemes) over one circuit should compile the
+    /// tape once and pass it here instead of paying a levelization and
+    /// tape build per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] for structurally invalid netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` was compiled for a different netlist (node-count
+    /// mismatch).
+    pub fn generate_tests_with_sim(
         &self,
         golden: &Netlist,
+        sim: &Simulator,
         rare: &RareNodeSet,
     ) -> Result<PatternSet, NetlistError> {
         let events: Vec<(NodeId, bool)> = rare.iter().map(|r| (r.node, r.rare_value)).collect();
         let num_inputs = golden.inputs().len();
-        let sim = Simulator::new(golden)?;
 
         // Seed pool, sorted by satisfied-event count (descending) as in
         // the original algorithm.
@@ -100,6 +134,10 @@ impl DetectionScheme for MeroDetection {
             order.sort_by_key(|&p| std::cmp::Reverse(scores[p]));
         }
 
+        // One incremental session serves every single-pattern query in
+        // the campaign; each sync re-simulates only the bits that moved.
+        let mut session = sim.program().delta_sim(PatternSet::zeros(num_inputs, 1));
+
         let mut counts = vec![0usize; events.len()];
         let mut tests = PatternSet::zeros(num_inputs, 0);
 
@@ -109,11 +147,8 @@ impl DetectionScheme for MeroDetection {
             }
             let mut vector = pool.pattern(p);
             if !events.is_empty() {
-                let mut current = {
-                    let ps = PatternSet::from_vectors(num_inputs, &[vector.clone()]);
-                    let vals = sim.run_on(golden, &ps);
-                    Self::count_satisfied(&vals, 0, &events)
-                };
+                Self::sync_session(&mut session, &vector);
+                let mut current = Self::count_satisfied_session(&session, &events);
                 // Hill-climb over input bits, 64 candidate flips per sim.
                 for chunk_start in (0..num_inputs).step_by(64) {
                     let chunk_end = (chunk_start + 64).min(num_inputs);
@@ -139,17 +174,18 @@ impl DetectionScheme for MeroDetection {
             }
 
             // Keep the vector if it advances any event's N-detect count.
-            let ps = PatternSet::from_vectors(num_inputs, &[vector.clone()]);
-            let vals = sim.run_on(golden, &ps);
+            // Only the accepted flips separate the session from `vector`,
+            // so this propagates at most one cone per climb acceptance.
+            Self::sync_session(&mut session, &vector);
             let mut useful = events.is_empty();
             for (e, &(node, want)) in events.iter().enumerate() {
-                if vals.value(node, 0) == want && counts[e] < self.n {
+                if session.value(node, 0) == want && counts[e] < self.n {
                     useful = true;
                 }
             }
             if useful {
                 for (e, &(node, want)) in events.iter().enumerate() {
-                    if vals.value(node, 0) == want {
+                    if session.value(node, 0) == want {
                         counts[e] += 1;
                     }
                 }
@@ -162,6 +198,21 @@ impl DetectionScheme for MeroDetection {
             return Ok(pool);
         }
         Ok(tests)
+    }
+}
+
+impl DetectionScheme for MeroDetection {
+    fn name(&self) -> &str {
+        "MERO"
+    }
+
+    fn generate_tests(
+        &self,
+        golden: &Netlist,
+        rare: &RareNodeSet,
+    ) -> Result<PatternSet, NetlistError> {
+        let sim = Simulator::new(golden)?;
+        self.generate_tests_with_sim(golden, &sim, rare)
     }
 }
 
@@ -221,6 +272,20 @@ mod tests {
             .generate_tests(&nl, &RareNodeSet::default())
             .unwrap();
         assert_eq!(tests.len(), 50);
+    }
+
+    #[test]
+    fn shared_simulator_path_is_output_identical() {
+        let (nl, rare) = setup();
+        let mero = MeroDetection::new(3, 200, 5);
+        let via_trait = mero.generate_tests(&nl, &rare).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        // Reusing one compiled tape across calls changes nothing but the
+        // compile count.
+        for _ in 0..2 {
+            let tests = mero.generate_tests_with_sim(&nl, &sim, &rare).unwrap();
+            assert_eq!(tests, via_trait);
+        }
     }
 
     #[test]

@@ -164,6 +164,67 @@ impl RunBudget {
             cancel: self.cancel.clone(),
         }
     }
+
+    /// Splits this budget across an ordered sequence of phases by
+    /// weight, reclaiming time a phase leaves unused (see
+    /// [`StagedBudget`]).
+    #[must_use]
+    pub fn staged(&self, weights: &[f64]) -> StagedBudget {
+        StagedBudget {
+            parent: self.clone(),
+            weights: weights.to_vec(),
+            next: 0,
+        }
+    }
+}
+
+/// Splits one [`RunBudget`] across an ordered sequence of pipeline
+/// phases by weight, *reclaiming* slack as it goes: each call to
+/// [`StagedBudget::next_stage`] slices `w_i / Σ_{j≥i} w_j` of the time
+/// remaining **now**, so a phase that finishes early automatically
+/// donates its leftover share to every later phase instead of
+/// stranding it. Under full pressure (every phase consuming its whole
+/// slice) the schedule matches a static pre-allocation of the same
+/// weights, so tight-deadline behavior is a strict improvement, never
+/// a redistribution away from a starving phase.
+///
+/// Calling [`StagedBudget::next_stage`] past the last weight (or with
+/// a non-positive weight tail) hands out the full remainder.
+#[derive(Debug)]
+pub struct StagedBudget {
+    parent: RunBudget,
+    weights: Vec<f64>,
+    next: usize,
+}
+
+impl StagedBudget {
+    /// Derives the sub-budget for the next stage in the sequence: its
+    /// share is `w_i / Σ_{j≥i} w_j` of the parent's time remaining at
+    /// the moment of the call.
+    #[must_use]
+    pub fn next_stage(&mut self) -> RunBudget {
+        let tail: f64 = self.weights[self.next.min(self.weights.len())..]
+            .iter()
+            .sum();
+        let w = self.weights.get(self.next).copied().unwrap_or(0.0);
+        self.next = (self.next + 1).min(self.weights.len());
+        if tail <= 0.0 {
+            return self.parent.sub(1.0);
+        }
+        self.parent.sub(w / tail)
+    }
+
+    /// The budget being split.
+    #[must_use]
+    pub fn parent(&self) -> &RunBudget {
+        &self.parent
+    }
+
+    /// How many stages have been handed out so far.
+    #[must_use]
+    pub fn stages_taken(&self) -> usize {
+        self.next
+    }
 }
 
 /// Amortizes budget checks in hot loops: `tick()` does one integer
@@ -347,6 +408,59 @@ mod tests {
             assert!(t.tick().is_ok());
         }
         assert_eq!(t.exceeded(), None);
+    }
+
+    #[test]
+    fn staged_split_matches_static_chain_under_full_pressure() {
+        // The framework's weights [0.25, 0.52, 0.14, 0.09] renormalize
+        // to the historical static fractions 0.25 / ~0.70 / ~0.60 / 1.0
+        // when every phase consumes its whole slice.
+        let b = RunBudget::with_deadline(Duration::from_secs(100));
+        let mut stages = b.staged(&[0.25, 0.52, 0.14, 0.09]);
+        let rare = stages.next_stage().remaining().unwrap();
+        assert!(
+            rare >= Duration::from_secs(24) && rare <= Duration::from_secs(26),
+            "rare slice should be ~25s, got {rare:?}"
+        );
+        assert_eq!(stages.stages_taken(), 1);
+    }
+
+    #[test]
+    fn fast_rare_extraction_donates_budget_to_clique_stage() {
+        // With a static chain, the clique phase is pre-allocated 14% of
+        // the pipeline budget. When the rare-extraction and compat
+        // stages complete (here: instantly, without consuming their
+        // slices), the staged split hands the clique stage ~61% of the
+        // nearly-untouched remainder — the donated slack.
+        let b = RunBudget::with_deadline(Duration::from_secs(100));
+        let mut stages = b.staged(&[0.25, 0.52, 0.14, 0.09]);
+        let _rare = stages.next_stage(); // completes immediately
+        let _compat = stages.next_stage(); // completes immediately
+        let clique = stages.next_stage().remaining().unwrap();
+        assert!(
+            clique > Duration::from_secs(50),
+            "clique stage should inherit donated slack (~61s), got {clique:?}; \
+             a static pre-allocation would cap it at 14s"
+        );
+        // The final stage receives the full remainder.
+        let insertion = stages.next_stage().remaining().unwrap();
+        assert!(insertion > Duration::from_secs(90), "got {insertion:?}");
+        // Past the last weight: still the full remainder, no panic.
+        assert!(stages.next_stage().remaining().unwrap() > Duration::from_secs(90));
+    }
+
+    #[test]
+    fn staged_split_of_unlimited_budget_is_unlimited() {
+        let b = RunBudget::unlimited();
+        let mut stages = b.staged(&[0.5, 0.5]);
+        assert!(stages.next_stage().is_unlimited());
+        assert!(stages.next_stage().is_unlimited());
+        // Cancellation still propagates through staged children.
+        let b = RunBudget::unlimited();
+        let mut stages = b.staged(&[1.0]);
+        let child = stages.next_stage();
+        b.cancel_token().cancel();
+        assert_eq!(child.check(), Err(BudgetExceeded::Cancelled));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::time::Duration;
 /// Chaos tests iterate this list; [`arm`] rejects names not on it.
 pub const CATALOG: &[&str] = &[
     "sim.level_worker",
+    "sim.delta_propagate",
     "rare.extract_chunk",
     "podem.generate",
     "compat.cube",

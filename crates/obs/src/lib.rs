@@ -53,7 +53,9 @@ pub mod table;
 use std::sync::OnceLock;
 use std::time::Duration;
 
-pub use budget::{BudgetExceeded, BudgetTicker, CancelToken, DegradationNote, RunBudget};
+pub use budget::{
+    BudgetExceeded, BudgetTicker, CancelToken, DegradationNote, RunBudget, StagedBudget,
+};
 pub use isolate::{isolate, panic_message};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};

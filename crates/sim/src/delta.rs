@@ -1,0 +1,653 @@
+//! Event-driven incremental re-simulation.
+//!
+//! A [`DeltaSim`] session holds a base evaluation of a compiled
+//! [`SimProgram`] and re-simulates only the fanout cones of inputs that
+//! changed since the last call, instead of re-walking the whole tape.
+//! This is the right tool for the framework's *query-heavy* clients —
+//! MERO's hill-climb flips one input bit per candidate, cube validation
+//! changes a handful of care bits — where a full run recomputes
+//! thousands of gates to learn that three of them moved.
+//!
+//! # Algorithm
+//!
+//! The session keeps a consumer index (CSR: for every node, the tape
+//! steps that read it) and a per-step *dirty word mask* (which packed
+//! 64-pattern words of the step's inputs changed). [`DeltaSim::propagate`]
+//! seeds the masks from the staged input edits (an XOR against the
+//! stored base tells exactly which words moved), then sweeps the
+//! levelized tape bucket by bucket: every scheduled step re-evaluates
+//! only its dirty words via a safe scalar interpreter, and only words
+//! whose value actually changed schedule the step's own consumers.
+//! Because a consumer always sits at a strictly higher logic level than
+//! its producer, one ascending sweep settles the whole cone — no
+//! iteration, no worklist re-entry.
+//!
+//! # Fallback
+//!
+//! Cone propagation loses to the bit-parallel full kernel once the
+//! frontier stops being sparse: the full run's per-step cost is a few
+//! unchecked wide-word ops, the delta path's is checked scalar
+//! evaluation plus scheduling. When the number of scheduled steps
+//! exceeds a configurable fraction of the tape (default 25 %), the
+//! session abandons the sweep, clears its scratch, and re-runs the full
+//! kernel — correctness is never at stake, only which executor wins.
+//! The `sim.delta_runs` / `sim.delta_fallbacks` / `sim.delta_steps`
+//! counters and the `sim.delta_dirty_frontier` / `sim.delta_fallback_rate`
+//! gauges make the crossover observable in run reports.
+
+use htforge_netlist::netlist::NodeId;
+
+use crate::patterns::PatternSet;
+use crate::program::SimProgram;
+use crate::simulator::NodeValues;
+
+/// How one [`DeltaSim::propagate`] call resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The dirty cones were swept incrementally; `step_words` is the
+    /// number of (step, word) evaluations performed — compare against
+    /// `steps() × words_per_node` for the full-run cost it replaced.
+    Incremental {
+        /// Dirty (step, word) pairs re-evaluated.
+        step_words: usize,
+    },
+    /// The dirty frontier crossed the fallback threshold and the full
+    /// kernel re-ran instead. The session state is exactly as if the
+    /// full run had been requested directly.
+    FullFallback,
+}
+
+#[derive(Debug)]
+struct DeltaMetrics {
+    runs: htforge_obs::Counter,
+    fallbacks: htforge_obs::Counter,
+    step_words: htforge_obs::Counter,
+    frontier: htforge_obs::Gauge,
+    fallback_rate: htforge_obs::Gauge,
+}
+
+impl DeltaMetrics {
+    fn from_global() -> Self {
+        DeltaMetrics {
+            runs: htforge_obs::counter("sim.delta_runs"),
+            fallbacks: htforge_obs::counter("sim.delta_fallbacks"),
+            step_words: htforge_obs::counter("sim.delta_steps"),
+            frontier: htforge_obs::gauge("sim.delta_dirty_frontier"),
+            fallback_rate: htforge_obs::gauge("sim.delta_fallback_rate"),
+        }
+    }
+}
+
+/// An incremental re-simulation session over one compiled program.
+///
+/// Construction ([`SimProgram::delta_sim`]) pays one full evaluation and
+/// one consumer-index build; every subsequent
+/// [`propagate`](DeltaSim::propagate) costs only the changed cones (or
+/// one full run, past the fallback threshold).
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::bench;
+/// use htforge_sim::{DeltaOutcome, PatternSet, SimProgram};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let prog = SimProgram::compile(&nl)?;
+/// let mut sim = prog.delta_sim(PatternSet::zeros(2, 1));
+/// let y = nl.find("y").unwrap();
+/// assert!(!sim.value(y, 0));
+/// sim.set_input(0, 0, true);
+/// sim.set_input(1, 0, true);
+/// sim.propagate();
+/// assert!(sim.value(y, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DeltaSim<'p> {
+    prog: &'p SimProgram,
+    patterns: PatternSet,
+    len: usize,
+    words_per_node: usize,
+    tail_mask: u64,
+    /// Node-major base values, stride `words_per_node` — the same layout
+    /// as [`NodeValues`], edited in place.
+    values: Vec<u64>,
+    /// Input node per pattern-column position.
+    input_nodes: Vec<NodeId>,
+    /// CSR consumer index: steps reading node `n` are
+    /// `cons[cons_offs[n]..cons_offs[n + 1]]`.
+    cons_offs: Vec<u32>,
+    cons: Vec<u32>,
+    /// Level-bucket index of every step (index into the level plan's
+    /// ranges, so buckets are processed in ascending level order).
+    step_bucket: Vec<u32>,
+    /// Words per per-step dirty mask row.
+    mask_stride: usize,
+    /// Per-step dirty word masks, stride `mask_stride`.
+    step_mask: Vec<u64>,
+    /// Whether a step currently sits in a bucket.
+    scheduled: Vec<bool>,
+    /// Scheduled steps per level bucket.
+    buckets: Vec<Vec<u32>>,
+    /// Input columns edited since the last propagate (deduplicated).
+    touched: Vec<u32>,
+    touched_flag: Vec<bool>,
+    /// Scheduled-step count past which propagate falls back to the full
+    /// kernel.
+    max_dirty_steps: usize,
+    runs: u64,
+    fallbacks: u64,
+    metrics: DeltaMetrics,
+}
+
+/// Marks word `w` of `node` dirty: sets the bit in every consumer's
+/// mask row and enqueues newly dirty consumers into their level bucket.
+/// Free function over split field borrows so callers can hold the value
+/// buffer and the scheduling scratch simultaneously.
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    cons_offs: &[u32],
+    cons: &[u32],
+    step_bucket: &[u32],
+    mask_stride: usize,
+    step_mask: &mut [u64],
+    scheduled: &mut [bool],
+    buckets: &mut [Vec<u32>],
+    total: &mut usize,
+    node: usize,
+    w: usize,
+) {
+    let (lo, hi) = (cons_offs[node] as usize, cons_offs[node + 1] as usize);
+    for &s in &cons[lo..hi] {
+        let s = s as usize;
+        step_mask[s * mask_stride + w / 64] |= 1u64 << (w % 64);
+        if !scheduled[s] {
+            scheduled[s] = true;
+            *total += 1;
+            buckets[step_bucket[s] as usize].push(s as u32);
+        }
+    }
+}
+
+impl SimProgram {
+    /// Opens an incremental re-simulation session seeded with a full
+    /// evaluation of `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.num_inputs()` differs from the compiled
+    /// netlist's input count.
+    #[must_use]
+    pub fn delta_sim(&self, patterns: PatternSet) -> DeltaSim<'_> {
+        DeltaSim::new(self, patterns)
+    }
+}
+
+impl<'p> DeltaSim<'p> {
+    /// Default fallback threshold: propagate gives up once more than
+    /// this fraction of the tape's steps is scheduled. At 25 % dirty the
+    /// checked scalar sweep (evaluate + schedule + mask bookkeeping per
+    /// step-word) already costs about as much as the unchecked
+    /// bit-parallel kernel over the *whole* tape, so pushing further
+    /// only loses; well below it the sweep wins by orders of magnitude.
+    pub const DEFAULT_FALLBACK_FRACTION: f64 = 0.25;
+
+    /// Opens a session over `prog` (see [`SimProgram::delta_sim`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.num_inputs()` differs from the program's
+    /// input count.
+    #[must_use]
+    pub fn new(prog: &'p SimProgram, patterns: PatternSet) -> Self {
+        assert_eq!(
+            patterns.num_inputs(),
+            prog.num_inputs(),
+            "pattern width does not match netlist input count"
+        );
+        let len = patterns.len();
+        let words_per_node = PatternSet::words_for(len);
+        let tail_mask = PatternSet::tail_mask(len);
+        let node_count = prog.node_count();
+        let steps = prog.steps();
+
+        let values = prog.run(&patterns).into_raw_words();
+
+        // input_positions is built by enumerating nl.inputs(), so the
+        // column position of entry i is i.
+        let input_nodes: Vec<NodeId> = prog.input_positions.iter().map(|&(n, _)| n).collect();
+        debug_assert!(prog
+            .input_positions
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, pos))| i == pos));
+
+        // CSR consumer index over the fanin pool.
+        let mut cons_offs = vec![0u32; node_count + 1];
+        for &f in &prog.pool {
+            cons_offs[f as usize + 1] += 1;
+        }
+        for i in 0..node_count {
+            cons_offs[i + 1] += cons_offs[i];
+        }
+        let mut cursor: Vec<u32> = cons_offs[..node_count].to_vec();
+        let mut cons = vec![0u32; prog.pool.len()];
+        for s in 0..steps {
+            let (lo, hi) = (prog.offs[s] as usize, prog.offs[s + 1] as usize);
+            for &f in &prog.pool[lo..hi] {
+                let c = &mut cursor[f as usize];
+                cons[*c as usize] = s as u32;
+                *c += 1;
+            }
+        }
+
+        let ranges = prog.level_plan().ranges();
+        let mut step_bucket = vec![0u32; steps];
+        for (li, &(lo, hi)) in ranges.iter().enumerate() {
+            for s in lo..hi {
+                step_bucket[s as usize] = li as u32;
+            }
+        }
+
+        let mask_stride = words_per_node.div_ceil(64).max(1);
+        let num_inputs = prog.num_inputs();
+        DeltaSim {
+            prog,
+            patterns,
+            len,
+            words_per_node,
+            tail_mask,
+            values,
+            input_nodes,
+            cons_offs,
+            cons,
+            step_bucket,
+            mask_stride,
+            step_mask: vec![0u64; steps * mask_stride],
+            scheduled: vec![false; steps],
+            buckets: vec![Vec::new(); ranges.len()],
+            touched: Vec::new(),
+            touched_flag: vec![false; num_inputs],
+            max_dirty_steps: Self::threshold(steps, Self::DEFAULT_FALLBACK_FRACTION),
+            runs: 0,
+            fallbacks: 0,
+            metrics: DeltaMetrics::from_global(),
+        }
+    }
+
+    fn threshold(steps: usize, fraction: f64) -> usize {
+        ((steps as f64 * fraction) as usize).max(1)
+    }
+
+    /// Overrides the fallback threshold as a fraction of the tape's
+    /// steps (see [`Self::DEFAULT_FALLBACK_FRACTION`]). Mostly for
+    /// tests and benchmarks that want to force one path or the other.
+    #[must_use]
+    pub fn with_fallback_fraction(mut self, fraction: f64) -> Self {
+        self.max_dirty_steps = Self::threshold(self.prog.steps(), fraction);
+        self
+    }
+
+    /// Scheduled-step count past which [`Self::propagate`] re-runs the
+    /// full kernel.
+    #[must_use]
+    pub fn fallback_threshold(&self) -> usize {
+        self.max_dirty_steps
+    }
+
+    /// Number of patterns in the session.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the session simulates zero patterns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of primary-input columns.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_nodes.len()
+    }
+
+    /// The session's current input patterns (staged edits included).
+    #[must_use]
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Stages one input-bit edit. Cheap; nothing propagates until
+    /// [`Self::propagate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set_input(&mut self, input: usize, pattern: usize, value: bool) {
+        self.patterns.set(input, pattern, value);
+        self.touch(input);
+    }
+
+    /// Stages a whole-column overwrite with pre-packed words (tail bits
+    /// are masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range or `words` has the wrong
+    /// length.
+    pub fn set_input_words(&mut self, input: usize, words: &[u64]) {
+        self.patterns.set_input_words(input, words);
+        self.touch(input);
+    }
+
+    fn touch(&mut self, input: usize) {
+        if !self.touched_flag[input] {
+            self.touched_flag[input] = true;
+            self.touched.push(input as u32);
+        }
+    }
+
+    /// Value of `node` in pattern `pattern` under the current base
+    /// evaluation (staged-but-unpropagated edits are *not* reflected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern >= len()`.
+    #[must_use]
+    pub fn value(&self, node: NodeId, pattern: usize) -> bool {
+        assert!(pattern < self.len, "pattern {pattern} out of range");
+        let base = node.index() * self.words_per_node;
+        (self.values[base + pattern / 64] >> (pattern % 64)) & 1 == 1
+    }
+
+    /// The packed words of one node under the current base evaluation.
+    #[must_use]
+    pub fn words(&self, node: NodeId) -> &[u64] {
+        let base = node.index() * self.words_per_node;
+        &self.values[base..base + self.words_per_node]
+    }
+
+    /// Snapshots the current base evaluation as [`NodeValues`] (one
+    /// buffer clone).
+    #[must_use]
+    pub fn to_node_values(&self) -> NodeValues {
+        NodeValues::from_raw(self.len, self.words_per_node, self.values.clone())
+    }
+
+    /// Propagates every staged input edit through the tape: dirty cones
+    /// incrementally, or one full kernel run past the fallback
+    /// threshold. Either way the session afterwards holds exactly the
+    /// values a fresh full run of the current patterns would produce.
+    pub fn propagate(&mut self) -> DeltaOutcome {
+        htforge_obs::faultpoint!("sim.delta_propagate");
+        self.runs += 1;
+        self.metrics.runs.add(1);
+        if self.words_per_node == 0 || self.prog.steps() == 0 {
+            for &pos in &self.touched {
+                self.touched_flag[pos as usize] = false;
+            }
+            self.touched.clear();
+            // Zero-step tapes still need input rows refreshed.
+            if self.words_per_node > 0 {
+                for (pos, &node) in self.input_nodes.iter().enumerate() {
+                    let base = node.index() * self.words_per_node;
+                    self.values[base..base + self.words_per_node]
+                        .copy_from_slice(self.patterns.input_words(pos));
+                }
+            }
+            self.finish_metrics(0, 0);
+            return DeltaOutcome::Incremental { step_words: 0 };
+        }
+
+        let mut frontier = 0usize;
+
+        // Seed: XOR each touched input column against the stored base to
+        // find exactly which words moved, commit the new words, and mark
+        // their consumers dirty.
+        {
+            let DeltaSim {
+                patterns,
+                values,
+                input_nodes,
+                cons_offs,
+                cons,
+                step_bucket,
+                mask_stride,
+                step_mask,
+                scheduled,
+                buckets,
+                touched,
+                touched_flag,
+                words_per_node,
+                ..
+            } = self;
+            for &pos in touched.iter() {
+                touched_flag[pos as usize] = false;
+                let node = input_nodes[pos as usize];
+                let base = node.index() * *words_per_node;
+                let col = patterns.input_words(pos as usize);
+                for (w, &new) in col.iter().enumerate() {
+                    if values[base + w] != new {
+                        values[base + w] = new;
+                        schedule(
+                            cons_offs,
+                            cons,
+                            step_bucket,
+                            *mask_stride,
+                            step_mask,
+                            scheduled,
+                            buckets,
+                            &mut frontier,
+                            node.index(),
+                            w,
+                        );
+                    }
+                }
+            }
+            touched.clear();
+        }
+
+        // Ascending level sweep. Consumers always sit in a strictly
+        // higher bucket than their producer, so taking bucket `li` out
+        // before processing it is safe: nothing is scheduled into it
+        // while it runs.
+        let mut step_words = 0usize;
+        let mut fallback = frontier > self.max_dirty_steps;
+        if !fallback {
+            let prog = self.prog;
+            for li in 0..self.buckets.len() {
+                let bucket = std::mem::take(&mut self.buckets[li]);
+                for &s in &bucket {
+                    let s = s as usize;
+                    self.scheduled[s] = false;
+                    let dst = prog.dsts[s] as usize;
+                    for mw in 0..self.mask_stride {
+                        let mut m = self.step_mask[s * self.mask_stride + mw];
+                        self.step_mask[s * self.mask_stride + mw] = 0;
+                        while m != 0 {
+                            let w = mw * 64 + m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let mut new =
+                                prog.eval_step_word(s, &self.values, self.words_per_node, w);
+                            if w == self.words_per_node - 1 {
+                                new &= self.tail_mask;
+                            }
+                            step_words += 1;
+                            let idx = dst * self.words_per_node + w;
+                            if self.values[idx] != new {
+                                self.values[idx] = new;
+                                schedule(
+                                    &self.cons_offs,
+                                    &self.cons,
+                                    &self.step_bucket,
+                                    self.mask_stride,
+                                    &mut self.step_mask,
+                                    &mut self.scheduled,
+                                    &mut self.buckets,
+                                    &mut frontier,
+                                    dst,
+                                    w,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Hand the allocation back for the next propagate.
+                let mut bucket = bucket;
+                bucket.clear();
+                self.buckets[li] = bucket;
+                if frontier > self.max_dirty_steps {
+                    fallback = true;
+                    break;
+                }
+            }
+        }
+
+        if fallback {
+            self.clear_pending();
+            self.fallbacks += 1;
+            self.metrics.fallbacks.add(1);
+            self.values = self.prog.run(&self.patterns).into_raw_words();
+            self.finish_metrics(step_words, frontier);
+            return DeltaOutcome::FullFallback;
+        }
+        self.finish_metrics(step_words, frontier);
+        DeltaOutcome::Incremental { step_words }
+    }
+
+    /// Clears every scheduled step's mask and flag (fallback path: the
+    /// full run supersedes whatever the sweep had left to do).
+    fn clear_pending(&mut self) {
+        let DeltaSim {
+            buckets,
+            scheduled,
+            step_mask,
+            mask_stride,
+            ..
+        } = self;
+        for bucket in buckets.iter_mut() {
+            for &s in bucket.iter() {
+                let s = s as usize;
+                scheduled[s] = false;
+                step_mask[s * *mask_stride..(s + 1) * *mask_stride].fill(0);
+            }
+            bucket.clear();
+        }
+    }
+
+    fn finish_metrics(&self, step_words: usize, frontier: usize) {
+        self.metrics.step_words.add(step_words as u64);
+        self.metrics.frontier.set(frontier as f64);
+        self.metrics
+            .fallback_rate
+            .set(self.fallbacks as f64 / self.runs as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    fn c17() -> htforge_netlist::Netlist {
+        htforge_netlist::bench::parse(C17, "c17").unwrap()
+    }
+
+    /// Every node must match a fresh full run of the session's patterns.
+    fn assert_matches_full(sim: &DeltaSim<'_>, prog: &SimProgram, label: &str) {
+        let full = prog.run(sim.patterns());
+        for node in 0..prog.node_count() {
+            let id = NodeId::from_index(node);
+            assert_eq!(sim.words(id), full.words(id), "{label}: node {node}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_track_full_runs() {
+        let nl = c17();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let mut sim = prog.delta_sim(PatternSet::zeros(5, 70));
+        for i in 0..5 {
+            for p in [0usize, 63, 64, 69] {
+                sim.set_input(i, p, true);
+                sim.propagate();
+                assert_matches_full(&sim, &prog, &format!("set {i}/{p}"));
+                sim.set_input(i, p, false);
+                sim.propagate();
+                assert_matches_full(&sim, &prog, &format!("clear {i}/{p}"));
+            }
+        }
+    }
+
+    #[test]
+    fn noop_edit_recomputes_nothing() {
+        let nl = c17();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let mut sim = prog.delta_sim(PatternSet::zeros(5, 8));
+        sim.set_input(0, 3, false); // already false
+        let outcome = sim.propagate();
+        assert_eq!(outcome, DeltaOutcome::Incremental { step_words: 0 });
+    }
+
+    #[test]
+    fn wide_frontier_falls_back_to_full_run() {
+        let nl = c17();
+        let prog = SimProgram::compile(&nl).unwrap();
+        // Threshold of one scheduled step: flipping input 3 (fans out to
+        // two NANDs) must trip the fallback.
+        let mut sim = prog
+            .delta_sim(PatternSet::zeros(5, 4))
+            .with_fallback_fraction(0.0);
+        assert_eq!(sim.fallback_threshold(), 1);
+        sim.set_input(2, 0, true);
+        assert_eq!(sim.propagate(), DeltaOutcome::FullFallback);
+        assert_matches_full(&sim, &prog, "post-fallback");
+        // The session stays consistent afterwards: a no-op propagate
+        // stays incremental, a real edit keeps tracking full runs.
+        sim.set_input(0, 1, true);
+        sim.propagate();
+        assert_matches_full(&sim, &prog, "post-fallback edit");
+    }
+
+    #[test]
+    fn column_overwrite_tracks_full_runs() {
+        let nl = c17();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let mut sim = prog.delta_sim(PatternSet::zeros(5, 100));
+        sim.set_input_words(3, &[u64::MAX, u64::MAX]);
+        sim.propagate();
+        assert_matches_full(&sim, &prog, "column overwrite");
+        // Tail bits beyond pattern 99 must stay masked.
+        let y = nl.find("23").unwrap();
+        let ones: u64 = sim.words(y).iter().map(|w| u64::from(w.count_ones())).sum();
+        assert!(ones <= 100, "tail leaked: {ones}");
+    }
+
+    #[test]
+    fn zero_pattern_session_is_inert() {
+        let nl = c17();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let mut sim = prog.delta_sim(PatternSet::zeros(5, 0));
+        assert!(sim.is_empty());
+        assert_eq!(sim.propagate(), DeltaOutcome::Incremental { step_words: 0 });
+    }
+}

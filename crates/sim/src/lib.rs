@@ -5,6 +5,8 @@
 //!
 //! * [`patterns`] — bit-packed input pattern sets and random generation,
 //! * [`simulator`] — 64-way bit-parallel 2-valued simulation,
+//! * [`delta`] — event-driven incremental re-simulation (dirty-cone
+//!   propagation over the levelized tape, with full-run fallback),
 //! * [`tri`] — three-valued (0/1/X) logic and cube simulation,
 //! * [`prob`] — signal-probability estimation,
 //! * [`rare`] — **rare-node extraction, paper Algorithm 1**,
@@ -33,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod delta;
 pub mod patterns;
 pub mod prob;
 pub mod program;
@@ -42,6 +45,7 @@ pub mod sequential;
 pub mod simulator;
 pub mod tri;
 
+pub use delta::{DeltaOutcome, DeltaSim};
 pub use patterns::PatternSet;
 pub use program::{KernelPlan, KernelStrategy, LevelPlan, SimProgram};
 pub use rare::{RareNode, RareNodeExtractor, RareNodeSet};

@@ -121,7 +121,8 @@ impl KernelStrategy {
 }
 
 /// The planner's decision for one run: which strategy, how many workers
-/// actually execute, and how many the caller asked for.
+/// actually execute, how many the caller asked for, and the wide-lane
+/// block width the column executor will use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelPlan {
     /// Chosen execution strategy.
@@ -131,6 +132,19 @@ pub struct KernelPlan {
     pub workers: usize,
     /// The caller's requested thread count, before any clamping.
     pub requested: usize,
+    /// Data-plane width of the column executor's tape walks, in words:
+    /// 1, 4 or 8 means every walk runs the monomorphized fixed-width
+    /// body (`[u64; W]` per step). For planner-chosen runs that happens
+    /// exactly when a worker's whole span is 1, 4 or 8 words wide — the
+    /// planner never *tiles* a wider span into blocks, because the
+    /// block-major↔node-major conversion is page-scatter-bound and
+    /// loses to one streaming walk at every measured shape (see
+    /// `DESIGN.md`). Forced runs ([`SimProgram::run_with_lanes`]) do
+    /// tile: 4/8 is the wide `[u64; W]` block plane, 1 the narrow
+    /// one-word-per-step plane (the honest W = 1 baseline the bench
+    /// rows compare against). 0 means the runtime-width walk over the
+    /// whole per-worker span. Level and hybrid runs always report 0.
+    pub lanes: usize,
 }
 
 /// The levelized structure of a compiled tape: per-level `[lo, hi)`
@@ -191,16 +205,19 @@ impl LevelPlan {
 pub struct SimProgram {
     node_count: usize,
     /// `(node, column index into the PatternSet)` for each primary input.
-    input_positions: Vec<(NodeId, usize)>,
+    /// Crate-visible so [`crate::delta::DeltaSim`] can seed dirty cones
+    /// straight from input columns.
+    pub(crate) input_positions: Vec<(NodeId, usize)>,
     /// Per-step opcode, in level-sorted topological order.
     ops: Vec<OpCode>,
-    /// Per-step destination node index.
-    dsts: Vec<u32>,
+    /// Per-step destination node index (crate-visible for the delta
+    /// executor's change detection).
+    pub(crate) dsts: Vec<u32>,
     /// Per-step offset into `pool`; length `ops.len() + 1` so step `s`
     /// reads `pool[offs[s]..offs[s + 1]]`.
-    offs: Vec<u32>,
+    pub(crate) offs: Vec<u32>,
     /// Contiguous fanin node indices for every step.
-    pool: Vec<u32>,
+    pub(crate) pool: Vec<u32>,
     /// Levelized step ranges for the level-parallel executor.
     levels: LevelPlan,
     /// Observability handles, fetched once at compile time so each run
@@ -220,6 +237,8 @@ struct KernelMetrics {
     /// which goes on the `sim.kernel_run` span) — makes the "1-core CI
     /// container" caveat machine-detectable in run reports.
     threads_effective: htforge_obs::Gauge,
+    /// Last run's wide-lane block width ([`KernelPlan::lanes`]).
+    lanes: htforge_obs::Gauge,
 }
 
 impl KernelMetrics {
@@ -229,6 +248,7 @@ impl KernelMetrics {
             throughput: htforge_obs::gauge("sim.kernel_words_per_sec"),
             strategy: htforge_obs::gauge("sim.kernel_strategy"),
             threads_effective: htforge_obs::gauge("sim.kernel_threads_effective"),
+            lanes: htforge_obs::gauge("sim.kernel_lanes"),
         }
     }
 }
@@ -510,6 +530,32 @@ impl SimProgram {
     /// would eat the split's gain on shallow netlists).
     const LEVEL_AUTO_MIN_STEPS: usize = 4096;
 
+    /// Target byte size of the wide-lane executor's dense scratch tile
+    /// (≈ the L2 size on current parts): wide enough to amortize the
+    /// per-node tile entry/exit copies, small enough that the walks'
+    /// whole working set stays cache-resident.
+    const LANE_TILE_BYTES: usize = 1 << 20;
+
+    /// The data-plane width the tape walk will use for a per-worker
+    /// chunk of `chunk` words (see [`KernelPlan::lanes`]): chunks of
+    /// exactly 1, 4 or 8 words dispatch to the monomorphized
+    /// fixed-width walk; any other width runs the runtime-width body
+    /// (reported as 0).
+    ///
+    /// The planner never tiles a wider chunk into `[u64; W]` blocks:
+    /// measured on the reference runner, the blocked executor's
+    /// block-major↔node-major conversion is page-scatter-bound and
+    /// loses to the streaming unblocked walk at every shape, even for
+    /// buffers hundreds of MB past cache (see `DESIGN.md`). Forced
+    /// wide-lane runs stay available via
+    /// [`SimProgram::run_with_lanes`].
+    fn auto_lanes(&self, chunk: usize) -> usize {
+        match chunk {
+            1 | 4 | 8 => chunk,
+            _ => 0,
+        }
+    }
+
     /// A level-split worker wants at least this many word-evaluations
     /// per level; narrower shares are all barrier, no compute.
     const MIN_WORDS_PER_LEVEL_WORKER: usize = 16;
@@ -537,6 +583,7 @@ impl SimProgram {
                 strategy: KernelStrategy::Single,
                 workers: 1,
                 requested,
+                lanes: self.auto_lanes(words),
             };
         }
         if words >= threads {
@@ -546,12 +593,14 @@ impl SimProgram {
                 strategy: KernelStrategy::Column,
                 workers: threads,
                 requested,
+                lanes: self.auto_lanes(words.div_ceil(threads)),
             };
         }
         // Fewer columns than workers: level-split each column group if
         // the levels are wide enough to amortize the barriers.
         let per_column = (threads / words).min(self.max_level_workers());
         if per_column <= 1 {
+            // One column per worker: every span is exactly one word.
             let workers = words;
             return KernelPlan {
                 strategy: if workers == 1 {
@@ -561,6 +610,7 @@ impl SimProgram {
                 },
                 workers,
                 requested,
+                lanes: self.auto_lanes(1),
             };
         }
         if words == 1 {
@@ -568,12 +618,14 @@ impl SimProgram {
                 strategy: KernelStrategy::Level,
                 workers: per_column,
                 requested,
+                lanes: 0,
             }
         } else {
             KernelPlan {
                 strategy: KernelStrategy::Hybrid,
                 workers: words * per_column,
                 requested,
+                lanes: 0,
             }
         }
     }
@@ -619,6 +671,7 @@ impl SimProgram {
                 strategy: KernelStrategy::Single,
                 workers: 1,
                 requested,
+                lanes: 0,
             }
         } else {
             match strategy {
@@ -626,23 +679,74 @@ impl SimProgram {
                     strategy,
                     workers: 1,
                     requested,
+                    lanes: self.auto_lanes(words),
                 },
-                KernelStrategy::Column => KernelPlan {
-                    strategy,
-                    workers: threads.min(words),
-                    requested,
-                },
+                KernelStrategy::Column => {
+                    let workers = threads.min(words);
+                    KernelPlan {
+                        strategy,
+                        workers,
+                        requested,
+                        lanes: self.auto_lanes(words.div_ceil(workers)),
+                    }
+                }
                 KernelStrategy::Level => KernelPlan {
                     strategy,
                     workers: threads,
                     requested,
+                    lanes: 0,
                 },
                 KernelStrategy::Hybrid => KernelPlan {
                     strategy,
                     workers: words * (threads / words).max(1),
                     requested,
+                    lanes: 0,
                 },
             }
+        };
+        self.run_planned(patterns, plan)
+    }
+
+    /// Simulates `patterns` forcing the column executor's wide-lane
+    /// block width (the differential suites and bench rows use this to
+    /// pit W ∈ {4, 8} against the W = 1 narrow plane on the same
+    /// input; production code goes through [`SimProgram::run`], whose
+    /// planner picks the width from the buffer size).
+    ///
+    /// `lanes = 1` is the narrow plane — every tape walk computes one
+    /// `u64` per step. `lanes = 4/8` widens each walk to a fixed
+    /// `[u64; W]` block. `lanes = 0` forces the unblocked plane (one
+    /// variable-width walk over each worker's whole span). All widths
+    /// are bit-identical; only the throughput differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 0, 1, 4 or 8, or if
+    /// `patterns.num_inputs()` differs from the compiled netlist's
+    /// input count.
+    #[must_use]
+    pub fn run_with_lanes(
+        &self,
+        patterns: &PatternSet,
+        lanes: usize,
+        threads: usize,
+    ) -> NodeValues {
+        assert!(
+            matches!(lanes, 0 | 1 | 4 | 8),
+            "lane width must be 0 (unblocked), 1, 4 or 8, got {lanes}"
+        );
+        let words = PatternSet::words_for(patterns.len());
+        let requested = threads;
+        let workers = threads.max(1).min(words.max(1));
+        let plan = KernelPlan {
+            strategy: if workers == 1 {
+                KernelStrategy::Single
+            } else {
+                KernelStrategy::Column
+            },
+            workers,
+            requested,
+            lanes,
         };
         self.run_planned(patterns, plan)
     }
@@ -662,8 +766,8 @@ impl SimProgram {
 
         let words_per_node = PatternSet::words_for(patterns.len());
         let values = match plan.strategy {
-            KernelStrategy::Single => self.run_columns(patterns, 1),
-            KernelStrategy::Column => self.run_columns(patterns, plan.workers),
+            KernelStrategy::Single => self.run_columns(patterns, 1, plan.lanes),
+            KernelStrategy::Column => self.run_columns(patterns, plan.workers, plan.lanes),
             KernelStrategy::Level => {
                 let group = LevelGroup {
                     w0: 0,
@@ -689,11 +793,13 @@ impl SimProgram {
         self.metrics.words.add(words_done);
         self.metrics.strategy.set(plan.strategy.code());
         self.metrics.threads_effective.set(plan.workers as f64);
+        self.metrics.lanes.set(plan.lanes as f64);
         if let Some(span) = &mut span {
             span.attr("strategy", plan.strategy.name());
             span.attr("threads_requested", plan.requested.to_string());
             span.attr("threads_effective", plan.workers.to_string());
             span.attr("words", words_per_node.to_string());
+            span.attr("lanes", plan.lanes.to_string());
         }
         if let Some(t0) = started {
             let dt = t0.elapsed().as_secs_f64();
@@ -704,7 +810,7 @@ impl SimProgram {
         values
     }
 
-    fn run_columns(&self, patterns: &PatternSet, threads: usize) -> NodeValues {
+    fn run_columns(&self, patterns: &PatternSet, threads: usize, lanes: usize) -> NodeValues {
         let len = patterns.len();
         let words_per_node = PatternSet::words_for(len);
         let tail_mask = PatternSet::tail_mask(len);
@@ -723,6 +829,7 @@ impl SimProgram {
                 words_per_node,
                 tail_mask,
                 &mut words,
+                lanes,
             );
             return NodeValues::from_raw(len, words_per_node, words);
         }
@@ -750,6 +857,7 @@ impl SimProgram {
                         words_per_node,
                         tail_mask,
                         &mut local,
+                        lanes,
                     );
                     (start, chunk, local)
                 }));
@@ -903,6 +1011,20 @@ impl SimProgram {
     /// which is node-major with stride `chunk` (so `buf[node * chunk + k]`
     /// is column `w0 + k` of `node`). `buf` must be zero-initialized:
     /// unconnected DFF outputs read as constant 0 (reset state).
+    ///
+    /// With `lanes > 0` the chunk is tiled into `[u64; lanes]` blocks,
+    /// each evaluated by one tape walk over a *dense* block-major
+    /// scratch buffer (`node_count × lanes` words, contiguous): the
+    /// walk's whole working set is `node_count × lanes × 8` bytes — one
+    /// cache line per node at `lanes = 8` — so intermediate values stay
+    /// cache-resident instead of streaming through the full-size buffer
+    /// once per step. Widths 1/4/8 run monomorphized walks whose inner
+    /// loops have compile-time trip counts. Each finished block is
+    /// stitched into `buf` with per-node contiguous copies
+    /// (O(nodes × chunk) total — noise next to the O(steps × chunk)
+    /// simulation). `lanes == 0` (or `lanes >= chunk`) is the unblocked
+    /// plane: a single variable-width walk over the whole chunk.
+    #[allow(clippy::too_many_arguments)]
     fn exec_columns(
         &self,
         patterns: &PatternSet,
@@ -911,39 +1033,105 @@ impl SimProgram {
         words_per_node: usize,
         tail_mask: u64,
         buf: &mut [u64],
+        lanes: usize,
     ) {
         debug_assert_eq!(buf.len(), self.node_count * chunk);
         debug_assert!(w0 + chunk <= words_per_node);
 
-        for &(node, pos) in &self.input_positions {
-            let src = &patterns.input_words(pos)[w0..w0 + chunk];
-            let base = node.index() * chunk;
-            buf[base..base + chunk].copy_from_slice(src);
+        // The last global column carries the tail; only the block that
+        // owns it masks anything.
+        let block_mask = |k: usize, width: usize| {
+            (w0 + k + width == words_per_node && tail_mask != u64::MAX).then_some(tail_mask)
+        };
+
+        if lanes == 0 || lanes >= chunk {
+            for &(node, pos) in &self.input_positions {
+                let src = &patterns.input_words(pos)[w0..w0 + chunk];
+                let base = node.index() * chunk;
+                buf[base..base + chunk].copy_from_slice(src);
+            }
+            let shared = SharedWords {
+                ptr: buf.as_mut_ptr(),
+                len: buf.len(),
+            };
+            let window = ColumnWindow {
+                stride: chunk,
+                col0: 0,
+                width: chunk,
+                mask: block_mask(0, chunk),
+            };
+            // SAFETY: single-threaded over a uniquely borrowed buffer;
+            // `compile` bounds-checked every tape index against
+            // node_count and `buf` spans node_count * chunk words.
+            unsafe { self.exec_steps(0, self.steps(), shared, window) };
+            return;
         }
 
-        // The last global column carries the tail; only the worker that
-        // owns it masks anything.
-        let mask = (w0 + chunk == words_per_node && tail_mask != u64::MAX).then_some(tail_mask);
-        let shared = SharedWords {
-            ptr: buf.as_mut_ptr(),
-            len: buf.len(),
-        };
-        let window = ColumnWindow {
-            stride: chunk,
-            col0: 0,
-            width: chunk,
-            mask,
-        };
-        // SAFETY: single-threaded over a uniquely borrowed buffer;
-        // `compile` bounds-checked every tape index against node_count
-        // and `buf` spans node_count * chunk words.
-        unsafe { self.exec_steps(0, self.steps(), shared, window) };
+        // Tile width: as many columns as keep the dense scratch around
+        // the L2 size, rounded to whole blocks. The W-wide walks run
+        // *inside* one tile (stride = tile, col0 = block offset) so the
+        // per-node entry/exit copies — which touch one far-apart page
+        // per node in the full-size buffer — are paid once per tile,
+        // not once per block.
+        let tile = (Self::LANE_TILE_BYTES / (self.node_count * 8).max(1))
+            .div_euclid(lanes)
+            .max(1)
+            * lanes;
+        let tile = tile.min(chunk);
+        // Zeroed once: rows never written by any step (unconnected DFF
+        // outputs) must read as constant 0 in every tile; every other
+        // row is fully overwritten per tile before it is read.
+        let mut scratch = vec![0u64; self.node_count * tile];
+        let mut t0 = 0usize;
+        while t0 < chunk {
+            let tw = tile.min(chunk - t0);
+            for &(node, pos) in &self.input_positions {
+                let src = patterns.input_block(pos, w0 + t0, tw);
+                let base = node.index() * tile;
+                scratch[base..base + tw].copy_from_slice(src);
+            }
+            let shared = SharedWords {
+                ptr: scratch.as_mut_ptr(),
+                len: scratch.len(),
+            };
+            let mut k = 0usize;
+            while k < tw {
+                let width = lanes.min(tw - k);
+                let window = ColumnWindow {
+                    stride: tile,
+                    col0: k,
+                    width,
+                    mask: block_mask(t0 + k, width),
+                };
+                // SAFETY: single-threaded over the uniquely borrowed
+                // scratch; `compile` bounds-checked every tape index
+                // and scratch spans node_count * tile words with
+                // col0 + width ≤ tile. The monomorphized widths match
+                // `window.width`.
+                unsafe {
+                    match width {
+                        8 => self.exec_steps_w::<8>(0, self.steps(), shared, window),
+                        4 => self.exec_steps_w::<4>(0, self.steps(), shared, window),
+                        1 => self.exec_steps_w::<1>(0, self.steps(), shared, window),
+                        _ => self.exec_steps(0, self.steps(), shared, window),
+                    }
+                }
+                k += width;
+            }
+            for node in 0..self.node_count {
+                let s0 = node * tile;
+                let d0 = node * chunk + t0;
+                buf[d0..d0 + tw].copy_from_slice(&scratch[s0..s0 + tw]);
+            }
+            t0 += tw;
+        }
     }
 
     /// Executes tape steps `[lo, hi)` over one column window of `buf`.
     /// Shared by every strategy: the column path passes its dense local
-    /// buffer (`stride = chunk, col0 = 0`), the level path the final
-    /// node-major buffer (`stride = words_per_node, col0 = group start`).
+    /// buffer (`stride = chunk, col0 = block start`), the level path the
+    /// final node-major buffer (`stride = words_per_node, col0 = group
+    /// start`). Runtime-width entry point; see [`Self::exec_steps_w`].
     ///
     /// # Safety
     ///
@@ -955,12 +1143,43 @@ impl SimProgram {
     ///   concurrently, and all fanin elements of steps `[lo, hi)` were
     ///   written-and-published before the call.
     unsafe fn exec_steps(&self, lo: usize, hi: usize, buf: SharedWords, window: ColumnWindow) {
+        // The widths that dominate production runs get monomorphized
+        // walks: 1 covers every small-batch client (MERO refinement,
+        // cube validation, the level/hybrid per-column windows), 4/8
+        // cover narrow column spans and the wide-lane blocks.
+        match window.width {
+            1 => self.exec_steps_w::<1>(lo, hi, buf, window),
+            4 => self.exec_steps_w::<4>(lo, hi, buf, window),
+            8 => self.exec_steps_w::<8>(lo, hi, buf, window),
+            _ => self.exec_steps_w::<0>(lo, hi, buf, window),
+        }
+    }
+
+    /// The tape interpreter. `W == 0` is the runtime-width instantiation
+    /// (reads `window.width`); `W == 4` / `W == 8` are the wide-lane
+    /// instantiations where every inner loop has a compile-time trip
+    /// count, so LLVM unrolls and vectorizes each gate into one or two
+    /// 256/512-bit blocks.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::exec_steps`]; additionally, if `W != 0`
+    /// then `window.width` must equal `W`.
+    unsafe fn exec_steps_w<const W: usize>(
+        &self,
+        lo: usize,
+        hi: usize,
+        buf: SharedWords,
+        window: ColumnWindow,
+    ) {
         let ColumnWindow {
             stride,
             col0,
-            width,
+            width: run_width,
             mask,
         } = window;
+        debug_assert!(W == 0 || run_width == W);
+        let width = if W == 0 { run_width } else { W };
         debug_assert!(col0 + width <= stride);
         debug_assert!(self.node_count * stride <= buf.len);
         let p = buf.ptr;
@@ -1084,6 +1303,55 @@ impl SimProgram {
             }
             if let Some(m) = mask {
                 *p.add(d + width - 1) &= m;
+            }
+        }
+    }
+
+    /// Evaluates one tape step for one packed word and returns the new
+    /// destination word. `values` is node-major with stride `stride`
+    /// (`values[node * stride + w]`); `w` selects the word column. Safe,
+    /// bounds-checked scalar path used by the incremental re-simulation
+    /// session ([`crate::delta::DeltaSim`]), where per-step work is one
+    /// dirty word rather than a whole column span.
+    pub(crate) fn eval_step_word(&self, s: usize, values: &[u64], stride: usize, w: usize) -> u64 {
+        let op = self.ops[s];
+        let off = self.offs[s] as usize;
+        let at = |f: u32| values[f as usize * stride + w];
+        match op {
+            OpCode::Not => !at(self.pool[off]),
+            OpCode::Buf => at(self.pool[off]),
+            OpCode::And2 => at(self.pool[off]) & at(self.pool[off + 1]),
+            OpCode::Nand2 => !(at(self.pool[off]) & at(self.pool[off + 1])),
+            OpCode::Or2 => at(self.pool[off]) | at(self.pool[off + 1]),
+            OpCode::Nor2 => !(at(self.pool[off]) | at(self.pool[off + 1])),
+            OpCode::Xor2 => at(self.pool[off]) ^ at(self.pool[off + 1]),
+            OpCode::Xnor2 => !(at(self.pool[off]) ^ at(self.pool[off + 1])),
+            OpCode::AndN | OpCode::NandN => {
+                let end = self.offs[s + 1] as usize;
+                let v = self.pool[off..end].iter().fold(u64::MAX, |v, &f| v & at(f));
+                if op == OpCode::NandN {
+                    !v
+                } else {
+                    v
+                }
+            }
+            OpCode::OrN | OpCode::NorN => {
+                let end = self.offs[s + 1] as usize;
+                let v = self.pool[off..end].iter().fold(0u64, |v, &f| v | at(f));
+                if op == OpCode::NorN {
+                    !v
+                } else {
+                    v
+                }
+            }
+            OpCode::XorN | OpCode::XnorN => {
+                let end = self.offs[s + 1] as usize;
+                let v = self.pool[off..end].iter().fold(0u64, |v, &f| v ^ at(f));
+                if op == OpCode::XnorN {
+                    !v
+                } else {
+                    v
+                }
             }
         }
     }
@@ -1324,6 +1592,77 @@ y = NAND(n, w)
                 }
             }
         }
+    }
+
+    #[test]
+    fn forced_lane_widths_are_bit_identical() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        // Pattern counts chosen so chunks are narrower than, equal to,
+        // and wider than both block widths, with and without a tail:
+        // 5 words + tail (321), exact 8 words (512), 13 words + tail.
+        for len in [100usize, 321, 512, 830] {
+            let ps = PatternSet::random(5, len, 0x1a + len as u64);
+            // Planner path (unblocked for a circuit this small).
+            let reference = prog.run_with_threads(&ps, 1);
+            for lanes in [1usize, 4, 8] {
+                for threads in [1usize, 2, 3] {
+                    let vals = prog.run_with_lanes(&ps, lanes, threads);
+                    for id in nl.node_ids() {
+                        assert_eq!(
+                            vals.words(id),
+                            reference.words(id),
+                            "len {len} lanes {lanes} threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tail_is_masked_in_every_block() {
+        // NOT of constant 0 is all-ones: only the final word may be
+        // partial, and only its owning block may mask.
+        let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let ps = PatternSet::zeros(1, 9 * 64 + 7); // 10 words, 7-bit tail
+        for lanes in [1usize, 4, 8] {
+            let vals = prog.run_with_lanes(&ps, lanes, 1);
+            assert_eq!(
+                vals.count_ones(nl.find("y").unwrap()),
+                9 * 64 + 7,
+                "lanes {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_reports_dispatch_width_and_never_tiles() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        // Spans of exactly 1/4/8 words run the monomorphized walk.
+        assert_eq!(prog.auto_lanes(1), 1);
+        assert_eq!(prog.auto_lanes(4), 4);
+        assert_eq!(prog.auto_lanes(8), 8);
+        // Everything else — including arbitrarily wide chunks — stays
+        // on the runtime-width streaming walk: the planner never tiles.
+        assert_eq!(prog.auto_lanes(2), 0);
+        assert_eq!(prog.auto_lanes(1000), 0);
+        assert_eq!(prog.auto_lanes(1 << 24), 0);
+        // Planner plumbs the width through to the plan.
+        assert_eq!(prog.plan(64, 1).lanes, 1); // one word
+        assert_eq!(prog.plan(8 * 64, 1).lanes, 8); // exactly eight
+        assert_eq!(prog.plan(100, 1).lanes, 0); // two words
+        assert_eq!(prog.plan(8 * 64, 2).lanes, 4); // 8 cols / 2 workers
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width")]
+    fn bad_lane_width_panics() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let _ = prog.run_with_lanes(&PatternSet::zeros(5, 8), 3, 1);
     }
 
     #[test]

@@ -53,6 +53,28 @@ impl NodeValues {
         &self.words[base..base + self.words_per_node]
     }
 
+    /// Block-major view of one node's column: words `[w0, w0 + width)`.
+    /// The node-major layout means any `[u64; W]` block of any node is
+    /// already contiguous, so wide-lane consumers read blocks without a
+    /// transpose on exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the per-node word count.
+    #[must_use]
+    pub fn word_block(&self, node: NodeId, w0: usize, width: usize) -> &[u64] {
+        assert!(w0 + width <= self.words_per_node, "block out of range");
+        let base = node.index() * self.words_per_node;
+        &self.words[base + w0..base + w0 + width]
+    }
+
+    /// Consumes the values into the raw node-major word buffer. Used by
+    /// the incremental re-simulation session, which edits the buffer in
+    /// place instead of re-deriving every node.
+    pub(crate) fn into_raw_words(self) -> Vec<u64> {
+        self.words
+    }
+
     /// Value of `node` in pattern `pattern`.
     ///
     /// # Panics
@@ -175,8 +197,11 @@ impl Simulator {
     }
 }
 
-/// A simulator that owns (a clone of) its netlist, for ergonomic repeated
-/// runs. Construction clones the netlist once.
+/// A simulator that shares ownership of its netlist (via [`Arc`]), for
+/// ergonomic repeated runs. [`BoundSimulator::new`] pays one netlist
+/// clone to take ownership; [`BoundSimulator::from_arc`] pays none —
+/// large-circuit campaigns that already hold an `Arc<Netlist>` get a
+/// simulator without copying the graph.
 ///
 /// # Examples
 ///
@@ -194,7 +219,7 @@ impl Simulator {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BoundSimulator {
-    nl: Netlist,
+    nl: std::sync::Arc<Netlist>,
     inner: Simulator,
 }
 
@@ -205,16 +230,31 @@ impl BoundSimulator {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if `nl` is cyclic.
     pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
-        Ok(BoundSimulator {
-            nl: nl.clone(),
-            inner: Simulator::new(nl)?,
-        })
+        Self::from_arc(std::sync::Arc::new(nl.clone()))
     }
 
-    /// The owned netlist.
+    /// Builds a simulator sharing an already-owned netlist — no graph
+    /// copy at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist is
+    /// cyclic.
+    pub fn from_arc(nl: std::sync::Arc<Netlist>) -> Result<Self, NetlistError> {
+        let inner = Simulator::new(&nl)?;
+        Ok(BoundSimulator { nl, inner })
+    }
+
+    /// The shared netlist.
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
         &self.nl
+    }
+
+    /// A shared handle to the netlist (cheap to clone).
+    #[must_use]
+    pub fn netlist_arc(&self) -> std::sync::Arc<Netlist> {
+        std::sync::Arc::clone(&self.nl)
     }
 
     /// Simulates `patterns`.

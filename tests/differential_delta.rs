@@ -1,0 +1,241 @@
+//! Differential tests for [`DeltaSim`] incremental re-simulation.
+//!
+//! Every session must hold exactly the values a fresh full run of its
+//! current patterns would produce — after single-bit flips, column
+//! overwrites, batches of random edits, and fallbacks — on real
+//! circuits (c17, a 16×16 multiplier, c2670) and random synthetic DAGs.
+//! The proptest block drives arbitrary dirty sets; the directed tests
+//! pin the fallback boundary and its observability.
+
+use htforge_circuits::multiplier::multiplier;
+use htforge_circuits::synth::{generate, CircuitProfile};
+use htforge_netlist::Netlist;
+use htforge_sim::{DeltaOutcome, DeltaSim, PatternSet, SimProgram};
+use proptest::prelude::*;
+
+/// Asserts the session's base evaluation is bit-identical — per node,
+/// per packed word — to a fresh full kernel run of its current patterns.
+fn assert_matches_full(nl: &Netlist, prog: &SimProgram, sim: &DeltaSim<'_>, label: &str) {
+    let full = prog.run(sim.patterns());
+    for id in nl.node_ids() {
+        assert_eq!(
+            sim.words(id),
+            full.words(id),
+            "{label}: node {}",
+            nl.node(id).name()
+        );
+    }
+}
+
+/// Decodes one packed random edit: bits 32.. pick the input column,
+/// bits 1..=16 the pattern, bit 0 the value (all reduced modulo the
+/// session's bounds).
+fn decode(edit: u64, inputs: usize, len: usize) -> (usize, usize, bool) {
+    (
+        (edit >> 32) as usize % inputs,
+        ((edit >> 1) & 0xFFFF) as usize % len,
+        edit & 1 == 1,
+    )
+}
+
+/// Applies `edits` (raw values reduced modulo the session's bounds) as
+/// one batch, propagates, and checks the session against the full run.
+/// Returns the propagate outcome.
+fn apply_batch(
+    nl: &Netlist,
+    prog: &SimProgram,
+    sim: &mut DeltaSim<'_>,
+    edits: &[(usize, usize, bool)],
+    label: &str,
+) -> DeltaOutcome {
+    let inputs = sim.num_inputs();
+    let len = sim.len();
+    for &(i, p, v) in edits {
+        sim.set_input(i % inputs, p % len, v);
+    }
+    let outcome = sim.propagate();
+    assert_matches_full(nl, prog, sim, label);
+    outcome
+}
+
+fn circuit(pick: u8) -> (Netlist, usize, &'static str) {
+    match pick % 3 {
+        0 => (htforge_circuits::iscas::c17(), 70, "c17"),
+        1 => (multiplier("mul8", 8), 100, "mul8"),
+        _ => (
+            htforge_circuits::load("c2670").expect("built-in circuit"),
+            130,
+            "c2670",
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary batches of random edits across several propagate calls
+    /// keep the session bit-identical to full runs, whichever path
+    /// (incremental or fallback) each call takes.
+    #[test]
+    fn random_dirty_sets_track_full_runs(
+        pick in any::<u8>(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..12),
+            1..4,
+        ),
+    ) {
+        let (nl, len, name) = circuit(pick);
+        let inputs = nl.inputs().len();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let base = PatternSet::random(inputs, len, u64::from(pick) + 7);
+        let mut sim = prog.delta_sim(base);
+        for (bi, batch) in batches.iter().enumerate() {
+            let edits: Vec<(usize, usize, bool)> =
+                batch.iter().map(|&e| decode(e, inputs, len)).collect();
+            apply_batch(&nl, &prog, &mut sim, &edits, &format!("{name} batch {bi}"));
+        }
+    }
+
+    /// A forced-fallback session (threshold 0) and a never-fallback
+    /// session (threshold 1.0) agree with each other and with the full
+    /// run under the same edits: the fallback is a performance decision,
+    /// never a semantic one.
+    #[test]
+    fn fallback_and_incremental_paths_agree(
+        pick in any::<u8>(),
+        raw in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let (nl, len, name) = circuit(pick);
+        let inputs = nl.inputs().len();
+        let edits: Vec<(usize, usize, bool)> =
+            raw.iter().map(|&e| decode(e, inputs, len)).collect();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let base = PatternSet::random(inputs, len, u64::from(pick) + 31);
+        let mut eager = prog.delta_sim(base.clone()).with_fallback_fraction(0.0);
+        let mut never = prog.delta_sim(base).with_fallback_fraction(1.0);
+        apply_batch(&nl, &prog, &mut eager, &edits, &format!("{name} eager"));
+        apply_batch(&nl, &prog, &mut never, &edits, &format!("{name} never"));
+        for id in nl.node_ids() {
+            prop_assert_eq!(eager.words(id), never.words(id));
+        }
+    }
+}
+
+#[test]
+fn synthetic_dags_delta_equivalence() {
+    // Random DAG shapes (every third sequential: non-scan DFF rows stay
+    // constant 0 through incremental updates too), driven through a
+    // deterministic edit schedule of flips and column overwrites.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    for i in 0..10u64 {
+        let outputs = rng.gen_range(1..5usize);
+        let profile = CircuitProfile {
+            name: format!("delta{i}"),
+            inputs: rng.gen_range(3..20usize),
+            outputs,
+            gates: rng.gen_range(2 * outputs..200),
+            dffs: if i % 3 == 0 {
+                rng.gen_range(1..6usize)
+            } else {
+                0
+            },
+            seed: 0xD17A ^ (i * 0x9E37_79B9),
+        };
+        let nl = generate(&profile);
+        let len = [1usize, 63, 64, 65, 130][i as usize % 5];
+        let prog = SimProgram::compile(&nl).unwrap();
+        let mut sim = prog.delta_sim(PatternSet::random(nl.inputs().len(), len, i + 5));
+        let inputs = nl.inputs().len();
+        for round in 0..6u64 {
+            if round % 2 == 0 {
+                let edits: Vec<(usize, usize, bool)> = (0..=round)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..inputs),
+                            rng.gen_range(0..len),
+                            rng.gen_bool(0.5),
+                        )
+                    })
+                    .collect();
+                apply_batch(
+                    &nl,
+                    &prog,
+                    &mut sim,
+                    &edits,
+                    &format!("{}/{len} round {round}", profile.name),
+                );
+            } else {
+                let col = rng.gen_range(0..inputs);
+                let words: Vec<u64> = (0..PatternSet::words_for(len)).map(|_| rng.gen()).collect();
+                sim.set_input_words(col, &words);
+                sim.propagate();
+                assert_matches_full(
+                    &nl,
+                    &prog,
+                    &sim,
+                    &format!("{}/{len} overwrite {round}", profile.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_bit_flip_is_cheap_on_c2670() {
+    // The MERO regime: one flipped bit against a settled base must
+    // re-evaluate only a small cone, not the whole tape.
+    let nl = htforge_circuits::load("c2670").expect("built-in circuit");
+    let prog = SimProgram::compile(&nl).unwrap();
+    let mut sim = prog.delta_sim(PatternSet::random(nl.inputs().len(), 64, 0x2670));
+    let full_cost = prog.steps() * PatternSet::words_for(64);
+    let mut incremental = 0usize;
+    let mut spent = 0usize;
+    for i in 0..nl.inputs().len() {
+        let old = sim.patterns().get(i, 17);
+        sim.set_input(i, 17, !old);
+        if let DeltaOutcome::Incremental { step_words } = sim.propagate() {
+            incremental += 1;
+            spent += step_words;
+        }
+        let flipped = sim.patterns().get(i, 17);
+        assert_eq!(flipped, !old, "edit must stick");
+    }
+    assert!(incremental > 0, "some flips must stay incremental");
+    let avg = spent as f64 / incremental as f64;
+    assert!(
+        avg < full_cost as f64 * 0.5,
+        "average cone ({avg:.1} step-words) should be well under the \
+         full-run cost ({full_cost} step-words)"
+    );
+}
+
+#[test]
+fn fallback_past_threshold_is_correct_and_observable() {
+    // Overwriting every input column dirties far more than 25% of the
+    // tape on this circuit: the session must fall back (observably via
+    // the outcome) and still match the full run bit for bit.
+    let nl = multiplier("mul8", 8);
+    let prog = SimProgram::compile(&nl).unwrap();
+    let mut sim = prog.delta_sim(PatternSet::zeros(nl.inputs().len(), 100));
+    assert_eq!(
+        sim.fallback_threshold(),
+        (prog.steps() as f64 * DeltaSim::DEFAULT_FALLBACK_FRACTION) as usize,
+        "default threshold is the documented fraction of the tape"
+    );
+    for col in 0..nl.inputs().len() {
+        sim.set_input_words(col, &[u64::MAX, u64::MAX]);
+    }
+    let outcome = sim.propagate();
+    assert_eq!(outcome, DeltaOutcome::FullFallback, "must fall back");
+    assert_matches_full(&nl, &prog, &sim, "post-fallback");
+    // The session keeps working incrementally afterwards.
+    sim.set_input(0, 0, false);
+    let outcome = sim.propagate();
+    assert!(
+        matches!(outcome, DeltaOutcome::Incremental { .. }),
+        "small edit after fallback stays incremental, got {outcome:?}"
+    );
+    assert_matches_full(&nl, &prog, &sim, "post-fallback flip");
+}

@@ -195,6 +195,102 @@ fn synthetic_dags_strategy_equivalence() {
     }
 }
 
+/// Asserts every forced lane width — the narrow one-word plane (W=1)
+/// and the wide blocked planes (W=4/8) — is bit-identical per node and
+/// per packed word to the scalar oracle and to the planner's unblocked
+/// walk, at 1/2/4 threads. This is the `scalar ≡ W=1 ≡ W=4 ≡ W=8`
+/// proof: the wide path stitches tiled block-major scratch back into
+/// node-major columns, so an off-by-one in tile bounds, a stale scratch
+/// word, or a missing per-block tail mask shows up here.
+fn assert_lane_widths_agree(nl: &Netlist, patterns: &PatternSet, label: &str) {
+    let expected = scalar_reference(nl, patterns);
+    let prog = SimProgram::compile(nl).expect("compiles");
+    let words = PatternSet::words_for(patterns.len());
+    for threads in [1usize, 2, 4] {
+        for lanes in [0usize, 1, 4, 8] {
+            let vals = prog.run_with_lanes(patterns, lanes, threads);
+            let mode = format!("lanes={lanes}/{threads}t");
+            assert_eq!(vals.len(), patterns.len(), "{label} [{mode}]: length");
+            for id in nl.node_ids() {
+                let col = vals.words(id);
+                assert_eq!(col.len(), words, "{label} [{mode}]: column width");
+                for (p, &exp) in expected[id.index()].iter().enumerate() {
+                    assert_eq!(
+                        vals.value(id, p),
+                        exp,
+                        "{label} [{mode}]: node {} pattern {p}",
+                        nl.node(id).name()
+                    );
+                }
+                let ones: u64 = col.iter().map(|w| u64::from(w.count_ones())).sum();
+                let expected_ones = expected[id.index()].iter().filter(|&&b| b).count() as u64;
+                assert_eq!(
+                    ones,
+                    expected_ones,
+                    "{label} [{mode}]: popcount of {}",
+                    nl.node(id).name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn c17_wide_lane_equivalence() {
+    let nl = htforge_circuits::iscas::c17();
+    // 63/65/830 cover the single-word, word+tail, and multi-tile
+    // regimes (830 = 13 words: one full 8-lane block, one 4-lane block,
+    // one remainder).
+    for len in [63usize, 65, 830] {
+        let ps = PatternSet::random(nl.inputs().len(), len, 0x1A17 + len as u64);
+        assert_lane_widths_agree(&nl, &ps, &format!("c17/{len}"));
+    }
+}
+
+#[test]
+fn multiplier_wide_lane_equivalence() {
+    let nl = multiplier("mul16", 16);
+    let ps = PatternSet::random(nl.inputs().len(), 321, 0x1A16);
+    assert_lane_widths_agree(&nl, &ps, "mul16/321");
+}
+
+#[test]
+fn c2670_c5315_wide_lane_equivalence() {
+    for name in ["c2670", "c5315"] {
+        let nl = htforge_circuits::load(name).expect("built-in circuit");
+        // 1030 patterns = 17 words per node: big enough that the tiled
+        // scratch path takes multiple tiles on these gate counts.
+        let ps = PatternSet::random(nl.inputs().len(), 1030, 0x1A00);
+        assert_lane_widths_agree(&nl, &ps, &format!("{name}/1030"));
+    }
+}
+
+#[test]
+fn synthetic_dags_wide_lane_equivalence() {
+    // Random DAG shapes, including sequential ones (non-scan DFF rows
+    // must stay constant 0 in every lane width).
+    let mut rng = StdRng::seed_from_u64(0x1A5E);
+    for i in 0..8u64 {
+        let outputs = rng.gen_range(1..5usize);
+        let profile = CircuitProfile {
+            name: format!("lane{i}"),
+            inputs: rng.gen_range(3..20usize),
+            outputs,
+            gates: rng.gen_range(2 * outputs..180),
+            dffs: if i % 4 == 0 {
+                rng.gen_range(1..6usize)
+            } else {
+                0
+            },
+            seed: 0x1A0E ^ (i * 0x9E37_79B9),
+        };
+        let nl = generate(&profile);
+        let len = [65usize, 130, 321, 512][i as usize % 4];
+        let ps = PatternSet::random(nl.inputs().len(), len, i + 0x1A);
+        assert_lane_widths_agree(&nl, &ps, &format!("{}/{len}", profile.name));
+    }
+}
+
 #[test]
 fn c17_differential_all_pattern_counts() {
     let nl = htforge_circuits::iscas::c17();
