@@ -1,0 +1,256 @@
+//! Campaign-server load generator: writes `BENCH_server.json` at the
+//! repository root.
+//!
+//! Drives one in-process [`htforge_server::Server`] through hundreds of
+//! mixed jobs — `simulate`, `insert`, `grade` and `detect`, across
+//! several tenants, circuits and priorities — submitted up front so the
+//! queue is deep and the scheduler, cache and worker pool all see
+//! contention. Records, per job class: terminal-status counts and
+//! exact p50/p95/p99 submit-to-completion latency percentiles (computed
+//! from the full latency vector, not a histogram sketch), plus overall
+//! throughput, cache statistics and — the number the chaos CI entry
+//! greps for — `lost_jobs`: submitted minus terminal responses, which
+//! must be zero even with `HTFORGE_FAULT` armed.
+//!
+//! Every row records `host_threads` (the CI runner is single-core; see
+//! ROADMAP) and the worker count. When `HTFORGE_OBS` is set, a run
+//! report with the `server.*` counters/gauges goes to
+//! `results/report_bench_server.json`.
+//!
+//! Run with `cargo run --release -p htforge-bench --bin bench_server`
+//! (`--quick` trims the job mix for CI; still ≥ 100 jobs).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use htforge_obs::{Json, RunReport};
+use htforge_server::{
+    CircuitSource, JobKind, JobParams, JobSpec, Request, Response, Server, ServerConfig,
+};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+
+/// Exact nearest-rank percentile of a sorted latency vector.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn spec(i: usize, kind: JobKind, circuit: &str, params: JobParams) -> JobSpec {
+    JobSpec {
+        // Three tenants round-robin; priorities cycle so the scheduler
+        // actually reorders the deep queue.
+        tenant: format!("tenant{}", i % 3),
+        id: format!("{}-{i}", kind.as_str()),
+        kind,
+        circuit: CircuitSource::Builtin(circuit.to_owned()),
+        priority: (i % 5) as i64 - 2,
+        deadline_ms: None,
+        params,
+    }
+}
+
+fn job_mix(quick: bool) -> Vec<JobSpec> {
+    let (n_sim, n_pipeline) = if quick { (60, 20) } else { (240, 60) };
+    let mut jobs = Vec::new();
+    let sim_circuits = ["c17", "c2670", "c5315"];
+    for i in 0..n_sim {
+        jobs.push(spec(
+            i,
+            JobKind::Simulate,
+            sim_circuits[i % sim_circuits.len()],
+            JobParams {
+                vectors: if quick { 2_048 } else { 8_192 },
+                seed: i as u64 + 1,
+                ..JobParams::default()
+            },
+        ));
+    }
+    let light = JobParams {
+        vectors: 512,
+        theta: 0.3,
+        tests: 64,
+        ..JobParams::default()
+    };
+    let pipeline_circuits = ["c17", "s1423"];
+    for i in 0..n_pipeline {
+        let circuit = pipeline_circuits[i % pipeline_circuits.len()];
+        for kind in [JobKind::Insert, JobKind::Grade, JobKind::Detect] {
+            jobs.push(spec(
+                i,
+                kind,
+                circuit,
+                JobParams {
+                    seed: i as u64 + 1,
+                    ..light.clone()
+                },
+            ));
+        }
+    }
+    jobs
+}
+
+#[derive(Default)]
+struct ClassRow {
+    jobs: u64,
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+    timeout: u64,
+    degraded: u64,
+    latencies_ms: Vec<f64>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Enable the recorder up front: unlike the kernel microbenches,
+    // the server's own span/counter overhead is part of the system
+    // under test, and the report needs the `server.*` metrics.
+    let _obs = htforge_obs::init_from_env();
+
+    let jobs = job_mix(quick);
+    let submitted = jobs.len();
+    let workers = host_threads.min(8);
+    let (server, rx) = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    });
+
+    let t0 = Instant::now();
+    for job in jobs {
+        server.handle(Request::Submit(Box::new(job)));
+    }
+    let mut classes: HashMap<&'static str, ClassRow> = HashMap::new();
+    let mut terminal = 0usize;
+    while terminal < submitted {
+        let resp = rx.recv().expect("response stream closed early");
+        let Response::Result(r) = resp else { continue };
+        terminal += 1;
+        let row = classes.entry(r.kind.as_str()).or_default();
+        row.jobs += 1;
+        row.latencies_ms.push(r.latency_ms);
+        match r.status.as_str() {
+            "done" => row.done += 1,
+            "failed" => row.failed += 1,
+            "cancelled" => row.cancelled += 1,
+            _ => row.timeout += 1,
+        }
+        if r.error.as_deref().is_some_and(|e| e.contains("degraded")) {
+            row.degraded += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let cache = server.cache().stats();
+    let cache_entries = server.cache().entries();
+    let cache_hit_rate = server.cache().hit_rate();
+    server.request_shutdown(false);
+    let stats = server.join();
+    // Drain the channel tail (shutdown line) to be sure nothing is
+    // stuck, then account for losses.
+    let trailing = rx
+        .iter()
+        .filter(|r| matches!(r, Response::Result(_)))
+        .count();
+    let lost = submitted as i64 - terminal as i64 - trailing as i64;
+
+    let mut class_rows: Vec<Json> = Vec::new();
+    let mut class_names: Vec<&&str> = classes.keys().collect::<Vec<_>>();
+    class_names.sort();
+    for name in class_names {
+        let row = &classes[*name];
+        let mut lat = row.latencies_ms.clone();
+        lat.sort_by(f64::total_cmp);
+        let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+        eprintln!(
+            "{name:>8}: {} jobs | done {} failed {} cancelled {} timeout {} | p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms",
+            row.jobs,
+            row.done,
+            row.failed,
+            row.cancelled,
+            row.timeout,
+            percentile(&lat, 50.0),
+            percentile(&lat, 95.0),
+            percentile(&lat, 99.0),
+        );
+        class_rows.push(Json::obj(vec![
+            ("kind", Json::Str((*name).to_owned())),
+            ("host_threads", Json::Num(host_threads as f64)),
+            ("jobs", Json::Num(row.jobs as f64)),
+            ("done", Json::Num(row.done as f64)),
+            ("failed", Json::Num(row.failed as f64)),
+            ("cancelled", Json::Num(row.cancelled as f64)),
+            ("timeout", Json::Num(row.timeout as f64)),
+            ("degraded_responses", Json::Num(row.degraded as f64)),
+            ("throughput_jobs_per_sec", Json::Num(row.jobs as f64 / wall)),
+            (
+                "latency_ms",
+                Json::obj(vec![
+                    ("mean", Json::Num(mean)),
+                    ("p50", Json::Num(percentile(&lat, 50.0))),
+                    ("p95", Json::Num(percentile(&lat, 95.0))),
+                    ("p99", Json::Num(percentile(&lat, 99.0))),
+                    ("max", Json::Num(lat.last().copied().unwrap_or(0.0))),
+                ]),
+            ),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("htforge.bench_server/v1".to_owned())),
+        ("quick", Json::Bool(quick)),
+        ("host_threads", Json::Num(host_threads as f64)),
+        ("workers", Json::Num(workers as f64)),
+        ("jobs_submitted", Json::Num(submitted as f64)),
+        ("jobs_finished", Json::Num(stats.finished() as f64)),
+        ("lost_jobs", Json::Num(lost as f64)),
+        (
+            "degraded_responses",
+            Json::Num(stats.degraded_responses as f64),
+        ),
+        ("wall_secs", Json::Num(wall)),
+        (
+            "throughput_jobs_per_sec",
+            Json::Num(submitted as f64 / wall),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("entries", Json::Num(cache_entries as f64)),
+                ("hits", Json::Num(cache.hits as f64)),
+                ("misses", Json::Num(cache.misses as f64)),
+                ("compiles", Json::Num(cache.compiles as f64)),
+                ("hit_rate", Json::Num(cache_hit_rate)),
+            ]),
+        ),
+        ("classes", Json::Arr(class_rows)),
+    ]);
+    std::fs::write(OUT_PATH, format!("{}\n", doc.pretty())).expect("write BENCH_server.json");
+    eprintln!(
+        "wrote {OUT_PATH} ({submitted} jobs, {lost} lost, {:.1} jobs/s, cache hit rate {:.2})",
+        submitted as f64 / wall,
+        cache_hit_rate,
+    );
+    assert_eq!(
+        lost, 0,
+        "every accepted job must produce a terminal response"
+    );
+
+    if htforge_obs::enabled() {
+        let report = RunReport::from_recorder("bench_server", htforge_obs::global())
+            .with_meta("host_threads", Json::Num(host_threads as f64))
+            .with_meta("workers", Json::Num(workers as f64))
+            .with_meta("jobs_submitted", Json::Num(submitted as f64))
+            .with_meta("lost_jobs", Json::Num(lost as f64))
+            .with_meta("cache_hit_rate", Json::Num(cache_hit_rate));
+        let path = std::path::Path::new("results/report_bench_server.json");
+        report.write_to(path).expect("write run report");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -38,6 +38,8 @@ pub const CATALOG: &[&str] = &[
     "detect.design",
     "campaign.circuit",
     "checkpoint.write",
+    "server.dispatch",
+    "server.respond",
 ];
 
 /// What an armed faultpoint does when hit.

@@ -1,0 +1,714 @@
+//! The job-queue core: admission, scheduling, workers, responses.
+//!
+//! One [`Server`] owns a priority queue and a small worker pool over
+//! the existing kernel thread path. Every accepted job gets **exactly
+//! one terminal [`Response::Result`]** — done, failed, cancelled or
+//! timeout — no matter what happens in between: executor panics are
+//! caught by [`isolate`], budget trips map to `cancelled`/`timeout`,
+//! and an injected `server.respond` fault degrades the response body
+//! through a fallback path that bypasses the faultpoint. The chaos and
+//! concurrency suites count on that invariant ("zero lost jobs").
+//!
+//! Scheduling order: higher `priority` first, then earlier deadline,
+//! then FIFO submission order. Deadlines are admission deadlines — the
+//! clock starts at submission, so a job that waits out its own deadline
+//! in the queue completes as `timeout` without ever touching a worker.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use htforge_obs::faultpoint;
+use htforge_obs::{isolate, CancelToken, Json, RunBudget, RunReport, SpanEntry};
+
+use crate::cache::ProgramCache;
+use crate::exec::{execute, ExecOutcome};
+use crate::protocol::{parse_request, JobKind, JobResult, JobSpec, JobStatus, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (0 = one per available core, capped at 8).
+    pub workers: usize,
+    /// Tenant assigned to requests that do not name one.
+    pub default_tenant: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            default_tenant: "default".to_owned(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// Lifetime totals, snapshot via [`Server::stats`]. These are *local*
+/// to one server (the global obs counters are process-wide and shared
+/// across tests); the obs `server.*` metrics mirror them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that finished `done`.
+    pub completed: u64,
+    /// Jobs that finished `failed` (errors and isolated panics).
+    pub failed: u64,
+    /// Jobs that finished `cancelled`.
+    pub cancelled: u64,
+    /// Jobs that finished `timeout`.
+    pub timeout: u64,
+    /// Responses degraded by the `server.respond` fallback path.
+    pub degraded_responses: u64,
+}
+
+impl StatsSnapshot {
+    /// Terminal responses emitted (every accepted job produces one).
+    #[must_use]
+    pub fn finished(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.timeout
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    timeout: AtomicU64,
+    degraded_responses: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timeout: self.timeout.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_terminal(&self, status: JobStatus) {
+        let (local, name) = match status {
+            JobStatus::Done => (&self.completed, "server.jobs_completed"),
+            JobStatus::Failed => (&self.failed, "server.jobs_failed"),
+            JobStatus::Cancelled => (&self.cancelled, "server.jobs_cancelled"),
+            JobStatus::Timeout => (&self.timeout, "server.jobs_timeout"),
+        };
+        local.fetch_add(1, Ordering::Relaxed);
+        htforge_obs::counter(name).incr();
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    /// Cancelled while queued: the terminal response is already out;
+    /// the worker drops the heap entry on pop.
+    Tombstoned,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    token: CancelToken,
+    phase: Phase,
+}
+
+struct QueuedJob {
+    seq: u64,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    spec: JobSpec,
+}
+
+impl QueuedJob {
+    fn order(&self, other: &Self) -> CmpOrdering {
+        self.spec
+            .priority
+            .cmp(&other.spec.priority)
+            .then_with(|| match (self.deadline, other.deadline) {
+                // Earlier deadline runs first; no deadline runs last.
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => CmpOrdering::Greater,
+                (None, Some(_)) => CmpOrdering::Less,
+                (None, None) => CmpOrdering::Equal,
+            })
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.order(other)
+    }
+}
+
+struct Inner {
+    queue: BinaryHeap<QueuedJob>,
+    jobs: HashMap<(String, String), JobEntry>,
+    /// `Some(drop_queued)` once shutdown was requested.
+    shutdown: Option<bool>,
+    seq: u64,
+    in_flight: usize,
+}
+
+struct Core {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    cache: Arc<ProgramCache>,
+    stats: Stats,
+    tx: Sender<Response>,
+}
+
+impl Core {
+    /// Sends one response line. The mpsc channel is unbounded, so this
+    /// never blocks a worker on a slow client.
+    fn send(&self, resp: Response) {
+        let _ = self.tx.send(resp);
+    }
+
+    fn mirror_gauges(&self, inner: &Inner) {
+        htforge_obs::gauge("server.queue_depth").set(inner.queue.len() as f64);
+        htforge_obs::gauge("server.jobs_in_flight").set(inner.in_flight as f64);
+        htforge_obs::gauge("server.cache_hit_rate").set(self.cache.hit_rate());
+    }
+
+    fn handle(&self, req: Request, default_tenant: &str) {
+        match req {
+            Request::Submit(spec) => self.submit(*spec, default_tenant),
+            Request::Cancel { tenant, id } => {
+                let tenant = normalize(tenant, default_tenant);
+                self.cancel(&tenant, &id);
+            }
+            Request::Status => self.send(Response::Status(self.status_body())),
+            Request::Shutdown { drop_queued } => {
+                self.shutdown(drop_queued, true);
+            }
+        }
+    }
+
+    fn submit(&self, mut spec: JobSpec, default_tenant: &str) {
+        spec.tenant = normalize(std::mem::take(&mut spec.tenant), default_tenant);
+        let key = spec.key();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown.is_some() {
+            self.send(Response::Error {
+                stage: "submit".to_owned(),
+                id: Some(spec.id),
+                error: "server is shutting down".to_owned(),
+            });
+            return;
+        }
+        if inner.jobs.contains_key(&key) {
+            self.send(Response::Error {
+                stage: "submit".to_owned(),
+                id: Some(spec.id.clone()),
+                error: format!(
+                    "job `{}` is already active for tenant `{}`",
+                    spec.id, spec.tenant
+                ),
+            });
+            return;
+        }
+        let token = CancelToken::new();
+        let now = Instant::now();
+        inner.jobs.insert(
+            key,
+            JobEntry {
+                token,
+                phase: Phase::Queued,
+            },
+        );
+        inner.seq += 1;
+        let seq = inner.seq;
+        let ack = Response::Ack {
+            op: "submit".to_owned(),
+            tenant: spec.tenant.clone(),
+            id: Some(spec.id.clone()),
+            detail: vec![(
+                "queue_depth".to_owned(),
+                Json::Num((inner.queue.len() + 1) as f64),
+            )],
+        };
+        inner.queue.push(QueuedJob {
+            seq,
+            deadline: spec.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+            submitted: now,
+            spec,
+        });
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        htforge_obs::counter("server.jobs_submitted").incr();
+        self.mirror_gauges(&inner);
+        // Ack while holding the lock: a worker needs this lock to pop,
+        // so the ack is on the wire before the job's terminal response.
+        self.send(ack);
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    fn cancel(&self, tenant: &str, id: &str) {
+        let key = (tenant.to_owned(), id.to_owned());
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.jobs.get_mut(&key) else {
+            self.send(Response::Error {
+                stage: "cancel".to_owned(),
+                id: Some(id.to_owned()),
+                error: format!("no active job `{id}` for tenant `{tenant}`"),
+            });
+            return;
+        };
+        entry.token.cancel();
+        let phase = entry.phase;
+        match phase {
+            Phase::Queued => {
+                // The terminal response comes from here, now; the heap
+                // entry becomes a tombstone the worker discards.
+                entry.phase = Phase::Tombstoned;
+                self.send(Response::Ack {
+                    op: "cancel".to_owned(),
+                    tenant: tenant.to_owned(),
+                    id: Some(id.to_owned()),
+                    detail: vec![("state".to_owned(), Json::Str("queued".to_owned()))],
+                });
+                // The entry does not track the kind; recover it (and
+                // the queue latency) with one scan of the small heap.
+                let (kind, latency_ms) = inner
+                    .queue
+                    .iter()
+                    .find(|q| q.spec.tenant == tenant && q.spec.id == id)
+                    .map_or((JobKind::Simulate, 0.0), |q| {
+                        (q.spec.kind, q.submitted.elapsed().as_secs_f64() * 1e3)
+                    });
+                self.stats.count_terminal(JobStatus::Cancelled);
+                self.respond_terminal(JobResult {
+                    tenant: tenant.to_owned(),
+                    id: id.to_owned(),
+                    kind,
+                    status: JobStatus::Cancelled,
+                    latency_ms,
+                    result: None,
+                    error: Some("cancelled while queued".to_owned()),
+                    report: None,
+                });
+            }
+            Phase::Running => {
+                // The worker observes the token and emits the terminal
+                // `cancelled` response itself.
+                self.send(Response::Ack {
+                    op: "cancel".to_owned(),
+                    tenant: tenant.to_owned(),
+                    id: Some(id.to_owned()),
+                    detail: vec![("state".to_owned(), Json::Str("running".to_owned()))],
+                });
+            }
+            Phase::Tombstoned => {
+                self.send(Response::Error {
+                    stage: "cancel".to_owned(),
+                    id: Some(id.to_owned()),
+                    error: format!("job `{id}` is already cancelled"),
+                });
+            }
+        }
+    }
+
+    fn status_body(&self) -> Json {
+        let s = self.stats.snapshot();
+        let c = self.cache.stats();
+        let inner = self.inner.lock().unwrap();
+        Json::obj(vec![
+            ("queue_depth", Json::Num(inner.queue.len() as f64)),
+            ("jobs_in_flight", Json::Num(inner.in_flight as f64)),
+            ("jobs_submitted", Json::Num(s.submitted as f64)),
+            ("jobs_completed", Json::Num(s.completed as f64)),
+            ("jobs_failed", Json::Num(s.failed as f64)),
+            ("jobs_cancelled", Json::Num(s.cancelled as f64)),
+            ("jobs_timeout", Json::Num(s.timeout as f64)),
+            ("cache_entries", Json::Num(self.cache.entries() as f64)),
+            ("cache_hits", Json::Num(c.hits as f64)),
+            ("cache_misses", Json::Num(c.misses as f64)),
+            ("cache_compiles", Json::Num(c.compiles as f64)),
+            ("cache_hit_rate", Json::Num(self.cache.hit_rate())),
+            ("shutting_down", Json::Bool(inner.shutdown.is_some())),
+        ])
+    }
+
+    /// Initiates shutdown. Idempotent; only the first call acks.
+    fn shutdown(&self, drop_queued: bool, ack: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown.is_some() {
+            return;
+        }
+        inner.shutdown = Some(drop_queued);
+        if ack {
+            self.send(Response::Ack {
+                op: "shutdown".to_owned(),
+                tenant: String::new(),
+                id: None,
+                detail: vec![(
+                    "mode".to_owned(),
+                    Json::Str(if drop_queued { "drop" } else { "drain" }.to_owned()),
+                )],
+            });
+        }
+        if drop_queued {
+            while let Some(q) = inner.queue.pop() {
+                let key = q.spec.key();
+                let was_queued =
+                    matches!(inner.jobs.get(&key), Some(e) if e.phase == Phase::Queued);
+                inner.jobs.remove(&key);
+                if was_queued {
+                    self.stats.count_terminal(JobStatus::Cancelled);
+                    self.respond_terminal(JobResult {
+                        tenant: q.spec.tenant,
+                        id: q.spec.id,
+                        kind: q.spec.kind,
+                        status: JobStatus::Cancelled,
+                        latency_ms: q.submitted.elapsed().as_secs_f64() * 1e3,
+                        result: None,
+                        error: Some("dropped at shutdown".to_owned()),
+                        report: None,
+                    });
+                }
+            }
+        }
+        self.mirror_gauges(&inner);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Emits the terminal response for one job through the
+    /// `server.respond` faultpoint. On an injected fault (err action or
+    /// even a panic inside `fire`), a degraded response — same identity
+    /// and status, payload and report stripped — goes out through a
+    /// direct path that cannot fault again, preserving the
+    /// one-terminal-response-per-job invariant.
+    fn respond_terminal(&self, result: JobResult) {
+        let inject = isolate("server.respond", || faultpoint::fire("server.respond"));
+        match inject {
+            Ok(false) => self.send(Response::Result(Box::new(result))),
+            Ok(true) | Err(_) => {
+                self.stats
+                    .degraded_responses
+                    .fetch_add(1, Ordering::Relaxed);
+                htforge_obs::counter("server.responses_degraded").incr();
+                let mut degraded = result;
+                degraded.result = None;
+                degraded.report = None;
+                degraded.error = Some(match degraded.error {
+                    Some(e) => format!("{e}; response degraded: injected respond fault"),
+                    None => "response degraded: injected respond fault".to_owned(),
+                });
+                self.send(Response::Result(Box::new(degraded)));
+            }
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let popped = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if let Some(q) = inner.queue.pop() {
+                        let key = q.spec.key();
+                        match inner.jobs.get_mut(&key) {
+                            Some(entry) if entry.phase == Phase::Queued => {
+                                entry.phase = Phase::Running;
+                                let token = entry.token.clone();
+                                inner.in_flight += 1;
+                                self.mirror_gauges(&inner);
+                                break Some((q, token));
+                            }
+                            _ => {
+                                // Tombstoned (terminal response already
+                                // sent) or untracked: drop it.
+                                inner.jobs.remove(&key);
+                                self.mirror_gauges(&inner);
+                                continue;
+                            }
+                        }
+                    }
+                    if inner.shutdown.is_some() {
+                        break None;
+                    }
+                    inner = self.cv.wait(inner).unwrap();
+                }
+            };
+            let Some((q, token)) = popped else { return };
+            self.run_job(q, token);
+        }
+    }
+
+    fn run_job(&self, q: QueuedJob, token: CancelToken) {
+        let started = Instant::now();
+        let budget = RunBudget::new(q.deadline, token);
+        let spec = &q.spec;
+        // `isolate` turns a panicking job — including an armed
+        // `server.dispatch:panic` — into a `failed` response; the
+        // worker and its siblings keep serving.
+        let outcome = isolate("server.dispatch", || {
+            if faultpoint::fire("server.dispatch") {
+                return ExecOutcome {
+                    status: JobStatus::Failed,
+                    result: None,
+                    error: Some("injected dispatch fault".to_owned()),
+                    degradations: Vec::new(),
+                    counters: Vec::new(),
+                };
+            }
+            match self.cache.get_or_compile(&spec.circuit) {
+                Ok((circuit, hit)) => {
+                    htforge_obs::counter(if hit {
+                        "server.cache_hits"
+                    } else {
+                        "server.cache_misses"
+                    })
+                    .incr();
+                    execute(spec, &circuit, &self.cache, &budget)
+                }
+                Err(e) => ExecOutcome {
+                    status: JobStatus::Failed,
+                    result: None,
+                    error: Some(format!("compile: {e}")),
+                    degradations: Vec::new(),
+                    counters: Vec::new(),
+                },
+            }
+        })
+        .unwrap_or_else(|panic_msg| ExecOutcome {
+            status: JobStatus::Failed,
+            result: None,
+            error: Some(panic_msg),
+            degradations: Vec::new(),
+            counters: Vec::new(),
+        });
+
+        let latency_ms = q.submitted.elapsed().as_secs_f64() * 1e3;
+        let report = job_report(spec, &outcome, started.elapsed(), latency_ms);
+        self.stats.count_terminal(outcome.status);
+        self.respond_terminal(JobResult {
+            tenant: spec.tenant.clone(),
+            id: spec.id.clone(),
+            kind: spec.kind,
+            status: outcome.status,
+            latency_ms,
+            result: outcome.result,
+            error: outcome.error,
+            report: Some(report.to_json()),
+        });
+
+        let mut inner = self.inner.lock().unwrap();
+        inner.jobs.remove(&q.spec.key());
+        inner.in_flight -= 1;
+        self.mirror_gauges(&inner);
+    }
+}
+
+fn normalize(tenant: String, default_tenant: &str) -> String {
+    if tenant.is_empty() {
+        default_tenant.to_owned()
+    } else {
+        tenant
+    }
+}
+
+/// Builds the per-job `htforge.run_report/v1` artifact. Reports are
+/// assembled from the job's own outcome (not the global recorder, whose
+/// spans would interleave concurrent jobs).
+fn job_report(
+    spec: &JobSpec,
+    outcome: &ExecOutcome,
+    ran_for: Duration,
+    latency_ms: f64,
+) -> RunReport {
+    let mut counters = outcome.counters.clone();
+    counters.sort();
+    RunReport {
+        name: format!("server_{}_{}", spec.kind.as_str(), spec.circuit.label()),
+        meta: vec![
+            ("tenant".to_owned(), Json::Str(spec.tenant.clone())),
+            ("job_id".to_owned(), Json::Str(spec.id.clone())),
+            ("kind".to_owned(), Json::Str(spec.kind.as_str().to_owned())),
+            ("circuit".to_owned(), Json::Str(spec.circuit.label())),
+            (
+                "status".to_owned(),
+                Json::Str(outcome.status.as_str().to_owned()),
+            ),
+            ("latency_ms".to_owned(), Json::Num(latency_ms)),
+        ],
+        spans: vec![SpanEntry {
+            id: 0,
+            parent: None,
+            name: "server.job".to_owned(),
+            start_us: 0.0,
+            dur_us: ran_for.as_secs_f64() * 1e6,
+            attrs: vec![("kind".to_owned(), spec.kind.as_str().to_owned())],
+        }],
+        counters,
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+        degradations: outcome.degradations.clone(),
+    }
+}
+
+/// What [`Server::handle_line`] tells the session loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionControl {
+    /// Keep reading requests.
+    Continue,
+    /// A shutdown request was handled; stop reading and join.
+    Shutdown,
+}
+
+/// A running campaign server: worker pool + response stream.
+pub struct Server {
+    core: Arc<Core>,
+    config: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool. All responses — acks, errors, terminal
+    /// results, status, the final shutdown line — arrive on the
+    /// returned channel in emission order.
+    #[must_use]
+    pub fn start(config: ServerConfig) -> (Server, Receiver<Response>) {
+        Self::start_with_cache(config, Arc::new(ProgramCache::new()))
+    }
+
+    /// Starts with a shared compiled-circuit cache (socket mode reuses
+    /// one cache across sequential sessions).
+    #[must_use]
+    pub fn start_with_cache(
+        config: ServerConfig,
+        cache: Arc<ProgramCache>,
+    ) -> (Server, Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        let core = Arc::new(Core {
+            inner: Mutex::new(Inner {
+                queue: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                shutdown: None,
+                seq: 0,
+                in_flight: 0,
+            }),
+            cv: Condvar::new(),
+            cache,
+            stats: Stats::default(),
+            tx,
+        });
+        let workers = (0..config.resolved_workers())
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("htforge-server-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        (
+            Server {
+                core,
+                config,
+                workers,
+            },
+            rx,
+        )
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, req: Request) {
+        self.core.handle(req, &self.config.default_tenant);
+    }
+
+    /// Parses and handles one JSONL line; malformed input becomes a
+    /// structured error response, never a panic.
+    pub fn handle_line(&self, line: &str) -> SessionControl {
+        match parse_request(line) {
+            Ok(req) => {
+                let control = if matches!(req, Request::Shutdown { .. }) {
+                    SessionControl::Shutdown
+                } else {
+                    SessionControl::Continue
+                };
+                self.handle(req);
+                control
+            }
+            Err(e) => {
+                self.core.send(Response::from_request_error(&e));
+                SessionControl::Continue
+            }
+        }
+    }
+
+    /// Requests shutdown without an ack line (the session's EOF path).
+    /// Idempotent after an explicit shutdown request.
+    pub fn request_shutdown(&self, drop_queued: bool) {
+        self.core.shutdown(drop_queued, false);
+    }
+
+    /// Local lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// The compiled-circuit cache.
+    #[must_use]
+    pub fn cache(&self) -> &ProgramCache {
+        &self.core.cache
+    }
+
+    /// Waits for the queue to drain and the workers to exit, emits the
+    /// final [`Response::Shutdown`] line, and closes the response
+    /// channel. Returns the final statistics snapshot.
+    ///
+    /// Call [`Server::request_shutdown`] (or handle a shutdown request)
+    /// first; joining a server that was never asked to stop blocks
+    /// forever by design.
+    pub fn join(self) -> StatsSnapshot {
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let stats = self.core.stats.snapshot();
+        let drop_queued = self.core.inner.lock().unwrap().shutdown.unwrap_or(false);
+        self.core.send(Response::Shutdown {
+            mode: if drop_queued { "drop" } else { "drain" }.to_owned(),
+            jobs_completed: stats.finished(),
+        });
+        stats
+        // `self.core` drops here; the last Sender goes with it and the
+        // receiver sees the channel close after the shutdown line.
+    }
+}

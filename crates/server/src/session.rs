@@ -1,0 +1,190 @@
+//! Session plumbing: wires a [`Server`] to byte streams.
+//!
+//! One session = one request stream + one response stream. A dedicated
+//! writer thread owns the output and drains the server's response
+//! channel, so workers never block on a slow client and response lines
+//! are never interleaved. EOF on the input is a graceful `drain`
+//! shutdown: accepted jobs finish, their results flush, and the final
+//! `shutdown` line closes the stream.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+
+use crate::cache::ProgramCache;
+use crate::core::{Server, ServerConfig, SessionControl, StatsSnapshot};
+
+/// What one session did, for logs and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSummary {
+    /// Final server statistics (every accepted job is terminal here).
+    pub stats: StatsSnapshot,
+    /// Whether the client requested shutdown explicitly (vs plain EOF).
+    pub client_shutdown: bool,
+}
+
+/// Serves one JSONL session over arbitrary streams. Returns when the
+/// input reaches EOF or the client sends a `shutdown` request, after
+/// every accepted job's terminal response (and the final `shutdown`
+/// line) has been written and flushed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either stream; jobs already accepted are
+/// still drained and counted before the error is returned.
+pub fn serve<R, W>(
+    input: R,
+    output: W,
+    config: ServerConfig,
+    cache: Arc<ProgramCache>,
+) -> io::Result<SessionSummary>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let (server, rx) = Server::start_with_cache(config, cache);
+    let writer = thread::spawn(move || -> io::Result<()> {
+        let mut out = output;
+        for resp in rx {
+            writeln!(out, "{}", resp.to_line())?;
+            out.flush()?;
+        }
+        Ok(())
+    });
+
+    let mut client_shutdown = false;
+    let mut read_error = None;
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                read_error = Some(e);
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if server.handle_line(&line) == SessionControl::Shutdown {
+            client_shutdown = true;
+            break;
+        }
+    }
+
+    server.request_shutdown(false);
+    let stats = server.join();
+    let write_result = writer
+        .join()
+        .map_err(|_| io::Error::other("response writer panicked"))?;
+    if let Some(e) = read_error {
+        return Err(e);
+    }
+    write_result?;
+    Ok(SessionSummary {
+        stats,
+        client_shutdown,
+    })
+}
+
+/// Serves sessions over a Unix socket, one connection at a time, all
+/// sharing one compiled-circuit cache. A client `shutdown` request ends
+/// its session *and* the accept loop; a plain disconnect (EOF) drains
+/// that session and waits for the next client.
+///
+/// # Errors
+///
+/// Propagates socket errors (bind/accept) and per-session I/O errors.
+pub fn serve_unix_socket(path: &Path, config: &ServerConfig) -> io::Result<()> {
+    // A stale socket file from a previous run blocks bind; remove it.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let cache = Arc::new(ProgramCache::new());
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let summary = serve(reader, stream, config.clone(), Arc::clone(&cache))?;
+        if summary.client_shutdown {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::REQUEST_SCHEMA;
+    use htforge_obs::parse_json;
+
+    fn run_lines(lines: &str) -> (Vec<htforge_obs::Json>, SessionSummary) {
+        let out: Vec<u8> = Vec::new();
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(out));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let summary = serve(
+            lines.as_bytes(),
+            Shared(std::sync::Arc::clone(&sink)),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            Arc::new(ProgramCache::new()),
+        )
+        .unwrap();
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let docs = text.lines().map(|l| parse_json(l).unwrap()).collect();
+        (docs, summary)
+    }
+
+    #[test]
+    fn eof_drains_and_emits_final_shutdown_line() {
+        let submit = format!(
+            r#"{{"schema":"{REQUEST_SCHEMA}","op":"submit","id":"a","kind":"simulate","circuit":"c17","params":{{"vectors":256}}}}"#
+        );
+        let (docs, summary) = run_lines(&submit);
+        assert!(!summary.client_shutdown);
+        assert_eq!(summary.stats.completed, 1);
+        let types: Vec<_> = docs
+            .iter()
+            .map(|d| d.get("type").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(types.first().map(String::as_str), Some("ack"));
+        assert_eq!(types.last().map(String::as_str), Some("shutdown"));
+        assert!(types.iter().any(|t| t == "result"));
+    }
+
+    #[test]
+    fn garbage_lines_become_error_responses_not_panics() {
+        let (docs, summary) = run_lines("}{ nope\n\n[1,2,3]\n");
+        assert!(!summary.client_shutdown);
+        assert_eq!(summary.stats.submitted, 0);
+        // Two non-empty garbage lines → two error lines + shutdown.
+        assert_eq!(docs.len(), 3);
+        assert!(docs[..2]
+            .iter()
+            .all(|d| d.get("type").unwrap().as_str() == Some("error")));
+    }
+
+    #[test]
+    fn explicit_shutdown_ends_the_session() {
+        let lines = format!(
+            "{}\n{}\n",
+            format_args!(r#"{{"schema":"{REQUEST_SCHEMA}","op":"status"}}"#),
+            format_args!(r#"{{"schema":"{REQUEST_SCHEMA}","op":"shutdown","mode":"drain"}}"#),
+        );
+        let (docs, summary) = run_lines(&lines);
+        assert!(summary.client_shutdown);
+        let last = docs.last().unwrap();
+        assert_eq!(last.get("type").unwrap().as_str(), Some("shutdown"));
+        assert_eq!(last.get("mode").unwrap().as_str(), Some("drain"));
+    }
+}

@@ -157,6 +157,46 @@ impl PatternSet {
         }
     }
 
+    /// Shortens the set to `new_len` patterns (no-op when already that
+    /// short or shorter). Column capacity is kept, so a reused buffer —
+    /// the server's chunked-simulate path truncates and refills one set
+    /// per chunk — allocates only on growth. The freed tail word is
+    /// re-masked so the tail invariant holds for the next `push`/
+    /// `extend_from`/popcount.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len {
+            return;
+        }
+        let words = Self::words_for(new_len);
+        for input_bits in &mut self.bits {
+            input_bits.truncate(words);
+        }
+        self.len = new_len;
+        self.mask_tail();
+    }
+
+    /// Removes every pattern, keeping the column capacity.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Refills the set in place with `len` uniformly random vectors from
+    /// `seed`, reusing column capacity. Bit-identical to
+    /// [`random`](Self::random)`(num_inputs, len, seed)` — the reused
+    /// buffer must never change results (differential-pinned).
+    pub fn fill_random(&mut self, len: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = Self::words_for(len);
+        self.len = len;
+        for input_bits in &mut self.bits {
+            input_bits.resize(words, 0);
+            for w in input_bits.iter_mut() {
+                *w = rng.gen();
+            }
+        }
+        self.mask_tail();
+    }
+
     /// Number of input columns.
     #[must_use]
     pub fn num_inputs(&self) -> usize {
@@ -275,20 +315,32 @@ impl PatternSet {
         let new_len = old_len + other.len;
         let words = Self::words_for(new_len);
         let shift = old_len % 64;
+        // Defensive tail masks, `FirstFireMonitor::observe` style: the
+        // splice below must stay correct even if a buffer-reuse path
+        // left stale bits above either set's tail (the OR would smear
+        // them into the appended patterns — a latent corruption that
+        // only bites at 64k ± 1 boundaries). One AND per column is
+        // noise next to the copy.
+        let src_tail = Self::tail_mask(other.len);
+        let dst_tail = Self::tail_mask(old_len);
         for (input_bits, src) in self.bits.iter_mut().zip(&other.bits) {
             input_bits.resize(words, 0);
             if shift == 0 {
-                // Aligned: `other`'s tail bits are already zero, so a
-                // straight block copy preserves the tail invariant.
-                input_bits[old_len / 64..][..src.len()].copy_from_slice(src);
+                let dst = &mut input_bits[old_len / 64..][..src.len()];
+                dst.copy_from_slice(src);
+                if let Some(last) = dst.last_mut() {
+                    *last &= src_tail;
+                }
             } else {
                 // Unaligned: source word k straddles destination words
-                // `old_len/64 + k` and the next one. ORing is safe —
-                // the destination tail above `shift` is zero (invariant)
-                // and every later word was just resized to zero. The
-                // `>> (64 - shift)` is split in two to avoid the
-                // shift-by-64 edge (shift >= 1 here).
+                // `old_len/64 + k` and the next one. ORing is safe once
+                // both tails are clamped: the destination tail above
+                // `shift` is zeroed here and every later word was just
+                // resized to zero. The `>> (64 - shift)` is split in
+                // two to avoid the shift-by-64 edge (shift >= 1 here).
+                input_bits[old_len / 64] &= dst_tail;
                 for (k, &s) in src.iter().enumerate() {
+                    let s = if k + 1 == src.len() { s & src_tail } else { s };
                     let w = old_len / 64 + k;
                     input_bits[w] |= s << shift;
                     if w + 1 < words {
@@ -333,11 +385,16 @@ impl PatternSet {
         let p = self.len;
         let bit = 1u64 << (p % 64);
         let grow = p.is_multiple_of(64);
+        // Clamp stale bits at and above position p before setting it —
+        // defensive twin of the `extend_from` masks, so a corrupted tail
+        // cannot make the new pattern read back wrong.
+        let below = bit - 1;
         for (input_bits, &value) in self.bits.iter_mut().zip(vector) {
             if grow {
                 input_bits.push(if value { bit } else { 0 });
-            } else if value {
-                *input_bits.last_mut().expect("non-empty column") |= bit;
+            } else {
+                let last = input_bits.last_mut().expect("non-empty column");
+                *last = (*last & below) | if value { bit } else { 0 };
             }
         }
         self.len = p + 1;
@@ -468,6 +525,97 @@ mod tests {
                 for i in 0..inputs {
                     proptest::prop_assert_eq!(fast.get(i, len_a + p), b.get(i, p));
                 }
+            }
+        }
+    }
+
+    /// Plants garbage above the tail of every column — the corruption a
+    /// buffer-reuse bug would leave behind. The defensive masks must
+    /// make every mutator immune to it.
+    fn corrupt_tail(ps: &mut PatternSet) {
+        let mask = PatternSet::tail_mask(ps.len);
+        for column in &mut ps.bits {
+            if let Some(last) = column.last_mut() {
+                *last |= !mask;
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_remasks_and_keeps_capacity() {
+        for boundary in [63usize, 64, 65] {
+            let full = PatternSet::random(3, 200, 5);
+            let mut ps = full.clone();
+            ps.truncate(boundary);
+            assert_eq!(ps.len(), boundary);
+            assert_eq!(ps.input_words(0).len(), PatternSet::words_for(boundary));
+            let tail = PatternSet::tail_mask(boundary);
+            for i in 0..3 {
+                assert_eq!(
+                    ps.input_words(i).last().unwrap() & !tail,
+                    0,
+                    "len {boundary}"
+                );
+                for p in 0..boundary {
+                    assert_eq!(ps.get(i, p), full.get(i, p));
+                }
+            }
+            // Popcounts stay exact — the old PR-4 chaos suite caught a
+            // monitor variant of this; pin the pattern-set side too.
+            let expected: u32 = (0..boundary).filter(|&p| full.get(0, p)).count() as u32;
+            let ones: u32 = ps.input_words(0).iter().map(|w| w.count_ones()).sum();
+            assert_eq!(ones, expected, "len {boundary}");
+        }
+        let mut ps = PatternSet::random(2, 10, 1);
+        ps.truncate(99); // longer than len: no-op
+        assert_eq!(ps.len(), 10);
+        ps.clear();
+        assert!(ps.is_empty());
+        assert_eq!(ps.num_inputs(), 2);
+    }
+
+    #[test]
+    fn fill_random_matches_fresh_random_at_word_boundaries() {
+        let mut reused = PatternSet::random(5, 1000, 77);
+        for (boundary, seed) in [(63usize, 1u64), (64, 2), (65, 3), (128, 4), (1000, 5)] {
+            reused.truncate(0);
+            reused.fill_random(boundary, seed);
+            assert_eq!(
+                reused,
+                PatternSet::random(5, boundary, seed),
+                "len {boundary}"
+            );
+        }
+        // Growth through reuse also matches.
+        reused.fill_random(2000, 9);
+        assert_eq!(reused, PatternSet::random(5, 2000, 9));
+    }
+
+    #[test]
+    fn push_survives_a_corrupted_tail_at_word_boundaries() {
+        for boundary in [63usize, 64, 65] {
+            let mut ps = PatternSet::random(2, boundary, 13);
+            let clean = ps.clone();
+            corrupt_tail(&mut ps);
+            ps.push(&[true, false]);
+            let mut oracle = clean;
+            oracle.push(&[true, false]);
+            assert_eq!(ps, oracle, "len {boundary}");
+        }
+    }
+
+    #[test]
+    fn extend_from_survives_corrupted_tails_at_word_boundaries() {
+        for dst_len in [63usize, 64, 65] {
+            for src_len in [63usize, 64, 65] {
+                let mut dst = PatternSet::random(2, dst_len, 17);
+                let mut src = PatternSet::random(2, src_len, 19);
+                let mut oracle = dst.clone();
+                oracle.extend_from_per_bit(&src);
+                corrupt_tail(&mut dst);
+                corrupt_tail(&mut src);
+                dst.extend_from(&src);
+                assert_eq!(dst, oracle, "{dst_len}+{src_len}");
             }
         }
     }

@@ -1,0 +1,83 @@
+//! `htforge-server` — the long-running campaign daemon (DESIGN.md §10).
+//!
+//! ```text
+//! htforge-server [--workers N] [--tenant NAME]            stdio mode
+//! htforge-server --socket PATH [--workers N] [--tenant NAME]
+//! ```
+//!
+//! Stdio mode speaks the `htforge.job_request/v1` JSONL protocol on
+//! stdin and streams `htforge.job_response/v1` lines on stdout; EOF is
+//! a graceful drain shutdown. Socket mode binds a Unix socket and
+//! serves connections one at a time over a shared compiled-circuit
+//! cache; a client `shutdown` request also stops the daemon.
+
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use htforge::server::{serve, serve_unix_socket, ProgramCache, ServerConfig};
+
+const USAGE: &str = "\
+usage: htforge-server [options]
+
+options:
+  --workers N     worker threads (default: one per core, max 8)
+  --tenant NAME   tenant for requests that name none (default: default)
+  --socket PATH   serve a Unix socket instead of stdin/stdout
+
+The protocol is one JSON object per line; see DESIGN.md \u{a7}10 and the
+README quickstart for a copy-pasteable session.
+";
+
+fn run() -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("--{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                config.workers = value("workers")?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+            }
+            "--tenant" => config.default_tenant = value("tenant")?,
+            "--socket" => socket = Some(PathBuf::from(value("socket")?)),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    match socket {
+        Some(path) => serve_unix_socket(&path, &config).map_err(|e| e.to_string()),
+        None => {
+            let stdin = io::stdin();
+            serve(
+                BufReader::new(stdin.lock()),
+                io::stdout(),
+                config,
+                Arc::new(ProgramCache::new()),
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let _obs = htforge::obs::init_from_env();
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`core`] | `htforge-core` | compatibility graph, cliques, insertion (Alg. 2–3) |
 //! | [`baselines`] | `htforge-baselines` | random / RL / Trust-Hub-style inserters |
 //! | [`detect`] | `htforge-detect` | Random / MERO / ND-ATPG detection, TC/DC |
+//! | [`server`] | `htforge-server` | multi-tenant JSONL campaign daemon |
 //! | [`obs`] | `htforge-obs` | spans, metrics, run reports (`HTFORGE_OBS`) |
 //!
 //! # Examples
@@ -49,4 +50,5 @@ pub use htforge_detect as detect;
 pub use htforge_netlist as netlist;
 pub use htforge_obs as obs;
 pub use htforge_scoap as scoap;
+pub use htforge_server as server;
 pub use htforge_sim as sim;

@@ -5,7 +5,11 @@
 //!   (the campaign records a failure and continues),
 //! * a delay that blows past the deadline yields `Timeout`/degradation
 //!   notes, never a hang,
-//! * a failed checkpoint write degrades resume, not the run.
+//! * a failed checkpoint write degrades resume, not the run,
+//! * a panic inside the campaign server's dispatch path loses only that
+//!   job (the daemon keeps serving; zero lost jobs),
+//! * a fault in the server's response path degrades the response body
+//!   but still delivers exactly one terminal line per job.
 //!
 //! Faultpoint arming is process-global, so every test here serializes on
 //! one mutex and disarms on the way out.
@@ -287,6 +291,135 @@ fn checkpoint_write_failure_degrades_resume_not_the_run() {
         }
     );
     camp2.clear(&["c17"]);
+}
+
+mod server_chaos {
+    //! Faultpoints inside the campaign server (`server.dispatch`,
+    //! `server.respond`): the exactly-one-terminal-response-per-job
+    //! invariant must hold through injected panics and response faults.
+
+    use super::{lock, Action, Duration, Instant};
+    use htforge::obs::faultpoint::{arm, disarm_all};
+    use htforge::server::{
+        CircuitSource, JobKind, JobParams, JobSpec, Request, Response, Server, ServerConfig,
+    };
+
+    fn sim_spec(id: &str) -> JobSpec {
+        JobSpec {
+            tenant: "chaos".into(),
+            id: id.into(),
+            kind: JobKind::Simulate,
+            circuit: CircuitSource::Builtin("c17".into()),
+            priority: 0,
+            deadline_ms: None,
+            params: JobParams {
+                vectors: 256,
+                ..JobParams::default()
+            },
+        }
+    }
+
+    fn next_result(rx: &std::sync::mpsc::Receiver<Response>) -> htforge::server::JobResult {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            assert!(Instant::now() < deadline, "no terminal response");
+            if let Response::Result(r) = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("response stream")
+            {
+                return *r;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_panic_loses_only_that_job() {
+        let _gate = lock();
+        disarm_all();
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+
+        // Armed: the job's dispatch panics inside the worker. `isolate`
+        // turns it into a `failed` terminal response; the worker thread
+        // survives to serve the next job.
+        arm("server.dispatch", Action::Panic);
+        server.handle(Request::Submit(Box::new(sim_spec("doomed"))));
+        let doomed = next_result(&rx);
+        disarm_all();
+        assert_eq!(doomed.id, "doomed");
+        assert_eq!(doomed.status.as_str(), "failed");
+        let error = doomed.error.expect("failure must be explained");
+        assert!(error.contains("injected fault"), "got: {error}");
+        assert!(error.contains("server.dispatch"), "got: {error}");
+
+        // Disarmed, the same (sole) worker completes jobs normally: the
+        // panic poisoned neither the pool nor the cache.
+        for id in ["after-1", "after-2"] {
+            server.handle(Request::Submit(Box::new(sim_spec(id))));
+            let r = next_result(&rx);
+            assert_eq!(r.id, id);
+            assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+        }
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.finished(), stats.submitted, "a job went missing");
+    }
+
+    #[test]
+    fn respond_fault_degrades_the_body_but_loses_no_job() {
+        let _gate = lock();
+        disarm_all();
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+
+        // Every terminal response path faults. The fallback still
+        // delivers one terminal line per job — same identity and
+        // status, payload stripped, the degradation named.
+        arm("server.respond", Action::Err);
+        for id in ["a", "b", "c"] {
+            server.handle(Request::Submit(Box::new(sim_spec(id))));
+        }
+        let mut degraded = 0;
+        for _ in 0..3 {
+            let r = next_result(&rx);
+            assert_eq!(r.status.as_str(), "done");
+            assert!(r.result.is_none(), "degraded response must strip payload");
+            assert!(r.report.is_none());
+            let error = r.error.expect("degradation must be named");
+            assert!(error.contains("response degraded"), "got: {error}");
+            degraded += 1;
+        }
+        disarm_all();
+        assert_eq!(degraded, 3);
+
+        // Even a *panic* inside the respond faultpoint is contained by
+        // the fallback path.
+        arm("server.respond", Action::Panic);
+        server.handle(Request::Submit(Box::new(sim_spec("d"))));
+        let r = next_result(&rx);
+        disarm_all();
+        assert_eq!(r.id, "d");
+        assert!(r.error.expect("named").contains("response degraded"));
+
+        // Disarmed, responses come back whole.
+        server.handle(Request::Submit(Box::new(sim_spec("e"))));
+        let r = next_result(&rx);
+        assert_eq!(r.id, "e");
+        assert!(r.result.is_some(), "healthy response must carry a payload");
+        assert!(r.report.is_some());
+
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.degraded_responses, 4);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.finished(), stats.submitted, "a job went missing");
+    }
 }
 
 #[test]

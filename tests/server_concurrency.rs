@@ -1,0 +1,384 @@
+//! Concurrency differential wall for the campaign server.
+//!
+//! * **Concurrent ≡ sequential.** The same job batch through a
+//!   4-worker pool and a 1-worker pool produces byte-identical result
+//!   payloads per job (digests included) — scheduling order must never
+//!   leak into results.
+//! * **Compile-once cache.** N jobs naming the same circuit compile it
+//!   exactly once, even when they race from several workers
+//!   ([`CacheStats`] pins hits/misses/compiles).
+//! * **Cancellation.** Cancelling a queued job and a running job both
+//!   yield exactly one terminal `cancelled` response, and the pool
+//!   keeps serving afterwards (no poisoning).
+//! * **Admission deadlines.** A job whose deadline expires completes as
+//!   `timeout`, never hangs, and never goes missing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use htforge::obs::Json;
+use htforge::server::{
+    CircuitSource, JobKind, JobParams, JobSpec, ProgramCache, Request, Response, Server,
+    ServerConfig, StatsSnapshot,
+};
+
+fn spec(id: &str, kind: JobKind, circuit: &str, params: JobParams) -> JobSpec {
+    JobSpec {
+        tenant: "diff".into(),
+        id: id.into(),
+        kind,
+        circuit: CircuitSource::Builtin(circuit.into()),
+        priority: 0,
+        deadline_ms: None,
+        params,
+    }
+}
+
+/// A mixed batch covering all four job classes, several circuits and
+/// several seeds.
+fn batch() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (i, circuit) in ["c17", "c2670", "c17", "c5315"].iter().enumerate() {
+        jobs.push(spec(
+            &format!("sim-{i}"),
+            JobKind::Simulate,
+            circuit,
+            JobParams {
+                vectors: 1_500,
+                seed: i as u64 + 1,
+                ..JobParams::default()
+            },
+        ));
+    }
+    let light = JobParams {
+        vectors: 512,
+        theta: 0.3,
+        tests: 64,
+        ..JobParams::default()
+    };
+    for i in 0..2 {
+        jobs.push(spec(
+            &format!("ins-{i}"),
+            JobKind::Insert,
+            "c17",
+            JobParams {
+                seed: i + 1,
+                ..light.clone()
+            },
+        ));
+        jobs.push(spec(
+            &format!("grd-{i}"),
+            JobKind::Grade,
+            "c17",
+            JobParams {
+                seed: i + 1,
+                ..light.clone()
+            },
+        ));
+        jobs.push(spec(
+            &format!("det-{i}"),
+            JobKind::Detect,
+            "c17",
+            JobParams {
+                seed: i + 1,
+                ..light.clone()
+            },
+        ));
+    }
+    jobs
+}
+
+/// Runs a batch to completion; returns `(id → (status, compact result
+/// payload))`, the final stats, and the cache handed in.
+fn run_batch(
+    jobs: Vec<JobSpec>,
+    workers: usize,
+    cache: Arc<ProgramCache>,
+) -> (HashMap<String, (String, String)>, StatsSnapshot) {
+    let (server, rx) = Server::start_with_cache(
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+        cache,
+    );
+    let n = jobs.len();
+    for job in jobs {
+        server.handle(Request::Submit(Box::new(job)));
+    }
+    let mut results = HashMap::new();
+    while results.len() < n {
+        match rx.recv().expect("response stream closed early") {
+            Response::Result(r) => {
+                let payload = r.result.as_ref().map_or(String::new(), Json::compact);
+                let dup = results.insert(r.id.clone(), (r.status.as_str().to_owned(), payload));
+                assert!(dup.is_none(), "job `{}` answered twice", r.id);
+            }
+            Response::Error { error, .. } => panic!("unexpected error: {error}"),
+            _ => {}
+        }
+    }
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(
+        rx.iter()
+            .filter(|r| matches!(r, Response::Result(_)))
+            .count(),
+        0,
+        "terminal responses after all jobs were accounted for"
+    );
+    (results, stats)
+}
+
+#[test]
+fn concurrent_batch_is_byte_identical_to_sequential() {
+    let (sequential, seq_stats) = run_batch(batch(), 1, Arc::new(ProgramCache::new()));
+    let (concurrent, conc_stats) = run_batch(batch(), 4, Arc::new(ProgramCache::new()));
+
+    assert_eq!(seq_stats.completed, batch().len() as u64);
+    assert_eq!(conc_stats, seq_stats, "lifetime stats must agree");
+    assert_eq!(concurrent.len(), sequential.len());
+    for (id, (status, payload)) in &sequential {
+        let (c_status, c_payload) = &concurrent[id];
+        assert_eq!(c_status, status, "status diverged for `{id}`");
+        assert_eq!(c_payload, payload, "payload diverged for `{id}`");
+        assert_eq!(status, "done");
+        assert!(!payload.is_empty(), "done job `{id}` must carry a result");
+    }
+}
+
+#[test]
+fn identical_jobs_share_one_compile_even_under_contention() {
+    // 12 identical simulate jobs race onto 4 workers sharing a fresh
+    // cache: the circuit must compile exactly once (compilation happens
+    // under the cache map lock), every other lookup is a hit.
+    let cache = Arc::new(ProgramCache::new());
+    let jobs: Vec<JobSpec> = (0..12)
+        .map(|i| {
+            spec(
+                &format!("same-{i}"),
+                JobKind::Simulate,
+                "c2670",
+                JobParams {
+                    vectors: 1_024,
+                    seed: 7,
+                    ..JobParams::default()
+                },
+            )
+        })
+        .collect();
+    let n = jobs.len() as u64;
+    let (results, stats) = run_batch(jobs, 4, Arc::clone(&cache));
+
+    assert_eq!(stats.completed, n);
+    let c = cache.stats();
+    assert_eq!(c.compiles, 1, "distinct circuit must compile exactly once");
+    assert_eq!(c.misses, 1);
+    assert_eq!(c.hits, n - 1);
+    assert_eq!(cache.entries(), 1);
+    // Identical jobs: identical payloads.
+    let payloads: Vec<&String> = results.values().map(|(_, p)| p).collect();
+    assert!(payloads.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn distinct_circuits_compile_once_each() {
+    let cache = Arc::new(ProgramCache::new());
+    let mut jobs = Vec::new();
+    for round in 0..3 {
+        for circuit in ["c17", "c2670", "s1423"] {
+            jobs.push(spec(
+                &format!("{circuit}-{round}"),
+                JobKind::Simulate,
+                circuit,
+                JobParams {
+                    vectors: 256,
+                    ..JobParams::default()
+                },
+            ));
+        }
+    }
+    let (_, stats) = run_batch(jobs, 4, Arc::clone(&cache));
+    assert_eq!(stats.completed, 9);
+    let c = cache.stats();
+    assert_eq!((c.compiles, c.misses, c.hits), (3, 3, 6));
+    assert_eq!(cache.entries(), 3);
+}
+
+/// Polls `status` responses until `jobs_in_flight` reaches `want`.
+fn wait_for_in_flight(
+    server: &Server,
+    rx: &std::sync::mpsc::Receiver<Response>,
+    want: u64,
+    spare: &mut Vec<Response>,
+) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "job never started running");
+        server.handle(Request::Status);
+        loop {
+            match rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("status reply")
+            {
+                Response::Status(body) => {
+                    if body.get("jobs_in_flight").and_then(Json::as_u64) == Some(want) {
+                        return;
+                    }
+                    break;
+                }
+                other => spare.push(other),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A simulate job big enough to keep a worker busy until cancelled
+/// (budget checks run per 4096-vector chunk, so cancellation lands at
+/// the next chunk boundary).
+fn long_job(id: &str, priority: i64) -> JobSpec {
+    JobSpec {
+        priority,
+        ..spec(
+            id,
+            JobKind::Simulate,
+            "c2670",
+            JobParams {
+                vectors: 4_096,
+                repeat: 1 << 20,
+                ..JobParams::default()
+            },
+        )
+    }
+}
+
+#[test]
+fn cancel_hits_queued_and_running_jobs_without_poisoning_the_pool() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut spare = Vec::new();
+
+    // `runner` outranks `queued`, so the single worker always picks it
+    // up first and `queued` stays in the heap behind it.
+    server.handle(Request::Submit(Box::new(long_job("runner", 1))));
+    wait_for_in_flight(&server, &rx, 1, &mut spare);
+    server.handle(Request::Submit(Box::new(long_job("queued", 0))));
+
+    // Cancel the queued job from another thread (the cross-thread path
+    // the protocol promises): its terminal response comes from the
+    // canceller, the worker later discards the tombstoned heap entry.
+    let handle = {
+        let server = Arc::new(server);
+        let s = Arc::clone(&server);
+        let h = std::thread::spawn(move || {
+            s.handle(Request::Cancel {
+                tenant: "diff".into(),
+                id: "queued".into(),
+            });
+            s.handle(Request::Cancel {
+                tenant: "diff".into(),
+                id: "runner".into(),
+            });
+        });
+        (server, h)
+    };
+    let (server, canceller) = handle;
+    canceller.join().expect("canceller thread");
+
+    // Both must reach a terminal `cancelled` — the queued one
+    // immediately, the running one at its next budget check.
+    let mut statuses = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while statuses.len() < 2 {
+        assert!(Instant::now() < deadline, "cancellation hung: {statuses:?}");
+        if let Response::Result(r) = rx.recv_timeout(Duration::from_secs(60)).expect("response") {
+            statuses.insert(
+                r.id.clone(),
+                (r.status.as_str().to_owned(), r.error.clone()),
+            );
+        }
+    }
+    for id in ["queued", "runner"] {
+        let (status, error) = &statuses[id];
+        assert_eq!(status, "cancelled", "`{id}`: {error:?}");
+    }
+
+    // The pool is not poisoned: a fresh job completes normally.
+    server.handle(Request::Submit(Box::new(spec(
+        "after",
+        JobKind::Simulate,
+        "c17",
+        JobParams {
+            vectors: 128,
+            ..JobParams::default()
+        },
+    ))));
+    loop {
+        if let Response::Result(r) = rx.recv_timeout(Duration::from_secs(60)).expect("response") {
+            assert_eq!(r.id, "after");
+            assert_eq!(r.status.as_str(), "done");
+            break;
+        }
+    }
+    server.request_shutdown(false);
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
+    let stats = server.join();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.finished(), stats.submitted);
+}
+
+#[test]
+fn cancelling_an_unknown_job_is_an_error_not_a_terminal() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    server.handle(Request::Cancel {
+        tenant: "nobody".into(),
+        id: "ghost".into(),
+    });
+    server.request_shutdown(false);
+    server.join();
+    let responses: Vec<_> = rx.iter().collect();
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r, Response::Error { stage, .. } if stage == "cancel")));
+    assert!(!responses.iter().any(|r| matches!(r, Response::Result(_))));
+}
+
+#[test]
+fn expired_deadline_completes_as_timeout_not_a_hang() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    // The deadline clock starts at submission and the job needs many
+    // chunks, so it cannot finish inside 1 ms: some budget check must
+    // trip and surface `timeout`.
+    server.handle(Request::Submit(Box::new(JobSpec {
+        deadline_ms: Some(1),
+        ..long_job("doomed", 0)
+    })));
+    let started = Instant::now();
+    loop {
+        if let Response::Result(r) = rx.recv_timeout(Duration::from_secs(60)).expect("response") {
+            assert_eq!(r.id, "doomed");
+            assert_eq!(r.status.as_str(), "timeout");
+            break;
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "timeout took {:?}",
+        started.elapsed()
+    );
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(stats.timeout, 1);
+    assert_eq!(stats.finished(), 1);
+}

@@ -1,0 +1,296 @@
+//! Fuzz + property wall for the campaign-server JSONL protocol
+//! (`DESIGN.md` §10).
+//!
+//! The contract pinned here:
+//!
+//! * [`parse_request`] never panics — on byte soup, truncated lines,
+//!   spliced junk, or structurally valid JSON with hostile fields — and
+//!   every failure is a structured [`RequestError`] naming its stage.
+//! * A valid request round-trips losslessly: `to_json` → compact line →
+//!   `parse_request` reproduces the exact [`Request`], regardless of
+//!   the order fields appear in on the wire.
+//! * Every error the server would emit for a bad line is itself a valid
+//!   JSONL response carrying the response schema tag.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use htforge::obs::{parse_json, Json};
+use htforge::server::{
+    parse_request, CircuitSource, JobKind, JobParams, JobSpec, Request, Response, RESPONSE_SCHEMA,
+};
+
+const STAGES: [&str; 3] = ["parse", "schema", "request"];
+
+fn ascii_string(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| (b'a' + b % 26) as char).collect()
+}
+
+fn kind_strategy() -> impl Strategy<Value = JobKind> {
+    prop_oneof![
+        Just(JobKind::Simulate),
+        Just(JobKind::Insert),
+        Just(JobKind::Grade),
+        Just(JobKind::Detect),
+    ]
+}
+
+fn circuit_strategy() -> impl Strategy<Value = CircuitSource> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..12)
+            .prop_map(|b| CircuitSource::Builtin(ascii_string(b))),
+        // Inline netlists carry newlines, quotes and backslashes: the
+        // JSON string escaper is part of the round-trip under test.
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| {
+            let mut text = String::from("INPUT(a)\n# \"quoted\\path\"\n");
+            text.push_str(&ascii_string(b));
+            CircuitSource::Inline(text)
+        }),
+    ]
+}
+
+/// Specs whose every field survives the wire unclamped, so the
+/// round-trip must be exact equality.
+fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..6),
+        proptest::collection::vec(any::<u8>(), 1..10),
+        kind_strategy(),
+        circuit_strategy(),
+        -1000i64..1000,
+        prop_oneof![Just(None), (0u64..1 << 32).prop_map(Some)],
+        (
+            1u64..10_000,
+            // Seeds ride the wire as f64; stay within exact range.
+            0u64..1 << 53,
+            1u64..100,
+            0u32..501,
+            1u64..65,
+            1u64..257,
+            prop_oneof![Just("random"), Just("mero"), Just("ndatpg")],
+            1u64..5_000,
+        ),
+    )
+        .prop_map(
+            |(tenant, id, kind, circuit, priority, deadline_ms, params)| {
+                let (vectors, seed, repeat, theta_milli, trigger, instances, scheme, tests) =
+                    params;
+                JobSpec {
+                    tenant: ascii_string(tenant),
+                    id: ascii_string(id),
+                    kind,
+                    circuit,
+                    priority,
+                    deadline_ms,
+                    params: JobParams {
+                        vectors: vectors as usize,
+                        seed,
+                        repeat: repeat as usize,
+                        theta: f64::from(theta_milli) / 1000.0,
+                        trigger_nodes: trigger as usize,
+                        instances: instances as usize,
+                        scheme: scheme.to_owned(),
+                        tests: tests as usize,
+                    },
+                }
+            },
+        )
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        spec_strategy().prop_map(|s| Request::Submit(Box::new(s))),
+        (
+            proptest::collection::vec(any::<u8>(), 0..6),
+            proptest::collection::vec(any::<u8>(), 1..10),
+        )
+            .prop_map(|(tenant, id)| Request::Cancel {
+                tenant: ascii_string(tenant),
+                id: ascii_string(id),
+            }),
+        Just(Request::Status),
+        any::<bool>().prop_map(|drop_queued| Request::Shutdown { drop_queued }),
+    ]
+}
+
+/// A canonical valid submit line (ASCII, so byte-index truncation is
+/// always a char boundary).
+fn sample_line() -> String {
+    Request::Submit(Box::new(JobSpec {
+        tenant: "acme".into(),
+        id: "job-1".into(),
+        kind: JobKind::Detect,
+        circuit: CircuitSource::Builtin("c17".into()),
+        priority: 2,
+        deadline_ms: Some(5_000),
+        params: JobParams::default(),
+    }))
+    .to_json()
+    .compact()
+}
+
+/// Recursively shuffles the field order of every JSON object.
+fn shuffle_fields(doc: &mut Json, rng: &mut StdRng) {
+    match doc {
+        Json::Obj(fields) => {
+            fields.shuffle(rng);
+            for (_, v) in fields {
+                shuffle_fields(v, rng);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                shuffle_fields(v, rng);
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded): a structured error naming a
+    /// known stage, never a panic.
+    #[test]
+    fn parse_request_survives_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_request(&line) {
+            prop_assert!(STAGES.contains(&e.stage), "unknown stage `{}`", e.stage);
+            // The error the daemon would write back is itself a valid
+            // schema-tagged JSONL response.
+            let resp = Response::from_request_error(&e).to_line();
+            let doc = parse_json(&resp).expect("error response must be valid JSON");
+            prop_assert_eq!(doc.get("schema").and_then(Json::as_str), Some(RESPONSE_SCHEMA));
+            prop_assert_eq!(doc.get("type").and_then(Json::as_str), Some("error"));
+        }
+    }
+
+    /// A valid line cut off anywhere (killed pipe, partial write) must
+    /// parse or error, never panic.
+    #[test]
+    fn parse_request_survives_truncation(cut in any::<usize>()) {
+        let line = sample_line();
+        let cut = cut % (line.len() + 1);
+        let truncated = &line[..cut];
+        match parse_request(truncated) {
+            Ok(req) if cut == line.len() => {
+                prop_assert_eq!(req.to_json().compact(), line.clone(), "full line must parse");
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    /// A valid line with a junk window spliced in — exercises parser
+    /// paths that pure byte soup rarely reaches (valid prefixes).
+    #[test]
+    fn parse_request_survives_splice(
+        at in any::<usize>(),
+        junk in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let line = sample_line();
+        let at = at % (line.len() + 1);
+        let spliced = format!(
+            "{}{}{}",
+            &line[..at],
+            String::from_utf8_lossy(&junk),
+            &line[at..]
+        );
+        if let Err(e) = parse_request(&spliced) {
+            prop_assert!(STAGES.contains(&e.stage), "unknown stage `{}`", e.stage);
+        }
+    }
+
+    /// Structurally valid JSON with hostile field values (wrong types,
+    /// absurd numbers) through every typed accessor.
+    #[test]
+    fn parse_request_survives_hostile_fields(
+        op in prop_oneof![Just("submit"), Just("cancel"), Just("status"), Just("shutdown"), Just("reboot")],
+        field in prop_oneof![
+            Just("kind"), Just("circuit"), Just("priority"), Just("deadline_ms"),
+            Just("params"), Just("id"), Just("tenant"), Just("mode"),
+        ],
+        value in prop_oneof![
+            Just(Json::Null),
+            Just(Json::Bool(true)),
+            any::<f64>().prop_map(Json::Num),
+            Just(Json::Arr(vec![Json::Num(1.0)])),
+            Just(Json::Str("\u{0}\\\"".into())),
+        ],
+    ) {
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(htforge::server::REQUEST_SCHEMA.into())),
+            ("op", Json::Str(op.into())),
+            ("id", Json::Str("j".into())),
+            ("circuit", Json::Str("c17".into())),
+            ("kind", Json::Str("simulate".into())),
+            (field, value),
+        ]);
+        if let Err(e) = parse_request(&doc.compact()) {
+            prop_assert!(STAGES.contains(&e.stage), "unknown stage `{}`", e.stage);
+        }
+    }
+
+    /// Lossless round-trip: serialize → parse reproduces the request
+    /// exactly, including every parameter.
+    #[test]
+    fn valid_requests_round_trip_losslessly(req in request_strategy()) {
+        let line = req.to_json().compact();
+        let parsed = parse_request(&line)
+            .unwrap_or_else(|e| panic!("round-trip parse failed on `{line}`: {e:?}"));
+        prop_assert_eq!(parsed, req);
+    }
+
+    /// Field order on the wire is irrelevant: shuffling every object's
+    /// fields (top level and nested `params`) parses to the same request.
+    #[test]
+    fn field_order_never_matters(req in request_strategy(), shuffle_seed in any::<u64>()) {
+        let canonical = req.to_json();
+        let mut shuffled = canonical.clone();
+        shuffle_fields(&mut shuffled, &mut StdRng::seed_from_u64(shuffle_seed));
+        let parsed = parse_request(&shuffled.compact())
+            .unwrap_or_else(|e| panic!("shuffled parse failed: {e:?}"));
+        prop_assert_eq!(parsed, req);
+    }
+}
+
+#[test]
+fn malformed_lines_each_get_one_error_response_from_a_live_server() {
+    use htforge::server::{Server, ServerConfig};
+
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let bad_lines = [
+        "",
+        "   ",
+        "{",
+        "null",
+        "[1,2,3]",
+        "{\"op\":\"submit\"}",
+        "{\"schema\":\"htforge.job_request/v9\",\"op\":\"status\"}",
+        "\u{7f}\u{1b}[2Jgarbage",
+    ];
+    for line in bad_lines {
+        server.handle_line(line);
+    }
+    // A good request after the barrage proves the session survived.
+    server.handle_line(
+        r#"{"schema":"htforge.job_request/v1","op":"submit","id":"ok","kind":"simulate","circuit":"c17","params":{"vectors":64}}"#,
+    );
+    server.request_shutdown(false);
+    let stats = server.join();
+    let responses: Vec<_> = rx.iter().collect();
+    let errors = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Error { .. }))
+        .count();
+    // Blank lines are skipped by the session reader, but handle_line
+    // sees them here as parse errors — every bad line answered.
+    assert_eq!(errors, bad_lines.len(), "{responses:?}");
+    assert_eq!(stats.completed, 1);
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r, Response::Result(jr) if jr.id == "ok")));
+}
