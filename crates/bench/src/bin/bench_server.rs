@@ -93,6 +93,44 @@ fn job_mix(quick: bool) -> Vec<JobSpec> {
     jobs
 }
 
+/// One simulate-only sub-run for the progress-streaming A/B: submits
+/// `jobs` small jobs with progress frames on or off and returns the
+/// terminal-response throughput in jobs/sec. Deliberately reports no
+/// status counts — the chaos CI greps pin the main run's exact
+/// `failed`/`degraded_responses` totals and must not match here.
+fn progress_ab_run(workers: usize, jobs: usize, progress: bool) -> f64 {
+    let (server, rx) = Server::start(ServerConfig {
+        workers,
+        progress,
+        ..ServerConfig::default()
+    });
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        server.handle(Request::Submit(Box::new(spec(
+            i,
+            JobKind::Simulate,
+            "c2670",
+            JobParams {
+                vectors: 4_096,
+                repeat: 16,
+                seed: i as u64 + 1,
+                ..JobParams::default()
+            },
+        ))));
+    }
+    let mut terminal = 0usize;
+    while terminal < jobs {
+        let resp = rx.recv().expect("A/B response stream closed early");
+        if matches!(resp, Response::Result(_)) {
+            terminal += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    server.request_shutdown(false);
+    server.join();
+    jobs as f64 / wall.max(1e-9)
+}
+
 #[derive(Default)]
 struct ClassRow {
     jobs: u64,
@@ -202,6 +240,31 @@ fn main() {
         ]));
     }
 
+    // Progress-streaming overhead A/B: identical simulate-only loads
+    // with frames on vs off, run as back-to-back pairs so machine
+    // drift cancels within a round, summarized by the median per-round
+    // on/off ratio (robust to a stray slow round on a shared runner).
+    // The bar is < 2% overhead, but the report just records the
+    // measurement — single-core CI runners are too noisy to gate on.
+    let ab_jobs = if quick { 60 } else { 120 };
+    let mut ratios = Vec::new();
+    let (mut on_jps, mut off_jps) = (0.0f64, 0.0f64);
+    // Round 0 is a warm-up for both arms (cache hot, pool spun up).
+    for round in 0..6 {
+        let on = progress_ab_run(workers, ab_jobs, true);
+        let off = progress_ab_run(workers, ab_jobs, false);
+        if round > 0 {
+            ratios.push(on / off.max(1e-9));
+            on_jps = on_jps.max(on);
+            off_jps = off_jps.max(off);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let overhead_pct = (1.0 - ratios[ratios.len() / 2]) * 100.0;
+    eprintln!(
+        "progress A/B: on {on_jps:.1} jobs/s | off {off_jps:.1} jobs/s | overhead {overhead_pct:.2}%"
+    );
+
     let doc = Json::obj(vec![
         ("schema", Json::Str("htforge.bench_server/v1".to_owned())),
         ("quick", Json::Bool(quick)),
@@ -230,6 +293,15 @@ fn main() {
             ]),
         ),
         ("classes", Json::Arr(class_rows)),
+        (
+            "progress_ab",
+            Json::obj(vec![
+                ("jobs_each", Json::Num(ab_jobs as f64)),
+                ("on_jobs_per_sec", Json::Num(on_jps)),
+                ("off_jobs_per_sec", Json::Num(off_jps)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
     ]);
     std::fs::write(OUT_PATH, format!("{}\n", doc.pretty())).expect("write BENCH_server.json");
     eprintln!(

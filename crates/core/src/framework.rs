@@ -19,6 +19,7 @@ use crate::compat::CompatGraph;
 use crate::error::InsertionError;
 use crate::insert::{insert_trojan_with, TrojanInstance};
 use crate::payload::{choose_payload, PayloadKind, PayloadStrategy};
+use crate::profile::PhaseProfileStore;
 use crate::trigger::TriggerPlan;
 
 /// User-facing configuration of the framework — the paper's inputs:
@@ -222,14 +223,16 @@ impl InsertionFramework {
         budget
             .check()
             .map_err(|_| budget_error(budget, "preprocess"))?;
-        // Staged split over rare / compat / clique / insertion. The
-        // weights solve the historical static chain (25% rare, 70% of
-        // the remainder compat, 60% of that remainder clique) so
-        // full-pressure behavior is unchanged — but a phase finishing
-        // early now donates its slack to every later phase instead of
-        // stranding it (each stage takes w_i / Σ_{j≥i} w_j of the time
-        // remaining at the moment it starts).
-        let mut stages = budget.staged(&[0.25, 0.52, 0.14, 0.09]);
+        // Staged split over rare / compat / clique / insertion. Weights
+        // come from the per-circuit-class profile store: an unprofiled
+        // class gets the historical static chain (25% rare, 70% of the
+        // remainder compat, 60% of that remainder clique); once this
+        // class has completed runs, the split tracks its measured phase
+        // costs. Either way a phase finishing early donates its slack
+        // to every later phase (each stage takes w_i / Σ_{j≥i} w_j of
+        // the time remaining at the moment it starts).
+        let stage_weights = PhaseProfileStore::global().stage_weights(nl.name());
+        let mut stages = budget.staged(&stage_weights);
 
         // Phase 0: combinational model.
         let t0 = htforge_obs::span("preprocess");
@@ -436,6 +439,10 @@ impl InsertionFramework {
             edges: graph.edge_count(),
             cliques: cliques.len(),
         };
+        // Feed the measured phase costs back into the profile store so
+        // the next run of this circuit class splits its budget by what
+        // the class actually costs instead of the static default.
+        PhaseProfileStore::global().record(nl.name(), &timings);
         Ok(InsertionOutcome {
             infected,
             rare_nodes: rare,

@@ -48,6 +48,7 @@ pub mod error;
 pub mod framework;
 pub mod insert;
 pub mod payload;
+pub mod profile;
 pub mod sequential_trigger;
 pub mod trigger;
 
@@ -59,6 +60,7 @@ pub use framework::{
 };
 pub use insert::TrojanInstance;
 pub use payload::{PayloadKind, PayloadStrategy};
+pub use profile::{PhaseProfileStore, DEFAULT_STAGE_WEIGHTS, STAGED_PHASES};
 pub use sequential_trigger::{
     insert_sequential_trojan, SequentialInfectedDesign, SequentialTrojan,
 };

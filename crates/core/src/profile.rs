@@ -1,0 +1,255 @@
+//! Per-circuit-class phase profiles: the measured replacement for the
+//! staged-budget weight heuristic.
+//!
+//! [`InsertionFramework::run_with_budget`](crate::InsertionFramework::run_with_budget)
+//! splits its deadline over the four budgeted phases with a
+//! [`StagedBudget`](htforge_obs::StagedBudget). The split used to be the
+//! static [`DEFAULT_STAGE_WEIGHTS`] chain; circuits whose cost profile
+//! deviates (a clique-bound s-series design, a compat-heavy multiplier)
+//! paid for the mismatch in premature phase degradations. The
+//! [`PhaseProfileStore`] closes the loop: every successful run feeds its
+//! [`PhaseTimings`] back in under a *circuit class* key (the netlist
+//! name), and the next run of that class draws its weights from the
+//! accumulated averages — so a campaign server grinding hundreds of
+//! jobs per circuit converges on the real cost structure, while a
+//! first-seen class still gets the historical default.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use htforge_obs::Json;
+
+use crate::framework::PhaseTimings;
+
+/// The budgeted phases, in stage order. (Preprocess and validation run
+/// outside the staged split: the former is sub-millisecond, the latter
+/// is never skipped under pressure.)
+pub const STAGED_PHASES: [&str; 4] = [
+    "rare_extraction",
+    "compat_graph",
+    "clique_enumeration",
+    "insertion",
+];
+
+/// The historical static weights, used until a class has been profiled:
+/// they solve the pre-`StagedBudget` chain (25 % rare, 70 % of the
+/// remainder compat, 60 % of that remainder clique).
+pub const DEFAULT_STAGE_WEIGHTS: [f64; 4] = [0.25, 0.52, 0.14, 0.09];
+
+/// Floor applied to every profiled weight so a phase that was trivially
+/// cheap on the profiled runs (a cache-warm compat graph, say) still
+/// gets a non-degenerate slice when circumstances change.
+const MIN_WEIGHT: f64 = 0.02;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassProfile {
+    runs: u64,
+    /// Accumulated per-phase seconds, [`STAGED_PHASES`] order.
+    totals_s: [f64; 4],
+}
+
+/// Accumulates per-class phase timings and serves profile-guided
+/// staged-budget weights. Thread-safe; the framework records into
+/// [`PhaseProfileStore::global`] and reads from it on the next run.
+#[derive(Debug, Default)]
+pub struct PhaseProfileStore {
+    classes: Mutex<HashMap<String, ClassProfile>>,
+}
+
+impl PhaseProfileStore {
+    /// A fresh, empty store (tests; production code uses
+    /// [`PhaseProfileStore::global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseProfileStore::default()
+    }
+
+    /// The process-wide store the framework feeds and consults.
+    pub fn global() -> &'static PhaseProfileStore {
+        static GLOBAL: OnceLock<PhaseProfileStore> = OnceLock::new();
+        GLOBAL.get_or_init(PhaseProfileStore::new)
+    }
+
+    /// Folds one run's timings into `class`'s profile.
+    pub fn record(&self, class: &str, timings: &PhaseTimings) {
+        let mut classes = self.classes.lock().expect("profile lock");
+        let profile = classes.entry(class.to_owned()).or_default();
+        profile.runs += 1;
+        for (slot, dur) in profile.totals_s.iter_mut().zip([
+            timings.rare_extraction,
+            timings.compat_graph,
+            timings.clique_enumeration,
+            timings.insertion,
+        ]) {
+            *slot += dur.as_secs_f64();
+        }
+    }
+
+    /// Runs recorded for `class` so far.
+    #[must_use]
+    pub fn runs(&self, class: &str) -> u64 {
+        self.classes
+            .lock()
+            .expect("profile lock")
+            .get(class)
+            .map_or(0, |p| p.runs)
+    }
+
+    /// The staged-budget weights for `class`: the normalized average
+    /// phase costs when the class has been profiled (each floored at
+    /// 2 % so no phase starves), [`DEFAULT_STAGE_WEIGHTS`] otherwise.
+    /// Always sums to 1.
+    #[must_use]
+    pub fn stage_weights(&self, class: &str) -> [f64; 4] {
+        let totals = {
+            let classes = self.classes.lock().expect("profile lock");
+            match classes.get(class) {
+                Some(p) if p.runs > 0 => p.totals_s,
+                _ => return DEFAULT_STAGE_WEIGHTS,
+            }
+        };
+        let sum: f64 = totals.iter().sum();
+        if sum <= 0.0 {
+            return DEFAULT_STAGE_WEIGHTS;
+        }
+        let mut weights = totals.map(|t| (t / sum).max(MIN_WEIGHT));
+        let norm: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= norm;
+        }
+        weights
+    }
+
+    /// Drops every accumulated profile (test hygiene).
+    pub fn clear(&self) {
+        self.classes.lock().expect("profile lock").clear();
+    }
+
+    /// The store as a JSON object, `class → {runs, weights}` — the
+    /// `budget_profiles` section of the campaign server's `metrics`
+    /// introspection response.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut entries: Vec<(String, Json)> = self
+            .classes
+            .lock()
+            .expect("profile lock")
+            .iter()
+            .map(|(class, profile)| {
+                let weights = self.weights_of(*profile);
+                (
+                    class.clone(),
+                    Json::obj(vec![
+                        ("runs", Json::Num(profile.runs as f64)),
+                        (
+                            "weights",
+                            Json::Arr(weights.iter().map(|&w| Json::Num(w)).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(entries)
+    }
+
+    fn weights_of(&self, profile: ClassProfile) -> [f64; 4] {
+        let sum: f64 = profile.totals_s.iter().sum();
+        if profile.runs == 0 || sum <= 0.0 {
+            return DEFAULT_STAGE_WEIGHTS;
+        }
+        let mut weights = profile.totals_s.map(|t| (t / sum).max(MIN_WEIGHT));
+        let norm: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= norm;
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn skewed_timings() -> PhaseTimings {
+        PhaseTimings {
+            preprocess: Duration::from_millis(1),
+            rare_extraction: Duration::from_millis(50),
+            compat_graph: Duration::from_millis(100),
+            clique_enumeration: Duration::from_millis(800),
+            insertion: Duration::from_millis(50),
+            validation: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn unprofiled_class_gets_the_static_default() {
+        let store = PhaseProfileStore::new();
+        assert_eq!(store.stage_weights("never_seen"), DEFAULT_STAGE_WEIGHTS);
+        assert_eq!(store.runs("never_seen"), 0);
+        let sum: f64 = DEFAULT_STAGE_WEIGHTS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_shift_toward_a_skewed_class_profile() {
+        // A clique-bound class: after profiling, clique_enumeration must
+        // dominate the split instead of its 14 % default.
+        let store = PhaseProfileStore::new();
+        store.record("skewy", &skewed_timings());
+        store.record("skewy", &skewed_timings());
+        assert_eq!(store.runs("skewy"), 2);
+        let w = store.stage_weights("skewy");
+        assert_ne!(w, DEFAULT_STAGE_WEIGHTS);
+        assert!(
+            w[2] > 0.7,
+            "clique phase is 800/1000 of the staged time: {w:?}"
+        );
+        assert!(w[2] > DEFAULT_STAGE_WEIGHTS[2]);
+        assert!(w[1] < DEFAULT_STAGE_WEIGHTS[1], "compat shrank: {w:?}");
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{w:?}");
+        // Other classes are unaffected.
+        assert_eq!(store.stage_weights("other"), DEFAULT_STAGE_WEIGHTS);
+    }
+
+    #[test]
+    fn every_weight_keeps_the_starvation_floor() {
+        let store = PhaseProfileStore::new();
+        let timings = PhaseTimings {
+            compat_graph: Duration::from_secs(100),
+            ..PhaseTimings::default()
+        };
+        store.record("lopsided", &timings);
+        let w = store.stage_weights("lopsided");
+        for (i, weight) in w.iter().enumerate() {
+            // MIN_WEIGHT is applied pre-normalization; with three
+            // floored phases the post-normalization floor is 0.02/1.06.
+            assert!(*weight >= 0.0188, "phase {i} starved: {w:?}");
+        }
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_profiles_fall_back_to_default() {
+        let store = PhaseProfileStore::new();
+        store.record("instant", &PhaseTimings::default());
+        assert_eq!(store.runs("instant"), 1);
+        assert_eq!(store.stage_weights("instant"), DEFAULT_STAGE_WEIGHTS);
+    }
+
+    #[test]
+    fn to_json_lists_classes_with_runs_and_weights() {
+        let store = PhaseProfileStore::new();
+        store.record("c17", &skewed_timings());
+        let doc = store.to_json();
+        let entry = doc.get("c17").expect("class entry");
+        assert_eq!(entry.get("runs").unwrap().as_u64(), Some(1));
+        let weights = entry.get("weights").unwrap().as_arr().unwrap();
+        assert_eq!(weights.len(), 4);
+        store.clear();
+        assert_eq!(store.runs("c17"), 0);
+    }
+}

@@ -40,6 +40,7 @@ pub const CATALOG: &[&str] = &[
     "checkpoint.write",
     "server.dispatch",
     "server.respond",
+    "server.progress",
 ];
 
 /// What an armed faultpoint does when hit.

@@ -16,6 +16,14 @@
 //! * **Run reports** ([`RunReport`]) — the `htforge.run_report/v1` JSON
 //!   artifact written per circuit by the benchmark binaries and
 //!   validated in CI by the `obs_validate` binary.
+//! * **Live telemetry plane** ([`TraceContext`], [`EventRing`],
+//!   [`frames`]) — stable trace ids that cross worker-pool dispatch
+//!   boundaries (adopt with [`Recorder::adopt_trace`]), a bounded
+//!   writer-never-blocks event ring sinks tail, per-thread span hooks
+//!   ([`install_span_hook`]) that stream phase progress even with the
+//!   recorder disabled, and the `htforge.metrics_snapshot/v1` /
+//!   `htforge.job_timeline/v1` / `htforge.job_progress/v1` schema
+//!   trio validated like run reports.
 //! * **Resilience substrate** ([`RunBudget`], [`DegradationNote`],
 //!   [`faultpoint!`], [`isolate`]) — cooperative deadlines and
 //!   cancellation, structured degradation records, named
@@ -42,12 +50,14 @@
 
 pub mod budget;
 pub mod faultpoint;
+pub mod frames;
 pub mod isolate;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod recorder;
 pub mod report;
+pub mod ring;
 pub mod table;
 
 use std::sync::OnceLock;
@@ -56,16 +66,23 @@ use std::time::Duration;
 pub use budget::{
     BudgetExceeded, BudgetTicker, CancelToken, DegradationNote, RunBudget, StagedBudget,
 };
+pub use frames::{
+    metrics_snapshot_json, validate_any_json, validate_any_str, validate_job_progress,
+    validate_job_timeline, validate_metrics_snapshot, JobTimeline, ProgressFrame, TimelinePhase,
+    JOB_PROGRESS_SCHEMA, JOB_TIMELINE_SCHEMA, METRICS_SNAPSHOT_SCHEMA, PROGRESS_EVENTS,
+};
 pub use isolate::{isolate, panic_message};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::ProgressReporter;
 pub use recorder::{
-    Event, InMemorySink, JsonlSink, MetricsSnapshot, Recorder, Sink, SpanGuard, SpanRecord,
+    install_span_hook, Event, InMemorySink, JsonlSink, MetricsSnapshot, Recorder, Sink, SpanEvent,
+    SpanGuard, SpanHook, SpanHookGuard, SpanRecord, TraceContext, TraceGuard,
 };
 pub use report::{
     validate_json, validate_str, write_atomic, HistogramReport, RunReport, SpanEntry, SCHEMA,
 };
+pub use ring::{EventRing, RingTail};
 pub use table::Table;
 
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();

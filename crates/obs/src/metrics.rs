@@ -234,6 +234,27 @@ impl HistogramSnapshot {
         }
         Some(self.max)
     }
+
+    /// The combined distribution of `self` and `other`, as if every
+    /// sample of both had been recorded into one histogram. Bucket
+    /// layouts are identical by construction, so the merge is an
+    /// element-wise sum; this is how per-shard histograms roll up into
+    /// one fleet-wide percentile view.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +332,87 @@ mod tests {
         let s = Histogram::new().snapshot();
         assert_eq!(s.mean(), None);
         assert_eq!(s.percentile(0.5), None);
+        // Every quantile of an empty distribution is None, including
+        // the boundary quantiles — no panic, no phantom zero.
+        assert_eq!(s.percentile(0.0), None);
+        assert_eq!(s.percentile(1.0), None);
+        assert_eq!(s.min, u64::MAX, "empty sentinel min");
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = Histogram::new();
+        h.record(37);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean(), Some(37.0));
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(p), Some(37), "p={p}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturation_clamps_to_observed_max() {
+        // Pile every sample into the very last sub-bucket: percentile
+        // lookups must come back clamped to the real min/max rather
+        // than a bucket midpoint beyond either.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(u64::MAX);
+        }
+        h.record(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1, "top bucket");
+        assert_eq!(s.min, u64::MAX - 1);
+        for p in [0.5, 0.9, 0.99, 1.0] {
+            let got = s.percentile(p).unwrap();
+            assert!(got >= s.min && got <= s.max, "p={p}: {got}");
+        }
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_is_recording_equivalence() {
+        // Low shard: 1..=100; high shard: 1_000_000..=1_000_100. The
+        // merged snapshot must agree with one histogram that saw both.
+        let low = Histogram::new();
+        let high = Histogram::new();
+        let both = Histogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+            both.record(v);
+        }
+        for v in 1_000_000..=1_000_100u64 {
+            high.record(v);
+            both.record(v);
+        }
+        let merged = low.snapshot().merge(&high.snapshot());
+        let oracle = both.snapshot();
+        assert_eq!(merged, oracle);
+        assert_eq!(merged.count, 201);
+        assert_eq!(merged.min, 1);
+        assert_eq!(merged.max, 1_000_100);
+        assert_eq!(merged.mean(), oracle.mean());
+        for p in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), oracle.percentile(p), "p={p}");
+        }
+        // The median straddles the gap: just inside the low range.
+        assert!(merged.percentile(0.25).unwrap() <= 100);
+        assert!(merged.percentile(0.75).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        for v in [3, 5, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let empty = Histogram::new().snapshot();
+        assert_eq!(s.merge(&empty), s);
+        assert_eq!(empty.merge(&s), s);
+        assert_eq!(empty.merge(&empty).percentile(0.5), None);
     }
 
     #[test]

@@ -19,13 +19,73 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write as _;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::ring::EventRing;
 use crate::table::Table;
+
+/// A trace identity that can cross thread boundaries by hand.
+///
+/// The thread-local span stack gives spans parents only within one
+/// thread. Work that hops a dispatch boundary (the campaign server's
+/// worker pool, scoped kernel workers) carries a `TraceContext` instead:
+/// the submitting side captures one, the executing side adopts it via
+/// [`Recorder::adopt_trace`], and every span the executing thread opens
+/// while the guard lives inherits the trace id (and, when `span_id` is
+/// non-zero, that span as its cross-thread parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Process-unique, non-zero trace id (zero never occurs in a root).
+    pub trace_id: u64,
+    /// The span to parent adopted spans under, or 0 for "trace only".
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// A fresh root context: a new process-unique trace id, no parent
+    /// span. Ids are a Weyl sequence through a splitmix64 finalizer,
+    /// seeded from the wall clock and pid, so two daemons started the
+    /// same nanosecond still diverge.
+    #[must_use]
+    pub fn new_root() -> Self {
+        static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+        let next = NEXT.get_or_init(|| {
+            let clock = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0x9e37_79b9_7f4a_7c15, |d| d.as_nanos() as u64);
+            AtomicU64::new(clock ^ u64::from(std::process::id()).rotate_left(32))
+        });
+        let raw = next.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let id = splitmix64(raw);
+        TraceContext {
+            trace_id: id.max(1),
+            span_id: 0,
+        }
+    }
+
+    /// The same trace, parenting adopted spans under `span_id`.
+    #[must_use]
+    pub fn with_span(self, span_id: u64) -> Self {
+        TraceContext { span_id, ..self }
+    }
+
+    /// The canonical 16-hex-digit rendering of the trace id.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// One completed span: a named, timed section of work, with its parent
 /// span (if any) for hierarchy reconstruction.
@@ -46,6 +106,11 @@ pub struct SpanRecord {
     /// the field entirely when empty so pre-attribute consumers see the
     /// exact old layout.
     pub attrs: Vec<(String, String)>,
+    /// The trace this span belongs to (inherited from the enclosing
+    /// span or an adopted [`TraceContext`]), or 0 when untraced. The
+    /// JSON encoding omits the field when 0, preserving the pre-trace
+    /// layout.
+    pub trace: u64,
 }
 
 /// A point-in-time copy of every registered metric.
@@ -97,6 +162,9 @@ impl Event {
                                 .collect(),
                         ),
                     ));
+                }
+                if s.trace != 0 {
+                    fields.push(("trace", Json::Str(format!("{:016x}", s.trace))));
                 }
                 Json::obj(fields)
             }
@@ -198,8 +266,96 @@ impl Sink for JsonlSink {
 }
 
 thread_local! {
-    /// Per-thread stack of open spans: `(recorder id, span id)`.
-    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread stack of open spans: `(recorder id, span id, trace id)`.
+    static SPAN_STACK: RefCell<Vec<(u64, u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread stack of adopted trace contexts (see
+    /// [`Recorder::adopt_trace`]): `(recorder id, context)`.
+    static TRACE_STACK: RefCell<Vec<(u64, TraceContext)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread span lifecycle hook (see [`install_span_hook`]).
+    static SPAN_HOOK: RefCell<Option<SpanHook>> = const { RefCell::new(None) };
+}
+
+/// A span lifecycle notification delivered to an installed [`SpanHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// The span just opened.
+    Enter,
+    /// The span just closed, after running for this long.
+    Exit(Duration),
+}
+
+/// A per-thread observer of span starts and ends, called with the span
+/// name. Unlike sinks it fires even while the recorder is **disabled** —
+/// it exists so live-progress plumbing (the campaign server streams
+/// phase frames from it) works without turning full span collection on.
+pub type SpanHook = Arc<dyn Fn(&str, SpanEvent)>;
+
+/// Installs `hook` as this thread's span hook for the guard's lifetime,
+/// restoring the previous hook (if any) on drop. Spans from every
+/// recorder on this thread fire it; the hook must not open spans itself.
+#[must_use]
+pub fn install_span_hook(hook: SpanHook) -> SpanHookGuard {
+    let prev = SPAN_HOOK.with(|h| h.borrow_mut().replace(hook));
+    SpanHookGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+fn current_span_hook() -> Option<SpanHook> {
+    SPAN_HOOK.with(|h| h.borrow().clone())
+}
+
+/// Uninstalls the hook installed by [`install_span_hook`] on drop.
+pub struct SpanHookGuard {
+    prev: Option<SpanHook>,
+    /// Thread-local state: the guard must drop on its install thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for SpanHookGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanHookGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for SpanHookGuard {
+    fn drop(&mut self) {
+        SPAN_HOOK.with(|h| *h.borrow_mut() = self.prev.take());
+    }
+}
+
+fn adopted_trace(rec: u64) -> Option<TraceContext> {
+    TRACE_STACK.with(|s| {
+        s.borrow()
+            .iter()
+            .rev()
+            .find(|&&(r, _)| r == rec)
+            .map(|&(_, ctx)| ctx)
+    })
+}
+
+/// Un-adopts a [`TraceContext`] (see [`Recorder::adopt_trace`]) on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    rec: u64,
+    ctx: TraceContext,
+    /// Thread-local state: the guard must drop on its adopt thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(r, ctx)| r == self.rec && ctx == self.ctx)
+            {
+                s.remove(pos);
+            }
+        });
+    }
 }
 
 static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
@@ -214,6 +370,7 @@ struct Inner {
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<Vec<SpanRecord>>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
+    ring: OnceLock<Arc<EventRing>>,
 }
 
 impl std::fmt::Debug for Inner {
@@ -253,6 +410,7 @@ impl Recorder {
                 histograms: Mutex::new(BTreeMap::new()),
                 spans: Mutex::new(Vec::new()),
                 sinks: Mutex::new(Vec::new()),
+                ring: OnceLock::new(),
             }),
         }
     }
@@ -343,15 +501,20 @@ impl Recorder {
         let start = Instant::now();
         let registered = if self.is_enabled() {
             let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
-            let parent = SPAN_STACK.with(|stack| {
+            let (parent, trace) = SPAN_STACK.with(|stack| {
                 let mut stack = stack.borrow_mut();
-                let parent = stack
+                let inherited = stack
                     .iter()
                     .rev()
-                    .find(|&&(rec, _)| rec == self.inner.id)
-                    .map(|&(_, span)| span);
-                stack.push((self.inner.id, id));
-                parent
+                    .find(|&&(rec, _, _)| rec == self.inner.id)
+                    .map(|&(_, span, trace)| (Some(span), trace));
+                let (parent, trace) = inherited.unwrap_or_else(|| {
+                    adopted_trace(self.inner.id).map_or((None, 0), |ctx| {
+                        ((ctx.span_id != 0).then_some(ctx.span_id), ctx.trace_id)
+                    })
+                });
+                stack.push((self.inner.id, id, trace));
+                (parent, trace)
             });
             Some(OpenSpan {
                 id,
@@ -359,15 +522,73 @@ impl Recorder {
                 name: name.to_owned(),
                 start_ns: self.now_ns(),
                 attrs: Vec::new(),
+                trace,
             })
         } else {
             None
         };
+        let hook = current_span_hook();
+        if let Some(hook) = &hook {
+            hook(name, SpanEvent::Enter);
+        }
         SpanGuard {
             recorder: self.clone(),
             start,
             open: registered,
+            hook: hook.map(|h| (h, name.to_owned())),
         }
+    }
+
+    /// Adopts `ctx` as the fallback trace context for spans this thread
+    /// opens on this recorder while the guard lives: a span with no
+    /// open enclosing span inherits `ctx.trace_id` (and parents under
+    /// `ctx.span_id` when non-zero). This is how a worker thread joins
+    /// the trace of the job that was dispatched to it.
+    #[must_use]
+    pub fn adopt_trace(&self, ctx: TraceContext) -> TraceGuard {
+        TRACE_STACK.with(|s| s.borrow_mut().push((self.inner.id, ctx)));
+        TraceGuard {
+            rec: self.inner.id,
+            ctx,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The trace context spans opened *now* on this thread would join:
+    /// the innermost open traced span, else the innermost adopted
+    /// context, else `None`. Capture this before handing work to
+    /// another thread, adopt it there.
+    #[must_use]
+    pub fn current_trace(&self) -> Option<TraceContext> {
+        let from_span = SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|&&(rec, _, trace)| rec == self.inner.id && trace != 0)
+                .map(|&(_, span, trace)| TraceContext {
+                    trace_id: trace,
+                    span_id: span,
+                })
+        });
+        from_span.or_else(|| adopted_trace(self.inner.id))
+    }
+
+    /// Installs (on first call) and returns the bounded event ring —
+    /// every event emitted to sinks is also pushed here, and readers
+    /// tail it without ever blocking the emitting thread. Subsequent
+    /// calls return the existing ring regardless of `capacity`.
+    pub fn install_ring(&self, capacity: usize) -> Arc<EventRing> {
+        self.inner
+            .ring
+            .get_or_init(|| Arc::new(EventRing::new(capacity)))
+            .clone()
+    }
+
+    /// The installed event ring, if any.
+    #[must_use]
+    pub fn ring(&self) -> Option<Arc<EventRing>> {
+        self.inner.ring.get().cloned()
     }
 
     fn end_span(&self, open: OpenSpan, dur: Duration) {
@@ -375,7 +596,7 @@ impl Recorder {
             let mut stack = stack.borrow_mut();
             if let Some(pos) = stack
                 .iter()
-                .rposition(|&(rec, span)| rec == self.inner.id && span == open.id)
+                .rposition(|&(rec, span, _)| rec == self.inner.id && span == open.id)
             {
                 stack.remove(pos);
             }
@@ -387,6 +608,7 @@ impl Recorder {
             start_ns: open.start_ns,
             dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
             attrs: open.attrs,
+            trace: open.trace,
         };
         self.inner
             .spans
@@ -397,6 +619,9 @@ impl Recorder {
     }
 
     fn emit(&self, event: &Event) {
+        if let Some(ring) = self.inner.ring.get() {
+            ring.push(event);
+        }
         for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
             sink.record(event);
         }
@@ -577,14 +802,23 @@ struct OpenSpan {
     name: String,
     start_ns: u64,
     attrs: Vec<(String, String)>,
+    trace: u64,
 }
 
 /// Guard for an open span; ends the span on drop.
-#[derive(Debug)]
 pub struct SpanGuard {
     recorder: Recorder,
     start: Instant,
     open: Option<OpenSpan>,
+    hook: Option<(SpanHook, String)>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("open", &self.open)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SpanGuard {
@@ -604,6 +838,7 @@ impl SpanGuard {
         if let Some(open) = self.open.take() {
             self.recorder.end_span(open, dur);
         }
+        self.fire_exit(dur);
         dur
     }
 
@@ -612,13 +847,21 @@ impl SpanGuard {
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
+
+    fn fire_exit(&mut self, dur: Duration) {
+        if let Some((hook, name)) = self.hook.take() {
+            hook(&name, SpanEvent::Exit(dur));
+        }
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        let dur = self.start.elapsed();
         if let Some(open) = self.open.take() {
-            self.recorder.end_span(open, self.start.elapsed());
+            self.recorder.end_span(open, dur);
         }
+        self.fire_exit(dur);
     }
 }
 
@@ -820,5 +1063,121 @@ mod tests {
         assert_eq!(format_ns(500), "0.5us");
         assert_eq!(format_ns(2_500_000), "2.50ms");
         assert_eq!(format_ns(3_200_000_000), "3.20s");
+    }
+
+    #[test]
+    fn root_trace_contexts_are_unique_and_nonzero() {
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.span_id, 0);
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn adopted_trace_crosses_the_dispatch_boundary() {
+        // The worker-pool shape: the submitting side mints a context,
+        // the executing thread adopts it, and every span it opens joins
+        // the trace — with the submit-side span as cross-thread parent.
+        let rec = Recorder::new();
+        rec.enable();
+        let submit = rec.span("submit");
+        let ctx = rec.current_trace(); // submit span is untraced: None
+        assert_eq!(ctx, None);
+        submit.finish();
+
+        let root = TraceContext::new_root();
+        let handle = std::thread::spawn({
+            let rec = rec.clone();
+            let ctx = root.with_span(7);
+            move || {
+                let _adopt = rec.adopt_trace(ctx);
+                assert_eq!(rec.current_trace(), Some(ctx));
+                let outer = rec.span("outer");
+                rec.span("inner").finish();
+                outer.finish();
+            }
+        });
+        handle.join().unwrap();
+
+        let spans = rec.spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.trace, root.trace_id);
+        assert_eq!(outer.parent, Some(7), "adopted span parents under ctx");
+        assert_eq!(inner.trace, root.trace_id, "children inherit the trace");
+        assert_eq!(inner.parent, Some(outer.id));
+        // The guard dropped: new spans on a fresh thread are untraced.
+        let json = Event::Span(outer.clone()).to_json();
+        assert_eq!(
+            json.get("trace").and_then(Json::as_str),
+            Some(root.hex().as_str())
+        );
+        let untraced = spans.iter().find(|s| s.name == "submit").unwrap();
+        assert!(Event::Span(untraced.clone())
+            .to_json()
+            .get("trace")
+            .is_none());
+    }
+
+    #[test]
+    fn trace_guard_restores_on_drop() {
+        let rec = Recorder::new();
+        rec.enable();
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        let _ga = rec.adopt_trace(a);
+        {
+            let _gb = rec.adopt_trace(b);
+            assert_eq!(rec.current_trace(), Some(b));
+        }
+        assert_eq!(rec.current_trace(), Some(a));
+        rec.span("traced").finish();
+        assert_eq!(rec.spans()[0].trace, a.trace_id);
+    }
+
+    #[test]
+    fn span_hook_fires_even_when_disabled() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let rec = Recorder::new(); // stays disabled
+        {
+            let seen = Arc::clone(&seen);
+            let _hook = install_span_hook(Arc::new(move |name: &str, ev: SpanEvent| {
+                seen.lock()
+                    .unwrap()
+                    .push((name.to_owned(), ev == SpanEvent::Enter));
+            }));
+            let sp = rec.span("phase");
+            rec.span("nested").finish();
+            sp.finish();
+        }
+        rec.span("after_uninstall").finish();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                ("phase".to_owned(), true),
+                ("nested".to_owned(), true),
+                ("nested".to_owned(), false),
+                ("phase".to_owned(), false),
+            ]
+        );
+        assert!(rec.spans().is_empty(), "hook must not enable recording");
+    }
+
+    #[test]
+    fn installed_ring_sees_emitted_events() {
+        let rec = Recorder::new();
+        rec.enable();
+        let ring = rec.install_ring(8);
+        rec.span("ringed").finish();
+        rec.emit_snapshot();
+        let tail = ring.tail_from(0);
+        assert_eq!(tail.events.len(), 2);
+        assert!(matches!(&tail.events[0].1, Event::Span(s) if s.name == "ringed"));
+        assert!(matches!(&tail.events[1].1, Event::Snapshot(_)));
+        // Same ring on re-install, regardless of capacity argument.
+        assert_eq!(rec.install_ring(1024).capacity(), 8);
     }
 }

@@ -22,11 +22,16 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use htforge_core::{PhaseProfileStore, STAGED_PHASES};
 use htforge_obs::faultpoint;
-use htforge_obs::{isolate, CancelToken, Json, RunBudget, RunReport, SpanEntry};
+use htforge_obs::{
+    install_span_hook, isolate, metrics_snapshot_json, CancelToken, JobTimeline, Json, RunBudget,
+    RunReport, SpanEntry, TraceContext,
+};
 
 use crate::cache::ProgramCache;
 use crate::exec::{execute, ExecOutcome};
+use crate::progress::ProgressEmitter;
 use crate::protocol::{parse_request, JobKind, JobResult, JobSpec, JobStatus, Request, Response};
 
 /// Server tuning knobs.
@@ -36,6 +41,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Tenant assigned to requests that do not name one.
     pub default_tenant: String,
+    /// Stream `htforge.job_progress/v1` frames for running jobs
+    /// (default on; the bench A/B flips this off to price the overhead).
+    pub progress: bool,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +51,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 0,
             default_tenant: "default".to_owned(),
+            progress: true,
         }
     }
 }
@@ -135,10 +144,24 @@ struct JobEntry {
     phase: Phase,
 }
 
+/// What one worker thread is doing right now (`status` introspection).
+#[derive(Debug, Clone)]
+enum WorkerState {
+    Idle,
+    Busy {
+        tenant: String,
+        id: String,
+        kind: JobKind,
+    },
+}
+
 struct QueuedJob {
     seq: u64,
     deadline: Option<Instant>,
     submitted: Instant,
+    /// Root trace context minted at submission; the worker adopts it so
+    /// every span, frame and report line of this job shares one id.
+    trace: TraceContext,
     spec: JobSpec,
 }
 
@@ -182,6 +205,7 @@ struct Inner {
     shutdown: Option<bool>,
     seq: u64,
     in_flight: usize,
+    worker_states: Vec<WorkerState>,
 }
 
 struct Core {
@@ -190,6 +214,7 @@ struct Core {
     cache: Arc<ProgramCache>,
     stats: Stats,
     tx: Sender<Response>,
+    progress_enabled: bool,
 }
 
 impl Core {
@@ -213,6 +238,7 @@ impl Core {
                 self.cancel(&tenant, &id);
             }
             Request::Status => self.send(Response::Status(self.status_body())),
+            Request::Metrics => self.send(Response::Metrics(self.metrics_body())),
             Request::Shutdown { drop_queued } => {
                 self.shutdown(drop_queued, true);
             }
@@ -244,6 +270,7 @@ impl Core {
         }
         let token = CancelToken::new();
         let now = Instant::now();
+        let trace = TraceContext::new_root();
         inner.jobs.insert(
             key,
             JobEntry {
@@ -257,15 +284,19 @@ impl Core {
             op: "submit".to_owned(),
             tenant: spec.tenant.clone(),
             id: Some(spec.id.clone()),
-            detail: vec![(
-                "queue_depth".to_owned(),
-                Json::Num((inner.queue.len() + 1) as f64),
-            )],
+            detail: vec![
+                (
+                    "queue_depth".to_owned(),
+                    Json::Num((inner.queue.len() + 1) as f64),
+                ),
+                ("trace".to_owned(), Json::Str(trace.hex())),
+            ],
         };
         inner.queue.push(QueuedJob {
             seq,
             deadline: spec.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
             submitted: now,
+            trace,
             spec,
         });
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -302,14 +333,19 @@ impl Core {
                     id: Some(id.to_owned()),
                     detail: vec![("state".to_owned(), Json::Str("queued".to_owned()))],
                 });
-                // The entry does not track the kind; recover it (and
-                // the queue latency) with one scan of the small heap.
-                let (kind, latency_ms) = inner
+                // The entry does not track the kind; recover it (plus
+                // the queue latency and trace) with one scan of the
+                // small heap.
+                let (kind, latency_ms, trace) = inner
                     .queue
                     .iter()
                     .find(|q| q.spec.tenant == tenant && q.spec.id == id)
-                    .map_or((JobKind::Simulate, 0.0), |q| {
-                        (q.spec.kind, q.submitted.elapsed().as_secs_f64() * 1e3)
+                    .map_or((JobKind::Simulate, 0.0, String::new()), |q| {
+                        (
+                            q.spec.kind,
+                            q.submitted.elapsed().as_secs_f64() * 1e3,
+                            q.trace.hex(),
+                        )
                     });
                 self.stats.count_terminal(JobStatus::Cancelled);
                 self.respond_terminal(JobResult {
@@ -321,6 +357,8 @@ impl Core {
                     result: None,
                     error: Some("cancelled while queued".to_owned()),
                     report: None,
+                    trace,
+                    timeline: None,
                 });
             }
             Phase::Running => {
@@ -347,6 +385,56 @@ impl Core {
         let s = self.stats.snapshot();
         let c = self.cache.stats();
         let inner = self.inner.lock().unwrap();
+        // Per-tenant load: running jobs from the worker states, queued
+        // jobs from one scan of the (small) heap.
+        let mut per_tenant: Vec<(String, u64, u64)> = Vec::new();
+        let mut bump = |tenant: &str, running: u64, queued: u64| match per_tenant
+            .iter_mut()
+            .find(|(t, _, _)| t == tenant)
+        {
+            Some((_, r, q)) => {
+                *r += running;
+                *q += queued;
+            }
+            None => per_tenant.push((tenant.to_owned(), running, queued)),
+        };
+        let workers: Vec<Json> = inner
+            .worker_states
+            .iter()
+            .map(|w| match w {
+                WorkerState::Idle => Json::obj(vec![("state", Json::Str("idle".into()))]),
+                WorkerState::Busy { tenant, id, kind } => {
+                    bump(tenant, 1, 0);
+                    Json::obj(vec![
+                        ("state", Json::Str("busy".into())),
+                        ("tenant", Json::Str(tenant.clone())),
+                        ("id", Json::Str(id.clone())),
+                        ("kind", Json::Str(kind.as_str().into())),
+                    ])
+                }
+            })
+            .collect();
+        for q in &inner.queue {
+            let key = q.spec.key();
+            if matches!(inner.jobs.get(&key), Some(e) if e.phase == Phase::Queued) {
+                bump(&q.spec.tenant, 0, 1);
+            }
+        }
+        per_tenant.sort_by(|a, b| a.0.cmp(&b.0));
+        let tenants = Json::Obj(
+            per_tenant
+                .into_iter()
+                .map(|(tenant, running, queued)| {
+                    (
+                        tenant,
+                        Json::obj(vec![
+                            ("in_flight", Json::Num(running as f64)),
+                            ("queued", Json::Num(queued as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         Json::obj(vec![
             ("queue_depth", Json::Num(inner.queue.len() as f64)),
             ("jobs_in_flight", Json::Num(inner.in_flight as f64)),
@@ -360,8 +448,34 @@ impl Core {
             ("cache_misses", Json::Num(c.misses as f64)),
             ("cache_compiles", Json::Num(c.compiles as f64)),
             ("cache_hit_rate", Json::Num(self.cache.hit_rate())),
+            ("workers", Json::Arr(workers)),
+            ("per_tenant", tenants),
             ("shutting_down", Json::Bool(inner.shutdown.is_some())),
         ])
+    }
+
+    /// The `metrics` introspection body: a full
+    /// `htforge.metrics_snapshot/v1` of the process-wide recorder
+    /// (per-class latency histograms included), the staged-budget
+    /// profile store, and event-ring statistics when a ring is
+    /// installed.
+    fn metrics_body(&self) -> Json {
+        let snapshot = htforge_obs::global().snapshot();
+        let mut fields = vec![
+            ("snapshot", metrics_snapshot_json(&snapshot)),
+            ("budget_profiles", PhaseProfileStore::global().to_json()),
+        ];
+        if let Some(ring) = htforge_obs::global().ring() {
+            fields.push((
+                "ring",
+                Json::obj(vec![
+                    ("capacity", Json::Num(ring.capacity() as f64)),
+                    ("events", Json::Num(ring.head() as f64)),
+                    ("dropped", Json::Num(ring.dropped() as f64)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Initiates shutdown. Idempotent; only the first call acks.
@@ -399,6 +513,8 @@ impl Core {
                         result: None,
                         error: Some("dropped at shutdown".to_owned()),
                         report: None,
+                        trace: q.trace.hex(),
+                        timeline: None,
                     });
                 }
             }
@@ -435,7 +551,7 @@ impl Core {
         }
     }
 
-    fn worker_loop(self: &Arc<Self>) {
+    fn worker_loop(self: &Arc<Self>, index: usize) {
         loop {
             let popped = {
                 let mut inner = self.inner.lock().unwrap();
@@ -447,6 +563,11 @@ impl Core {
                                 entry.phase = Phase::Running;
                                 let token = entry.token.clone();
                                 inner.in_flight += 1;
+                                inner.worker_states[index] = WorkerState::Busy {
+                                    tenant: q.spec.tenant.clone(),
+                                    id: q.spec.id.clone(),
+                                    kind: q.spec.kind,
+                                };
                                 self.mirror_gauges(&inner);
                                 break Some((q, token));
                             }
@@ -466,26 +587,59 @@ impl Core {
                 }
             };
             let Some((q, token)) = popped else { return };
-            self.run_job(q, token);
+            self.run_job(q, token, index);
         }
     }
 
-    fn run_job(&self, q: QueuedJob, token: CancelToken) {
+    /// The progress emitter for one popped job: live when the config
+    /// streams progress, inert otherwise. Staged-budget weights come
+    /// from the job's circuit-class profile so phase ETAs match the
+    /// split the framework will actually use.
+    fn emitter_for(&self, q: &QueuedJob) -> ProgressEmitter {
+        if !self.progress_enabled {
+            return ProgressEmitter::disabled();
+        }
+        let weights = match q.spec.kind {
+            JobKind::Insert | JobKind::Detect => {
+                let class = q.spec.circuit.label();
+                STAGED_PHASES
+                    .iter()
+                    .map(|p| (*p).to_owned())
+                    .zip(PhaseProfileStore::global().stage_weights(&class))
+                    .collect()
+            }
+            JobKind::Simulate | JobKind::Grade => Vec::new(),
+        };
+        ProgressEmitter::new(
+            self.tx.clone(),
+            q.spec.tenant.clone(),
+            q.spec.id.clone(),
+            q.spec.kind,
+            q.trace.hex(),
+            weights,
+        )
+    }
+
+    fn run_job(&self, q: QueuedJob, token: CancelToken, index: usize) {
         let started = Instant::now();
         let budget = RunBudget::new(q.deadline, token);
         let spec = &q.spec;
+        let trace = q.trace.hex();
+        let progress = Arc::new(self.emitter_for(&q));
+        // Everything this worker records — framework spans included —
+        // correlates to the job's root trace; the span hook turns the
+        // pipeline phase spans into streamed progress frames even when
+        // the recorder itself is disabled.
+        let _trace_guard = htforge_obs::global().adopt_trace(q.trace);
+        let _hook_guard = progress
+            .is_enabled()
+            .then(|| install_span_hook(progress.span_hook()));
         // `isolate` turns a panicking job — including an armed
         // `server.dispatch:panic` — into a `failed` response; the
         // worker and its siblings keep serving.
         let outcome = isolate("server.dispatch", || {
             if faultpoint::fire("server.dispatch") {
-                return ExecOutcome {
-                    status: JobStatus::Failed,
-                    result: None,
-                    error: Some("injected dispatch fault".to_owned()),
-                    degradations: Vec::new(),
-                    counters: Vec::new(),
-                };
+                return ExecOutcome::dispatch_failure("injected dispatch fault".to_owned());
             }
             match self.cache.get_or_compile(&spec.circuit) {
                 Ok((circuit, hit)) => {
@@ -495,27 +649,21 @@ impl Core {
                         "server.cache_misses"
                     })
                     .incr();
-                    execute(spec, &circuit, &self.cache, &budget)
+                    execute(spec, &circuit, &self.cache, &budget, &progress)
                 }
-                Err(e) => ExecOutcome {
-                    status: JobStatus::Failed,
-                    result: None,
-                    error: Some(format!("compile: {e}")),
-                    degradations: Vec::new(),
-                    counters: Vec::new(),
-                },
+                Err(e) => ExecOutcome::dispatch_failure(format!("compile: {e}")),
             }
         })
-        .unwrap_or_else(|panic_msg| ExecOutcome {
-            status: JobStatus::Failed,
-            result: None,
-            error: Some(panic_msg),
-            degradations: Vec::new(),
-            counters: Vec::new(),
-        });
+        .unwrap_or_else(ExecOutcome::dispatch_failure);
 
         let latency_ms = q.submitted.elapsed().as_secs_f64() * 1e3;
-        let report = job_report(spec, &outcome, started.elapsed(), latency_ms);
+        // Per-class latency distributions: the `metrics` op reports
+        // percentiles per job kind from these.
+        htforge_obs::histogram(&format!("server.latency_ms.{}", spec.kind.as_str()))
+            .record(latency_ms.max(0.0) as u64);
+        let timeline = (!outcome.phases.is_empty())
+            .then(|| JobTimeline::from_durations(&trace, &outcome.phases).to_json());
+        let report = job_report(spec, &outcome, started.elapsed(), latency_ms, &trace);
         self.stats.count_terminal(outcome.status);
         self.respond_terminal(JobResult {
             tenant: spec.tenant.clone(),
@@ -526,11 +674,14 @@ impl Core {
             result: outcome.result,
             error: outcome.error,
             report: Some(report.to_json()),
+            trace,
+            timeline,
         });
 
         let mut inner = self.inner.lock().unwrap();
         inner.jobs.remove(&q.spec.key());
         inner.in_flight -= 1;
+        inner.worker_states[index] = WorkerState::Idle;
         self.mirror_gauges(&inner);
     }
 }
@@ -545,15 +696,39 @@ fn normalize(tenant: String, default_tenant: &str) -> String {
 
 /// Builds the per-job `htforge.run_report/v1` artifact. Reports are
 /// assembled from the job's own outcome (not the global recorder, whose
-/// spans would interleave concurrent jobs).
+/// spans would interleave concurrent jobs); the observed phases become
+/// child spans of the root `server.job` span, so a campaign is
+/// reconstructable per-phase from the JSONL stream alone.
 fn job_report(
     spec: &JobSpec,
     outcome: &ExecOutcome,
     ran_for: Duration,
     latency_ms: f64,
+    trace: &str,
 ) -> RunReport {
     let mut counters = outcome.counters.clone();
     counters.sort();
+    let mut spans = vec![SpanEntry {
+        id: 0,
+        parent: None,
+        name: "server.job".to_owned(),
+        start_us: 0.0,
+        dur_us: ran_for.as_secs_f64() * 1e6,
+        attrs: vec![("kind".to_owned(), spec.kind.as_str().to_owned())],
+    }];
+    let mut start_us = 0.0;
+    for (i, (phase, dur_ms)) in outcome.phases.iter().enumerate() {
+        let dur_us = dur_ms * 1e3;
+        spans.push(SpanEntry {
+            id: i as u64 + 1,
+            parent: Some(0),
+            name: phase.clone(),
+            start_us,
+            dur_us,
+            attrs: Vec::new(),
+        });
+        start_us += dur_us;
+    }
     RunReport {
         name: format!("server_{}_{}", spec.kind.as_str(), spec.circuit.label()),
         meta: vec![
@@ -566,15 +741,9 @@ fn job_report(
                 Json::Str(outcome.status.as_str().to_owned()),
             ),
             ("latency_ms".to_owned(), Json::Num(latency_ms)),
+            ("trace".to_owned(), Json::Str(trace.to_owned())),
         ],
-        spans: vec![SpanEntry {
-            id: 0,
-            parent: None,
-            name: "server.job".to_owned(),
-            start_us: 0.0,
-            dur_us: ran_for.as_secs_f64() * 1e6,
-            attrs: vec![("kind".to_owned(), spec.kind.as_str().to_owned())],
-        }],
+        spans,
         counters,
         gauges: Vec::new(),
         histograms: Vec::new(),
@@ -615,6 +784,7 @@ impl Server {
         cache: Arc<ProgramCache>,
     ) -> (Server, Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
+        let worker_count = config.resolved_workers();
         let core = Arc::new(Core {
             inner: Mutex::new(Inner {
                 queue: BinaryHeap::new(),
@@ -622,18 +792,20 @@ impl Server {
                 shutdown: None,
                 seq: 0,
                 in_flight: 0,
+                worker_states: vec![WorkerState::Idle; worker_count],
             }),
             cv: Condvar::new(),
             cache,
             stats: Stats::default(),
             tx,
+            progress_enabled: config.progress,
         });
-        let workers = (0..config.resolved_workers())
+        let workers = (0..worker_count)
             .map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("htforge-server-{i}"))
-                    .spawn(move || core.worker_loop())
+                    .spawn(move || core.worker_loop(i))
                     .expect("spawn worker")
             })
             .collect();

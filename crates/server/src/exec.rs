@@ -7,9 +7,12 @@
 //! platform-stable FNV-1a digest so the concurrency differential suite
 //! can assert concurrent ≡ sequential byte-for-byte.
 
+use std::time::Instant;
+
 use htforge_atpg::{all_faults, fault_simulate, PodemConfig};
 use htforge_core::{
     InsertionConfig, InsertionError, InsertionFramework, InsertionOutcome, PayloadKind,
+    PhaseTimings,
 };
 use htforge_detect::{DetectionScheme, MeroDetection, NdAtpgDetection, RandomDetection};
 use htforge_netlist::bench;
@@ -17,6 +20,7 @@ use htforge_obs::{BudgetExceeded, DegradationNote, Json, RunBudget};
 use htforge_sim::PatternSet;
 
 use crate::cache::{CompiledCircuit, ProgramCache};
+use crate::progress::ProgressEmitter;
 use crate::protocol::{fnv1a, fnv1a_word, JobKind, JobSpec, JobStatus};
 
 /// Patterns per simulate chunk: small enough that the inter-chunk
@@ -37,6 +41,10 @@ pub struct ExecOutcome {
     pub degradations: Vec<DegradationNote>,
     /// Job-scoped counters for the per-job run report.
     pub counters: Vec<(String, u64)>,
+    /// Observed `(phase, dur_ms)` pairs in execution order — the
+    /// terminal response's `htforge.job_timeline/v1` and the report's
+    /// per-phase child spans.
+    pub phases: Vec<(String, f64)>,
 }
 
 impl ExecOutcome {
@@ -47,6 +55,7 @@ impl ExecOutcome {
             error: None,
             degradations: Vec::new(),
             counters: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -57,7 +66,15 @@ impl ExecOutcome {
             error: Some(error.into()),
             degradations: Vec::new(),
             counters: Vec::new(),
+            phases: Vec::new(),
         }
+    }
+
+    /// A `failed` outcome minted by the dispatch path (injected
+    /// faults, compile errors, isolated panics).
+    #[must_use]
+    pub fn dispatch_failure(error: String) -> Self {
+        ExecOutcome::terminal(JobStatus::Failed, error)
     }
 
     fn budget(e: BudgetExceeded) -> Self {
@@ -70,22 +87,45 @@ impl ExecOutcome {
     }
 }
 
-/// Runs `job` on its compiled circuit. Never panics out (panics are the
-/// caller's `isolate` responsibility); every budget trip maps to a
-/// `Timeout`/`Cancelled` outcome.
+/// Runs `job` on its compiled circuit, streaming progress frames as
+/// phases advance. Never panics out (panics are the caller's `isolate`
+/// responsibility); every budget trip maps to a `Timeout`/`Cancelled`
+/// outcome.
 #[must_use]
 pub fn execute(
     job: &JobSpec,
     circuit: &CompiledCircuit,
     cache: &ProgramCache,
     budget: &RunBudget,
+    progress: &ProgressEmitter,
 ) -> ExecOutcome {
-    match job.kind {
-        JobKind::Simulate => exec_simulate(job, circuit, budget),
+    let mut outcome = match job.kind {
+        JobKind::Simulate => exec_simulate(job, circuit, budget, progress),
         JobKind::Insert => exec_insert(job, circuit, budget),
-        JobKind::Grade => exec_grade(job, circuit, cache, budget),
-        JobKind::Detect => exec_detect(job, circuit, cache, budget),
+        JobKind::Grade => exec_grade(job, circuit, cache, budget, progress),
+        JobKind::Detect => exec_detect(job, circuit, cache, budget, progress),
+    };
+    // Degradation decisions surface as frames before the terminal
+    // response (insertion collects them internally, so "as they
+    // happen" is the moment the pipeline hands them back).
+    for note in &outcome.degradations {
+        progress.degraded(&note.phase, &format!("{}: {}", note.action, note.detail));
     }
+    outcome.phases.retain(|(_, dur)| *dur >= 0.0);
+    outcome
+}
+
+/// The insertion pipeline's timings as ordered `(phase, dur_ms)` pairs.
+fn timing_phases(t: &PhaseTimings) -> Vec<(String, f64)> {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    vec![
+        ("preprocess".to_owned(), ms(t.preprocess)),
+        ("rare_extraction".to_owned(), ms(t.rare_extraction)),
+        ("compat_graph".to_owned(), ms(t.compat_graph)),
+        ("clique_enumeration".to_owned(), ms(t.clique_enumeration)),
+        ("insertion".to_owned(), ms(t.insertion)),
+        ("validation".to_owned(), ms(t.validation)),
+    ]
 }
 
 /// Chunked bit-parallel simulation over `repeat × vectors` random
@@ -93,7 +133,12 @@ pub fn execute(
 /// is truncated and refilled per chunk (the `PatternSet` reuse path the
 /// tail-masking hardening pins), and the digest is independent of
 /// chunking because each chunk's seed derives from its global index.
-fn exec_simulate(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -> ExecOutcome {
+fn exec_simulate(
+    job: &JobSpec,
+    circuit: &CompiledCircuit,
+    budget: &RunBudget,
+    progress: &ProgressEmitter,
+) -> ExecOutcome {
     let p = &job.params;
     let total = p.vectors.saturating_mul(p.repeat);
     let num_inputs = circuit.comb.inputs().len();
@@ -102,6 +147,8 @@ fn exec_simulate(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -
     let mut ones: u64 = 0;
     let mut chunks: u64 = 0;
     let mut done = 0usize;
+    let phase_start = Instant::now();
+    progress.phase_enter("simulate");
     while done < total {
         if let Err(e) = budget.check() {
             return ExecOutcome::budget(e);
@@ -125,7 +172,14 @@ fn exec_simulate(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -
         }
         done += chunk;
         chunks += 1;
+        // No percent frame for the final chunk: `phase_complete`
+        // follows immediately and says the same thing in one send.
+        if done < total {
+            progress.percent("simulate", done as f64 / total.max(1) as f64 * 100.0);
+        }
     }
+    let dur_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+    progress.phase_complete("simulate", dur_ms);
     let mut out = ExecOutcome::done(Json::obj(vec![
         ("digest", Json::Str(format!("{digest:016x}"))),
         ("vectors", Json::Num(total as f64)),
@@ -135,6 +189,7 @@ fn exec_simulate(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -
         ("server.sim_chunks".to_owned(), chunks),
         ("server.sim_vectors".to_owned(), total as u64),
     ];
+    out.phases = vec![("simulate".to_owned(), dur_ms)];
     out
 }
 
@@ -156,7 +211,7 @@ fn insertion_outcome(
     job: &JobSpec,
     circuit: &CompiledCircuit,
     budget: &RunBudget,
-) -> Result<InsertionOutcome, ExecOutcome> {
+) -> Result<InsertionOutcome, Box<ExecOutcome>> {
     framework_for(job)
         .run_with_budget(&circuit.golden, budget)
         .map_err(|e| match e {
@@ -167,6 +222,7 @@ fn insertion_outcome(
             InsertionError::Cancelled => ExecOutcome::terminal(JobStatus::Cancelled, "cancelled"),
             other => ExecOutcome::terminal(JobStatus::Failed, other.to_string()),
         })
+        .map_err(Box::new)
 }
 
 /// Digest of a set of infected designs: FNV over the written `.bench`
@@ -182,7 +238,7 @@ fn designs_digest(outcome: &InsertionOutcome) -> u64 {
 fn exec_insert(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -> ExecOutcome {
     let outcome = match insertion_outcome(job, circuit, budget) {
         Ok(o) => o,
-        Err(terminal) => return terminal,
+        Err(terminal) => return *terminal,
     };
     let digest = designs_digest(&outcome);
     let mut out = ExecOutcome::done(Json::obj(vec![
@@ -201,6 +257,7 @@ fn exec_insert(job: &JobSpec, circuit: &CompiledCircuit, budget: &RunBudget) -> 
         "server.insert_instances".to_owned(),
         outcome.infected.len() as u64,
     )];
+    out.phases = timing_phases(&outcome.timings);
     out
 }
 
@@ -214,30 +271,55 @@ fn scheme_for(job: &JobSpec) -> Box<dyn DetectionScheme> {
     }
 }
 
+/// Times one grade/detect sub-phase, streaming enter/complete frames
+/// and appending to the phases list.
+fn timed_phase<T>(
+    progress: &ProgressEmitter,
+    phases: &mut Vec<(String, f64)>,
+    name: &str,
+    f: impl FnOnce() -> T,
+) -> T {
+    progress.phase_enter(name);
+    let start = Instant::now();
+    let value = f();
+    let dur_ms = start.elapsed().as_secs_f64() * 1e3;
+    progress.phase_complete(name, dur_ms);
+    phases.push((name.to_owned(), dur_ms));
+    value
+}
+
 fn exec_grade(
     job: &JobSpec,
     circuit: &CompiledCircuit,
     cache: &ProgramCache,
     budget: &RunBudget,
+    progress: &ProgressEmitter,
 ) -> ExecOutcome {
     let p = &job.params;
+    let mut phases = Vec::new();
     if let Err(e) = budget.check() {
         return ExecOutcome::budget(e);
     }
-    let rare = match cache.rare_profile(circuit, p.theta, p.vectors, p.seed) {
+    let rare = match timed_phase(progress, &mut phases, "rare_profile", || {
+        cache.rare_profile(circuit, p.theta, p.vectors, p.seed)
+    }) {
         Ok(r) => r,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e),
     };
     let scheme = scheme_for(job);
-    let tests = match scheme.generate_tests(&circuit.comb, &rare) {
+    let tests = match timed_phase(progress, &mut phases, "test_generation", || {
+        scheme.generate_tests(&circuit.comb, &rare)
+    }) {
         Ok(t) => t,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e.to_string()),
     };
     if let Err(e) = budget.check() {
         return ExecOutcome::budget(e);
     }
-    let faults = all_faults(&circuit.comb);
-    let report = match fault_simulate(&circuit.comb, &faults, &tests) {
+    let report = match timed_phase(progress, &mut phases, "fault_simulation", || {
+        let faults = all_faults(&circuit.comb);
+        fault_simulate(&circuit.comb, &faults, &tests)
+    }) {
         Ok(r) => r,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e.to_string()),
     };
@@ -249,6 +331,7 @@ fn exec_grade(
         ("coverage_pct", Json::Num(report.coverage())),
     ]));
     out.counters = vec![("server.grade_tests".to_owned(), tests.len() as u64)];
+    out.phases = phases;
     out
 }
 
@@ -259,29 +342,36 @@ fn exec_detect(
     circuit: &CompiledCircuit,
     cache: &ProgramCache,
     budget: &RunBudget,
+    progress: &ProgressEmitter,
 ) -> ExecOutcome {
     let p = &job.params;
     let outcome = match insertion_outcome(job, circuit, budget) {
         Ok(o) => o,
-        Err(terminal) => return terminal,
+        Err(terminal) => return *terminal,
     };
+    let mut phases = timing_phases(&outcome.timings);
     if let Err(e) = budget.check() {
         return ExecOutcome::budget(e);
     }
-    let rare = match cache.rare_profile(circuit, p.theta, p.vectors, p.seed) {
+    let rare = match timed_phase(progress, &mut phases, "rare_profile", || {
+        cache.rare_profile(circuit, p.theta, p.vectors, p.seed)
+    }) {
         Ok(r) => r,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e),
     };
     let scheme = scheme_for(job);
-    let tests = match scheme.generate_tests(&circuit.comb, &rare) {
+    let tests = match timed_phase(progress, &mut phases, "test_generation", || {
+        scheme.generate_tests(&circuit.comb, &rare)
+    }) {
         Ok(t) => t,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e.to_string()),
     };
     if let Err(e) = budget.check() {
         return ExecOutcome::budget(e);
     }
-    let report = match htforge_detect::evaluate_designs(&circuit.golden, &outcome.infected, &tests)
-    {
+    let report = match timed_phase(progress, &mut phases, "evaluation", || {
+        htforge_detect::evaluate_designs(&circuit.golden, &outcome.infected, &tests)
+    }) {
         Ok(r) => r,
         Err(e) => return ExecOutcome::terminal(JobStatus::Failed, e.to_string()),
     };
@@ -304,6 +394,7 @@ fn exec_detect(
         "server.detect_instances".to_owned(),
         outcome.infected.len() as u64,
     )];
+    out.phases = phases;
     out
 }
 
@@ -355,8 +446,14 @@ mod tests {
                 ..JobParams::default()
             },
         );
-        let a = execute(&one, &c17, &cache, &budget);
-        let b = execute(&repeated, &c17, &cache, &budget);
+        let a = execute(&one, &c17, &cache, &budget, &ProgressEmitter::disabled());
+        let b = execute(
+            &repeated,
+            &c17,
+            &cache,
+            &budget,
+            &ProgressEmitter::disabled(),
+        );
         assert_eq!(a.status, JobStatus::Done);
         assert_eq!(
             a.result.as_ref().unwrap().get("digest"),
@@ -370,7 +467,13 @@ mod tests {
                 ..JobParams::default()
             },
         );
-        let c = execute(&other_seed, &c17, &cache, &budget);
+        let c = execute(
+            &other_seed,
+            &c17,
+            &cache,
+            &budget,
+            &ProgressEmitter::disabled(),
+        );
         assert_ne!(
             a.result.as_ref().unwrap().get("digest"),
             c.result.as_ref().unwrap().get("digest")
@@ -384,7 +487,7 @@ mod tests {
         token.cancel();
         let budget = RunBudget::new(None, token);
         let spec = job(JobKind::Simulate, JobParams::default());
-        let out = execute(&spec, &c17, &cache, &budget);
+        let out = execute(&spec, &c17, &cache, &budget, &ProgressEmitter::disabled());
         assert_eq!(out.status, JobStatus::Cancelled);
         assert!(out.result.is_none());
     }
@@ -399,12 +502,24 @@ mod tests {
             tests: 64,
             ..JobParams::default()
         };
-        let g = execute(&job(JobKind::Grade, params.clone()), &c17, &cache, &budget);
+        let g = execute(
+            &job(JobKind::Grade, params.clone()),
+            &c17,
+            &cache,
+            &budget,
+            &ProgressEmitter::disabled(),
+        );
         assert_eq!(g.status, JobStatus::Done, "{:?}", g.error);
         let result = g.result.unwrap();
         assert!(result.get("coverage_pct").unwrap().as_f64().unwrap() > 0.0);
 
-        let d = execute(&job(JobKind::Detect, params), &c17, &cache, &budget);
+        let d = execute(
+            &job(JobKind::Detect, params),
+            &c17,
+            &cache,
+            &budget,
+            &ProgressEmitter::disabled(),
+        );
         assert_eq!(d.status, JobStatus::Done, "{:?}", d.error);
         let result = d.result.unwrap();
         assert_eq!(result.get("instances").unwrap().as_f64(), Some(1.0));
@@ -423,8 +538,8 @@ mod tests {
             ..JobParams::default()
         };
         let spec = job(JobKind::Insert, params);
-        let a = execute(&spec, &c17, &cache, &budget);
-        let b = execute(&spec, &c17, &cache, &budget);
+        let a = execute(&spec, &c17, &cache, &budget, &ProgressEmitter::disabled());
+        let b = execute(&spec, &c17, &cache, &budget, &ProgressEmitter::disabled());
         assert_eq!(a.status, JobStatus::Done, "{:?}", a.error);
         assert_eq!(
             a.result.as_ref().unwrap().get("digest"),

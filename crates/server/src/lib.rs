@@ -40,14 +40,16 @@
 pub mod cache;
 pub mod core;
 pub mod exec;
+pub mod progress;
 pub mod protocol;
 pub mod session;
 
 pub use cache::{CacheStats, CompiledCircuit, ProgramCache};
 pub use core::{Server, ServerConfig, SessionControl, StatsSnapshot};
 pub use exec::{execute, ExecOutcome, SIM_CHUNK};
+pub use progress::{ProgressEmitter, PIPELINE_PHASES};
 pub use protocol::{
-    parse_request, CircuitSource, JobKind, JobParams, JobResult, JobSpec, JobStatus, Request,
-    RequestError, Response, REQUEST_SCHEMA, RESPONSE_SCHEMA,
+    parse_request, CircuitSource, JobKind, JobParams, JobProgress, JobResult, JobSpec, JobStatus,
+    Request, RequestError, Response, REQUEST_SCHEMA, RESPONSE_SCHEMA,
 };
 pub use session::{serve, serve_unix_socket, SessionSummary};

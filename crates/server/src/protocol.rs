@@ -192,6 +192,10 @@ pub enum Request {
     },
     /// Report queue depth, in-flight count and cache statistics.
     Status,
+    /// Full metrics introspection: a `htforge.metrics_snapshot/v1`
+    /// snapshot of every counter/gauge/histogram plus the per-class
+    /// staged-budget profiles and event-ring statistics.
+    Metrics,
     /// Stop the daemon: `drain` finishes all accepted jobs first,
     /// `drop` cancels queued jobs and finishes only the running ones.
     Shutdown {
@@ -287,6 +291,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             })
         }
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => {
             let drop_queued = match doc.get("mode").and_then(Json::as_str) {
                 None | Some("drain") => false,
@@ -304,7 +309,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         other => Err(RequestError::new(
             "request",
             id,
-            format!("unknown op `{other}` (submit, cancel, status, shutdown)"),
+            format!("unknown op `{other}` (submit, cancel, status, metrics, shutdown)"),
         )),
     }
 }
@@ -475,6 +480,7 @@ impl Request {
                 fields.push(("id", Json::Str(id.clone())));
             }
             Request::Status => fields.push(("op", Json::Str("status".into()))),
+            Request::Metrics => fields.push(("op", Json::Str("metrics".into()))),
             Request::Shutdown { drop_queued } => {
                 fields.push(("op", Json::Str("shutdown".into())));
                 fields.push((
@@ -532,6 +538,29 @@ pub struct JobResult {
     pub error: Option<String>,
     /// The per-job `htforge.run_report/v1` artifact.
     pub report: Option<Json>,
+    /// 16-hex trace id correlating this terminal line with its
+    /// streamed progress frames and report spans (empty = untraced,
+    /// e.g. a job cancelled before it reached a worker).
+    pub trace: String,
+    /// The per-phase `htforge.job_timeline/v1` document (executed jobs
+    /// whose phases were observed).
+    pub timeline: Option<Json>,
+}
+
+/// One streamed `htforge.job_progress/v1` frame, interleaved before the
+/// job's terminal response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProgress {
+    /// Tenant of the job.
+    pub tenant: String,
+    /// Job id.
+    pub id: String,
+    /// Job class.
+    pub kind: JobKind,
+    /// 16-hex trace id shared with the terminal response.
+    pub trace: String,
+    /// The embedded `htforge.job_progress/v1` document.
+    pub frame: Json,
 }
 
 /// A response line.
@@ -550,6 +579,9 @@ pub enum Response {
     },
     /// Terminal job outcome.
     Result(Box<JobResult>),
+    /// A streamed progress frame for a running job (zero or more per
+    /// job, always before its terminal [`Response::Result`]).
+    Progress(Box<JobProgress>),
     /// Structured request error (malformed line, bad fields, admission
     /// rejection). Carries the job id when it was recoverable.
     Error {
@@ -563,6 +595,10 @@ pub enum Response {
     },
     /// Server status snapshot.
     Status(Json),
+    /// Metrics introspection body (extends the line like `Status`);
+    /// carries the `htforge.metrics_snapshot/v1` document under
+    /// `snapshot`.
+    Metrics(Json),
     /// Final line before the daemon (or session drain) exits.
     Shutdown {
         /// `drain` or `drop`.
@@ -624,6 +660,22 @@ impl Response {
                 if let Some(report) = &r.report {
                     fields.push(("report", report.clone()));
                 }
+                if !r.trace.is_empty() {
+                    fields.push(("trace", Json::Str(r.trace.clone())));
+                }
+                if let Some(timeline) = &r.timeline {
+                    fields.push(("timeline", timeline.clone()));
+                }
+            }
+            Response::Progress(p) => {
+                fields.push(("type", Json::Str("progress".into())));
+                fields.push(("tenant", Json::Str(p.tenant.clone())));
+                fields.push(("id", Json::Str(p.id.clone())));
+                fields.push(("kind", Json::Str(p.kind.as_str().into())));
+                if !p.trace.is_empty() {
+                    fields.push(("trace", Json::Str(p.trace.clone())));
+                }
+                fields.push(("progress", p.frame.clone()));
             }
             Response::Error { stage, id, error } => {
                 fields.push(("type", Json::Str("error".into())));
@@ -636,6 +688,14 @@ impl Response {
             }
             Response::Status(body) => {
                 fields.push(("type", Json::Str("status".into())));
+                let mut json = Json::obj(fields);
+                if let (Json::Obj(obj), Json::Obj(extra)) = (&mut json, body) {
+                    obj.extend(extra.iter().cloned());
+                }
+                return json;
+            }
+            Response::Metrics(body) => {
+                fields.push(("type", Json::Str("metrics".into())));
                 let mut json = Json::obj(fields);
                 if let (Json::Obj(obj), Json::Obj(extra)) = (&mut json, body) {
                     obj.extend(extra.iter().cloned());
@@ -697,6 +757,7 @@ mod tests {
                 id: "x".into(),
             },
             Request::Status,
+            Request::Metrics,
             Request::Shutdown { drop_queued: true },
             Request::Shutdown { drop_queued: false },
         ] {
@@ -783,12 +844,17 @@ mod tests {
             result: Some(Json::obj(vec![("digest", Json::Str("0xab".into()))])),
             error: None,
             report: None,
+            trace: String::new(),
+            timeline: None,
         }));
         let doc = result.to_json();
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
         assert_eq!(doc.get("type").unwrap().as_str(), Some("result"));
         assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
         assert!(doc.get("error").is_none());
+        // An untraced result omits `trace` and `timeline` entirely.
+        assert!(doc.get("trace").is_none());
+        assert!(doc.get("timeline").is_none());
 
         let err = Response::Error {
             stage: "parse".into(),
@@ -799,5 +865,52 @@ mod tests {
         assert_eq!(doc.get("id"), Some(&Json::Null));
         // Every response line is itself valid JSON.
         assert!(parse_json(&err.to_line()).is_ok());
+    }
+
+    #[test]
+    fn progress_lines_embed_a_schema_valid_frame() {
+        let frame = htforge_obs::ProgressFrame {
+            phase: "clique_enumeration".into(),
+            event: "enter".into(),
+            percent: None,
+            eta_ms: Some(420.0),
+            detail: None,
+        };
+        let resp = Response::Progress(Box::new(JobProgress {
+            tenant: "acme".into(),
+            id: "j-7".into(),
+            kind: JobKind::Insert,
+            trace: "00000000deadbeef".into(),
+            frame: frame.to_json(),
+        }));
+        let doc = resp.to_json();
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("progress"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("00000000deadbeef"));
+        let embedded = doc.get("progress").unwrap();
+        htforge_obs::validate_job_progress(embedded).unwrap();
+    }
+
+    #[test]
+    fn traced_results_carry_trace_and_timeline() {
+        let timeline = htforge_obs::JobTimeline::from_durations(
+            "00000000deadbeef",
+            &[("rare_extraction".into(), 10.0), ("insertion".into(), 5.0)],
+        );
+        let resp = Response::Result(Box::new(JobResult {
+            tenant: "t".into(),
+            id: "j".into(),
+            kind: JobKind::Insert,
+            status: JobStatus::Done,
+            latency_ms: 15.0,
+            result: None,
+            error: None,
+            report: None,
+            trace: "00000000deadbeef".into(),
+            timeline: Some(timeline.to_json()),
+        }));
+        let doc = resp.to_json();
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("00000000deadbeef"));
+        htforge_obs::validate_job_timeline(doc.get("timeline").unwrap()).unwrap();
     }
 }

@@ -175,6 +175,97 @@ mod tests {
     }
 
     #[test]
+    fn progress_frames_stream_before_the_terminal_result() {
+        let submit = format!(
+            r#"{{"schema":"{REQUEST_SCHEMA}","op":"submit","id":"p","kind":"simulate","circuit":"c17","params":{{"vectors":4096,"repeat":4}}}}"#
+        );
+        let metrics = format!(r#"{{"schema":"{REQUEST_SCHEMA}","op":"metrics"}}"#);
+        let (docs, summary) = run_lines(&format!("{submit}\n{metrics}\n"));
+        assert_eq!(summary.stats.completed, 1);
+        let type_of = |d: &htforge_obs::Json| d.get("type").unwrap().as_str().unwrap().to_owned();
+        let first_progress = docs
+            .iter()
+            .position(|d| type_of(d) == "progress")
+            .expect("at least one streamed progress frame");
+        let result = docs
+            .iter()
+            .position(|d| type_of(d) == "result")
+            .expect("a terminal result");
+        assert!(
+            first_progress < result,
+            "progress (line {first_progress}) must precede the terminal result (line {result})"
+        );
+        // Frames validate and share the terminal response's trace id.
+        let trace = docs[result].get("trace").unwrap().as_str().unwrap();
+        assert_eq!(trace.len(), 16);
+        for doc in docs.iter().filter(|d| type_of(d) == "progress") {
+            htforge_obs::validate_job_progress(doc.get("progress").unwrap()).unwrap();
+            assert_eq!(doc.get("trace").unwrap().as_str(), Some(trace));
+        }
+        // The terminal line carries a schema-valid per-phase timeline
+        // bound to the same trace.
+        let timeline = docs[result].get("timeline").expect("timeline");
+        htforge_obs::validate_job_timeline(timeline).unwrap();
+        assert_eq!(timeline.get("trace").unwrap().as_str(), Some(trace));
+        // The report's meta carries the trace too.
+        let report = docs[result].get("report").unwrap();
+        assert_eq!(
+            report.get("meta").unwrap().get("trace").unwrap().as_str(),
+            Some(trace)
+        );
+        // The metrics introspection line embeds a schema-valid
+        // snapshot plus the budget profile store.
+        let metrics_doc = docs
+            .iter()
+            .find(|d| type_of(d) == "metrics")
+            .expect("a metrics response");
+        htforge_obs::validate_metrics_snapshot(metrics_doc.get("snapshot").unwrap()).unwrap();
+        assert!(metrics_doc.get("budget_profiles").is_some());
+    }
+
+    #[test]
+    fn disabling_progress_suppresses_frames_but_keeps_timelines() {
+        let submit = format!(
+            r#"{{"schema":"{REQUEST_SCHEMA}","op":"submit","id":"q","kind":"simulate","circuit":"c17","params":{{"vectors":1024}}}}"#
+        );
+        let out: Vec<u8> = Vec::new();
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(out));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        serve(
+            submit.as_bytes(),
+            Shared(std::sync::Arc::clone(&sink)),
+            ServerConfig {
+                workers: 1,
+                progress: false,
+                ..ServerConfig::default()
+            },
+            Arc::new(ProgramCache::new()),
+        )
+        .unwrap();
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let docs: Vec<htforge_obs::Json> = text.lines().map(|l| parse_json(l).unwrap()).collect();
+        assert!(docs
+            .iter()
+            .all(|d| d.get("type").unwrap().as_str() != Some("progress")));
+        let result = docs
+            .iter()
+            .find(|d| d.get("type").unwrap().as_str() == Some("result"))
+            .unwrap();
+        // Tracing and timelines are not tied to streaming: offline
+        // reconstruction still works with progress off.
+        assert!(result.get("trace").is_some());
+        assert!(result.get("timeline").is_some());
+    }
+
+    #[test]
     fn explicit_shutdown_ends_the_session() {
         let lines = format!(
             "{}\n{}\n",

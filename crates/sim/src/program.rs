@@ -239,6 +239,12 @@ struct KernelMetrics {
     threads_effective: htforge_obs::Gauge,
     /// Last run's wide-lane block width ([`KernelPlan::lanes`]).
     lanes: htforge_obs::Gauge,
+    /// The host's available parallelism, set alongside the throughput
+    /// and thread gauges so a `sim.kernel_words_per_sec` reading from a
+    /// single-core CI container is machine-distinguishable from a
+    /// many-core host number (matches the `host_threads` column of the
+    /// `BENCH_sim.json` rows).
+    host_threads: htforge_obs::Gauge,
 }
 
 impl KernelMetrics {
@@ -249,8 +255,16 @@ impl KernelMetrics {
             strategy: htforge_obs::gauge("sim.kernel_strategy"),
             threads_effective: htforge_obs::gauge("sim.kernel_threads_effective"),
             lanes: htforge_obs::gauge("sim.kernel_lanes"),
+            host_threads: htforge_obs::gauge("sim.host_threads"),
         }
     }
+}
+
+/// The host's available hardware parallelism (1 when unknown).
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// A raw view of the shared node-major value buffer, passed to level
@@ -794,12 +808,14 @@ impl SimProgram {
         self.metrics.strategy.set(plan.strategy.code());
         self.metrics.threads_effective.set(plan.workers as f64);
         self.metrics.lanes.set(plan.lanes as f64);
+        self.metrics.host_threads.set(host_threads() as f64);
         if let Some(span) = &mut span {
             span.attr("strategy", plan.strategy.name());
             span.attr("threads_requested", plan.requested.to_string());
             span.attr("threads_effective", plan.workers.to_string());
             span.attr("words", words_per_node.to_string());
             span.attr("lanes", plan.lanes.to_string());
+            span.attr("host_threads", host_threads().to_string());
         }
         if let Some(t0) = started {
             let dt = t0.elapsed().as_secs_f64();
@@ -1671,5 +1687,15 @@ y = NAND(n, w)
         let nl = bench::parse(C17, "c17").unwrap();
         let prog = SimProgram::compile(&nl).unwrap();
         let _ = prog.run(&PatternSet::zeros(4, 8));
+    }
+
+    #[test]
+    fn kernel_run_labels_throughput_with_host_threads() {
+        let nl = bench::parse(C17, "c17").unwrap();
+        let prog = SimProgram::compile(&nl).unwrap();
+        let _ = prog.run(&PatternSet::zeros(5, 64));
+        // Single-core CI numbers are only interpretable next to the
+        // host's parallelism; the gauge makes that machine-detectable.
+        assert!(htforge_obs::gauge("sim.host_threads").get() >= 1.0);
     }
 }

@@ -25,8 +25,11 @@ options:
   --workers N     worker threads (default: one per core, max 8)
   --tenant NAME   tenant for requests that name none (default: default)
   --socket PATH   serve a Unix socket instead of stdin/stdout
+  --no-progress   do not stream htforge.job_progress/v1 frames
 
-The protocol is one JSON object per line; see DESIGN.md \u{a7}10 and the
+Running jobs stream progress frames before their terminal response;
+`status` and `metrics` requests introspect the live daemon. The
+protocol is one JSON object per line; see DESIGN.md \u{a7}10 and the
 README quickstart for a copy-pasteable session.
 ";
 
@@ -47,6 +50,7 @@ fn run() -> Result<(), String> {
             }
             "--tenant" => config.default_tenant = value("tenant")?,
             "--socket" => socket = Some(PathBuf::from(value("socket")?)),
+            "--no-progress" => config.progress = false,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return Ok(());
@@ -73,6 +77,9 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     let _obs = htforge::obs::init_from_env();
+    // Bounded event ring: sinks and the `metrics` op can tail recent
+    // events without ever blocking a worker's hot path.
+    let _ = htforge::obs::global().install_ring(4096);
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -295,8 +295,9 @@ fn checkpoint_write_failure_degrades_resume_not_the_run() {
 
 mod server_chaos {
     //! Faultpoints inside the campaign server (`server.dispatch`,
-    //! `server.respond`): the exactly-one-terminal-response-per-job
-    //! invariant must hold through injected panics and response faults.
+    //! `server.respond`, `server.progress`): the exactly-one-terminal-
+    //! response-per-job invariant must hold through injected panics,
+    //! response faults and progress-emission faults.
 
     use super::{lock, Action, Duration, Instant};
     use htforge::obs::faultpoint::{arm, disarm_all};
@@ -418,6 +419,66 @@ mod server_chaos {
         let stats = server.join();
         assert_eq!(stats.degraded_responses, 4);
         assert_eq!(stats.completed, 5);
+        assert_eq!(stats.finished(), stats.submitted, "a job went missing");
+    }
+
+    #[test]
+    fn progress_fault_drops_frames_but_every_job_stays_terminal() {
+        let _gate = lock();
+        disarm_all();
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+
+        // Every progress emission faults. Streaming is best-effort:
+        // the frames vanish, but the exactly-one-terminal-response
+        // invariant is untouchable — each long job still answers once.
+        arm("server.progress", Action::Err);
+        let long = |id: &str| {
+            let mut spec = sim_spec(id);
+            spec.params.vectors = 4_096;
+            spec.params.repeat = 4;
+            spec
+        };
+        for id in ["p1", "p2"] {
+            server.handle(Request::Submit(Box::new(long(id))));
+        }
+        let mut seen = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while seen.len() < 2 {
+            assert!(Instant::now() < deadline, "no terminal response");
+            match rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("response stream")
+            {
+                Response::Result(r) => seen.push(*r),
+                Response::Progress(p) => {
+                    panic!("armed progress fault must drop frames, got {:?}", p.frame)
+                }
+                _ => {}
+            }
+        }
+        disarm_all();
+        for r in &seen {
+            assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+            // Offline reconstruction survives the dropped stream: the
+            // terminal line still carries its trace and timeline.
+            assert_eq!(r.trace.len(), 16);
+            assert!(r.timeline.is_some());
+        }
+
+        // A panic inside the emission path is likewise contained.
+        arm("server.progress", Action::Panic);
+        server.handle(Request::Submit(Box::new(long("p3"))));
+        let r = next_result(&rx);
+        disarm_all();
+        assert_eq!(r.id, "p3");
+        assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.completed, 3);
         assert_eq!(stats.finished(), stats.submitted, "a job went missing");
     }
 }

@@ -111,6 +111,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 id: ascii_string(id),
             }),
         Just(Request::Status),
+        Just(Request::Metrics),
         any::<bool>().prop_map(|drop_queued| Request::Shutdown { drop_queued }),
     ]
 }
@@ -205,7 +206,7 @@ proptest! {
     /// absurd numbers) through every typed accessor.
     #[test]
     fn parse_request_survives_hostile_fields(
-        op in prop_oneof![Just("submit"), Just("cancel"), Just("status"), Just("shutdown"), Just("reboot")],
+        op in prop_oneof![Just("submit"), Just("cancel"), Just("status"), Just("metrics"), Just("shutdown"), Just("reboot")],
         field in prop_oneof![
             Just("kind"), Just("circuit"), Just("priority"), Just("deadline_ms"),
             Just("params"), Just("id"), Just("tenant"), Just("mode"),

@@ -9,7 +9,10 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-use htforge::obs::{parse_json, validate_json, Json};
+use htforge::obs::{
+    parse_json, validate_job_progress, validate_job_timeline, validate_json,
+    validate_metrics_snapshot, Json,
+};
 use htforge::server::{REQUEST_SCHEMA, RESPONSE_SCHEMA};
 
 fn submit(id: &str, kind: &str, circuit: &str, params: &str) -> String {
@@ -33,6 +36,8 @@ fn daemon_serves_a_mixed_batch_over_stdin_and_drains_on_eof() {
     input.push_str(&submit("grd-a", "grade", "s1423", light));
     input.push('\n');
     input.push_str(r#"{"schema":"htforge.job_request/v1","op":"status"}"#);
+    input.push('\n');
+    input.push_str(r#"{"schema":"htforge.job_request/v1","op":"metrics"}"#);
     input.push('\n');
     // EOF follows — no explicit shutdown request: the daemon must
     // drain all four jobs and exit cleanly on its own.
@@ -65,6 +70,7 @@ fn daemon_serves_a_mixed_batch_over_stdin_and_drains_on_eof() {
     let mut terminals: HashMap<String, String> = HashMap::new();
     let mut parse_errors = 0;
     let mut saw_status = false;
+    let mut saw_metrics = false;
     let mut reports_validated = 0;
     for line in &lines {
         let doc = parse_json(line).unwrap_or_else(|e| panic!("bad JSONL `{line}`: {e}"));
@@ -93,6 +99,16 @@ fn daemon_serves_a_mixed_batch_over_stdin_and_drains_on_eof() {
                     meta.get("status").and_then(Json::as_str),
                     Some(status.as_str())
                 );
+                // Every terminal response is trace-correlated and
+                // carries a schema-valid per-phase timeline, so a
+                // campaign reconstructs offline from the JSONL alone.
+                let trace = doc.get("trace").and_then(Json::as_str).expect("trace id");
+                assert_eq!(trace.len(), 16, "{line}");
+                assert_eq!(meta.get("trace").and_then(Json::as_str), Some(trace));
+                let timeline = doc.get("timeline").expect("terminal timeline");
+                validate_job_timeline(timeline)
+                    .unwrap_or_else(|e| panic!("timeline for `{id}` invalid: {e}"));
+                assert_eq!(timeline.get("trace").and_then(Json::as_str), Some(trace));
                 reports_validated += 1;
                 let dup = terminals.insert(id.clone(), status);
                 assert!(dup.is_none(), "two terminal responses for `{id}`");
@@ -104,6 +120,16 @@ fn daemon_serves_a_mixed_batch_over_stdin_and_drains_on_eof() {
                 assert!(doc.get("cache_hit_rate").is_some(), "{line}");
             }
             "ack" => {}
+            "progress" => {
+                let frame = doc.get("progress").expect("embedded progress frame");
+                validate_job_progress(frame).unwrap_or_else(|e| panic!("{line}: {e}"));
+            }
+            "metrics" => {
+                saw_metrics = true;
+                let snapshot = doc.get("snapshot").expect("metrics snapshot");
+                validate_metrics_snapshot(snapshot).unwrap_or_else(|e| panic!("{line}: {e}"));
+                assert!(doc.get("budget_profiles").is_some(), "{line}");
+            }
             "shutdown" => {
                 assert_eq!(
                     *line,
@@ -119,6 +145,7 @@ fn daemon_serves_a_mixed_batch_over_stdin_and_drains_on_eof() {
 
     assert_eq!(parse_errors, 1, "the one malformed line answers once");
     assert!(saw_status, "status request went unanswered");
+    assert!(saw_metrics, "metrics request went unanswered");
     assert_eq!(reports_validated, 4);
     assert_eq!(terminals.len(), 4, "{terminals:?}");
     for id in ["sim-a", "ins-a", "det-a", "grd-a"] {
@@ -196,4 +223,69 @@ fn explicit_drop_shutdown_cancels_queued_jobs_but_answers_them_all() {
         statuses.values().all(|s| s == "cancelled" || s == "done"),
         "{statuses:?}"
     );
+}
+
+#[test]
+fn long_job_streams_progress_frames_before_its_terminal_response() {
+    // The acceptance path from ISSUE 8: a long job against the real
+    // binary must yield at least one schema-valid job_progress frame
+    // before its terminal response, all bound to one trace id.
+    let mut input = String::new();
+    input.push_str(&submit(
+        "long-a",
+        "simulate",
+        "c2670",
+        r#"{"vectors":4096,"repeat":16}"#,
+    ));
+    input.push('\n');
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_htforge-server"))
+        .args(["--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn htforge-server");
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success());
+
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let docs: Vec<Json> = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_json(l).unwrap_or_else(|e| panic!("bad JSONL `{l}`: {e}")))
+        .collect();
+    let type_of = |d: &Json| d.get("type").and_then(Json::as_str).unwrap().to_owned();
+    let first_progress = docs
+        .iter()
+        .position(|d| type_of(d) == "progress")
+        .expect("a long job must stream at least one progress frame");
+    let result = docs
+        .iter()
+        .position(|d| type_of(d) == "result")
+        .expect("a terminal result");
+    assert!(
+        first_progress < result,
+        "progress (line {first_progress}) must precede the result (line {result})"
+    );
+
+    let trace = docs[result].get("trace").and_then(Json::as_str).unwrap();
+    assert_eq!(trace.len(), 16);
+    for doc in docs.iter().filter(|d| type_of(d) == "progress") {
+        let frame = doc.get("progress").expect("embedded frame");
+        validate_job_progress(frame).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(doc.get("trace").and_then(Json::as_str), Some(trace));
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("long-a"));
+    }
+    let timeline = docs[result].get("timeline").expect("timeline");
+    validate_job_timeline(timeline).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(timeline.get("trace").and_then(Json::as_str), Some(trace));
+    let phases = timeline.get("phases").and_then(Json::as_arr).unwrap();
+    assert!(!phases.is_empty(), "timeline must name at least one phase");
 }
