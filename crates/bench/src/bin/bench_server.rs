@@ -12,6 +12,17 @@
 //! greps for — `lost_jobs`: submitted minus terminal responses, which
 //! must be zero even with `HTFORGE_FAULT` armed.
 //!
+//! Two robustness sections ride along, each on its own `Server`
+//! instance so the main run's pinned counts stay grep-stable:
+//!
+//! * **`durability`** — journal off vs `batch:64` vs `always` fsync
+//!   throughput A/B, plus cold-replay time against 100/1k/10k-job
+//!   backlogs.
+//! * **`overload`** — a flood tenant bursts far past its admission
+//!   quota while a victim tenant stays inside its own; the flood is
+//!   shed with structured `queue_full` rejections, the victim sees
+//!   zero rejections and a bounded p95.
+//!
 //! Every row records `host_threads` (the CI runner is single-core; see
 //! ROADMAP) and the worker count. When `HTFORGE_OBS` is set, a run
 //! report with the `server.*` counters/gauges goes to
@@ -25,7 +36,8 @@ use std::time::Instant;
 
 use htforge_obs::{Json, RunReport};
 use htforge_server::{
-    CircuitSource, JobKind, JobParams, JobSpec, Request, Response, Server, ServerConfig,
+    AdmissionConfig, CircuitSource, FsyncPolicy, JobKind, JobParams, JobSpec, Journal,
+    JournalConfig, JournalEvent, Request, Response, Server, ServerConfig,
 };
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
@@ -129,6 +141,224 @@ fn progress_ab_run(workers: usize, jobs: usize, progress: bool) -> f64 {
     server.request_shutdown(false);
     server.join();
     jobs as f64 / wall.max(1e-9)
+}
+
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "htforge_bench_journal_{tag}_{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// One simulate-only sub-run for the durability A/B: identical load
+/// with the journal off / batched / fsync-per-record, returning
+/// terminal throughput in jobs/sec. Separate `Server` instances so the
+/// main run's exact status counts (pinned by the chaos CI greps) are
+/// untouched.
+fn durability_ab_run(workers: usize, jobs: usize, journal: Option<JournalConfig>) -> f64 {
+    let (server, rx) = Server::start(ServerConfig {
+        workers,
+        progress: false,
+        journal,
+        ..ServerConfig::default()
+    });
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        server.handle(Request::Submit(Box::new(spec(
+            i,
+            JobKind::Simulate,
+            "c17",
+            JobParams {
+                vectors: 1_024,
+                seed: i as u64 + 1,
+                ..JobParams::default()
+            },
+        ))));
+    }
+    let mut terminal = 0usize;
+    while terminal < jobs {
+        if matches!(
+            rx.recv().expect("durability A/B stream closed early"),
+            Response::Result(_)
+        ) {
+            terminal += 1;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    server.request_shutdown(false);
+    server.join();
+    jobs as f64 / wall.max(1e-9)
+}
+
+/// Replay cost: journal `backlog` accepted-but-unfinished jobs, then
+/// measure a cold `Journal::open` replay of the segment.
+fn replay_ms_for_backlog(backlog: usize) -> f64 {
+    let path = temp_journal(&format!("replay_{backlog}"));
+    let cfg = JournalConfig {
+        fsync: FsyncPolicy::Never,
+        rotate_bytes: 0,
+        ..JournalConfig::new(path.clone())
+    };
+    {
+        let (mut journal, _) = Journal::open(cfg.clone()).expect("fresh journal");
+        for i in 0..backlog {
+            journal
+                .append(&JournalEvent::Submit(Box::new(spec(
+                    i,
+                    JobKind::Simulate,
+                    "c17",
+                    JobParams {
+                        vectors: 256,
+                        ..JobParams::default()
+                    },
+                ))))
+                .expect("append");
+        }
+        journal.sync().expect("sync");
+    }
+    let (_, recovery) = Journal::open(cfg).expect("replay");
+    assert_eq!(recovery.pending.len(), backlog, "replay lost jobs");
+    let _ = std::fs::remove_file(&path);
+    recovery.recovery_ms
+}
+
+/// Two-tenant overload: a flood tenant bursts far past its quota while
+/// a victim tenant submits a small batch. Admission must shed the
+/// flood with structured `queue_full` rejections, keep the victim's
+/// p95 bounded, and lose no accepted job. Returns the report row.
+fn overload_run(workers: usize, quick: bool) -> Json {
+    let flood_jobs = if quick { 120 } else { 300 };
+    // The victim stays inside its quota (8 active): a well-behaved
+    // tenant must see zero rejections no matter how hard the flood
+    // tenant pushes.
+    let victim_jobs = 8;
+    let (server, rx) = Server::start(ServerConfig {
+        workers,
+        progress: false,
+        admission: AdmissionConfig {
+            max_queue_depth: 24,
+            tenant_max_active: 8,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let medium = JobParams {
+        vectors: 2_048,
+        repeat: 4,
+        ..JobParams::default()
+    };
+    let submit = |tenant: &str, id: String| {
+        server.handle(Request::Submit(Box::new(JobSpec {
+            tenant: tenant.to_owned(),
+            id,
+            kind: JobKind::Simulate,
+            circuit: CircuitSource::Builtin("c2670".to_owned()),
+            priority: 0,
+            deadline_ms: None,
+            params: medium.clone(),
+        })));
+    };
+    // Interleave so the victim competes with the flood the whole way.
+    let mut f = 0;
+    for v in 0..victim_jobs {
+        let burst = flood_jobs / victim_jobs;
+        for _ in 0..burst {
+            submit("flood", format!("f{f}"));
+            f += 1;
+        }
+        submit("victim", format!("v{v}"));
+    }
+    while f < flood_jobs {
+        submit("flood", format!("f{f}"));
+        f += 1;
+    }
+
+    let total = flood_jobs + victim_jobs;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut queue_full = 0usize;
+    let mut victim_rejected = 0usize;
+    let mut victim_latencies: Vec<f64> = Vec::new();
+    let mut terminal = 0usize;
+    let mut resolved = 0usize;
+    while resolved < total || terminal < accepted {
+        match rx.recv().expect("overload stream closed early") {
+            Response::Ack { .. } => {
+                accepted += 1;
+                resolved += 1;
+            }
+            Response::Reject { tenant, reason, .. } => {
+                rejected += 1;
+                resolved += 1;
+                if reason == "queue_full" {
+                    queue_full += 1;
+                }
+                if tenant == "victim" {
+                    victim_rejected += 1;
+                }
+            }
+            Response::Result(r) => {
+                terminal += 1;
+                if r.tenant == "victim" {
+                    victim_latencies.push(r.latency_ms);
+                }
+            }
+            _ => {}
+        }
+    }
+    server.request_shutdown(false);
+    let stats = server.join();
+
+    // Invariants that must hold even with chaos faults armed: every
+    // submit resolves to ack or reject, every accepted job reaches a
+    // terminal response, and the quota actually shed flood load.
+    assert_eq!(accepted + rejected, total, "a submit vanished");
+    assert_eq!(
+        stats.finished() as usize,
+        accepted,
+        "an accepted job never answered"
+    );
+    assert!(rejected > 0, "the flood must overflow the quota");
+    assert_eq!(queue_full, rejected, "rejections must be structured");
+    assert_eq!(
+        victim_rejected, 0,
+        "a tenant inside its quota must never be shed"
+    );
+    assert_eq!(
+        victim_latencies.len(),
+        victim_jobs,
+        "every victim job must reach a terminal response"
+    );
+
+    victim_latencies.sort_by(f64::total_cmp);
+    let victim_done = victim_latencies.len();
+    let p50 = percentile(&victim_latencies, 50.0);
+    let p95 = percentile(&victim_latencies, 95.0);
+    eprintln!(
+        "overload: {accepted}/{total} accepted, {rejected} shed (queue_full) | \
+         victim {victim_done}/{victim_jobs} done, p50 {p50:.1} ms p95 {p95:.1} ms"
+    );
+    Json::obj(vec![
+        ("flood_submitted", Json::Num(flood_jobs as f64)),
+        ("victim_submitted", Json::Num(victim_jobs as f64)),
+        ("accepted", Json::Num(accepted as f64)),
+        ("rejected_queue_full", Json::Num(queue_full as f64)),
+        ("victim_rejected", Json::Num(victim_rejected as f64)),
+        ("victim_terminal", Json::Num(victim_done as f64)),
+        (
+            "victim_latency_ms",
+            Json::obj(vec![
+                ("p50", Json::Num(p50)),
+                ("p95", Json::Num(p95)),
+                (
+                    "max",
+                    Json::Num(victim_latencies.last().copied().unwrap_or(0.0)),
+                ),
+            ]),
+        ),
+    ])
 }
 
 #[derive(Default)]
@@ -265,6 +495,66 @@ fn main() {
         "progress A/B: on {on_jps:.1} jobs/s | off {off_jps:.1} jobs/s | overhead {overhead_pct:.2}%"
     );
 
+    // Durability A/B: identical simulate loads with the write-ahead
+    // journal off, batched, and fsync-per-record, plus cold-replay
+    // time against growing backlogs. Median of 3 rounds per arm.
+    let dur_jobs = if quick { 50 } else { 120 };
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let run_arm = |policy: Option<FsyncPolicy>| -> f64 {
+        let rounds: Vec<f64> = (0..3)
+            .map(|_| {
+                let journal = policy.map(|fsync| {
+                    let path = temp_journal("ab");
+                    JournalConfig {
+                        fsync,
+                        ..JournalConfig::new(path)
+                    }
+                });
+                let jps = durability_ab_run(workers, dur_jobs, journal.clone());
+                if let Some(jc) = journal {
+                    let _ = std::fs::remove_file(&jc.path);
+                }
+                jps
+            })
+            .collect();
+        median(rounds)
+    };
+    let off_arm = run_arm(None);
+    let batch_arm = run_arm(Some(FsyncPolicy::Batch(64)));
+    let always_arm = run_arm(Some(FsyncPolicy::Always));
+    eprintln!(
+        "durability A/B: off {off_arm:.1} jobs/s | batch:64 {batch_arm:.1} jobs/s | always {always_arm:.1} jobs/s"
+    );
+    let backlogs: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    let replay_rows: Vec<Json> = backlogs
+        .iter()
+        .map(|&backlog| {
+            let ms = replay_ms_for_backlog(backlog);
+            eprintln!("journal replay: {backlog} pending jobs in {ms:.2} ms");
+            Json::obj(vec![
+                ("backlog_jobs", Json::Num(backlog as f64)),
+                ("replay_ms", Json::Num(ms)),
+            ])
+        })
+        .collect();
+    let durability = Json::obj(vec![
+        ("jobs_each", Json::Num(dur_jobs as f64)),
+        ("journal_off_jobs_per_sec", Json::Num(off_arm)),
+        ("fsync_batch64_jobs_per_sec", Json::Num(batch_arm)),
+        ("fsync_always_jobs_per_sec", Json::Num(always_arm)),
+        ("replay", Json::Arr(replay_rows)),
+    ]);
+
+    // Two-tenant overload with admission control armed.
+    let overload = overload_run(workers, quick);
+
     let doc = Json::obj(vec![
         ("schema", Json::Str("htforge.bench_server/v1".to_owned())),
         ("quick", Json::Bool(quick)),
@@ -302,6 +592,8 @@ fn main() {
                 ("overhead_pct", Json::Num(overhead_pct)),
             ]),
         ),
+        ("durability", durability),
+        ("overload", overload),
     ]);
     std::fs::write(OUT_PATH, format!("{}\n", doc.pretty())).expect("write BENCH_server.json");
     eprintln!(

@@ -9,7 +9,10 @@
 //! * `obs_validate --frames <session.jsonl>...` — each file is a
 //!   campaign-server JSONL session transcript; every embedded telemetry
 //!   frame (`progress` bodies, terminal `timeline`s, `metrics`
-//!   snapshots, run `report`s) is extracted and validated.
+//!   snapshots, run `report`s) is extracted and validated. Bare
+//!   schema-tagged lines — including `htforge.server_journal/v1`
+//!   records from `htforge-server --dump-journal` — validate too, so a
+//!   journal dump is checkable end to end with the same gate.
 //!
 //! Exits non-zero if any file is missing, unparseable, or violates its
 //! schema.

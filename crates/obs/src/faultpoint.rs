@@ -41,6 +41,9 @@ pub const CATALOG: &[&str] = &[
     "server.dispatch",
     "server.respond",
     "server.progress",
+    "server.journal_append",
+    "server.journal_replay",
+    "server.accept",
 ];
 
 /// What an armed faultpoint does when hit.

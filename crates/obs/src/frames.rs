@@ -18,6 +18,15 @@ pub const METRICS_SNAPSHOT_SCHEMA: &str = "htforge.metrics_snapshot/v1";
 pub const JOB_TIMELINE_SCHEMA: &str = "htforge.job_timeline/v1";
 /// Schema tag of a streamed job progress frame.
 pub const JOB_PROGRESS_SCHEMA: &str = "htforge.job_progress/v1";
+/// Schema tag of one write-ahead journal record of the campaign server.
+pub const SERVER_JOURNAL_SCHEMA: &str = "htforge.server_journal/v1";
+
+/// The journal event vocabulary, in per-job lifecycle order.
+pub const JOURNAL_EVENTS: &[&str] = &["submit", "start", "terminal"];
+
+/// The terminal status vocabulary a journal `terminal` record may
+/// carry (mirrors the job-response wire statuses).
+pub const JOURNAL_TERMINAL_STATUSES: &[&str] = &["done", "failed", "cancelled", "timeout"];
 
 /// The progress-frame event vocabulary, in the order a phase emits
 /// them.
@@ -322,9 +331,76 @@ pub fn validate_job_progress(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks that `doc` is a structurally valid `v1` server-journal
+/// record: the decoded payload of one length+checksum-framed entry in
+/// the campaign server's write-ahead journal.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_server_journal(doc: &Json) -> Result<(), String> {
+    expect_schema(doc, SERVER_JOURNAL_SCHEMA)?;
+    let seq = doc
+        .get("seq")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric `seq`")?;
+    if seq < 0.0 || seq.fract() != 0.0 {
+        return Err(format!("`seq` {seq} is not a non-negative integer"));
+    }
+    let at = doc
+        .get("at_ms")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric `at_ms`")?;
+    if at < 0.0 {
+        return Err("`at_ms` is negative".into());
+    }
+    let event = doc
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or("missing string `event`")?;
+    if !JOURNAL_EVENTS.contains(&event) {
+        return Err(format!(
+            "`event` is `{event}`, expected one of {JOURNAL_EVENTS:?}"
+        ));
+    }
+    for key in ["tenant", "id"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string `{key}`"))?;
+        if v.is_empty() {
+            return Err(format!("`{key}` is empty"));
+        }
+    }
+    match event {
+        "submit" => {
+            let spec = doc.get("spec").ok_or("submit record missing `spec`")?;
+            if spec.as_obj().is_none() {
+                return Err("`spec` must be an object".into());
+            }
+            if spec.get("op").and_then(Json::as_str) != Some("submit") {
+                return Err("`spec.op` must be `submit`".into());
+            }
+        }
+        "terminal" => {
+            let status = doc
+                .get("status")
+                .and_then(Json::as_str)
+                .ok_or("terminal record missing string `status`")?;
+            if !JOURNAL_TERMINAL_STATUSES.contains(&status) {
+                return Err(format!(
+                    "`status` is `{status}`, expected one of {JOURNAL_TERMINAL_STATUSES:?}"
+                ));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Validates any schema-tagged htforge telemetry document, dispatching
 /// on its `schema` field: run reports, metrics snapshots, job
-/// timelines and progress frames.
+/// timelines, progress frames and server-journal records.
 ///
 /// # Errors
 ///
@@ -340,9 +416,10 @@ pub fn validate_any_json(doc: &Json) -> Result<(), String> {
         METRICS_SNAPSHOT_SCHEMA => validate_metrics_snapshot(doc),
         JOB_TIMELINE_SCHEMA => validate_job_timeline(doc),
         JOB_PROGRESS_SCHEMA => validate_job_progress(doc),
+        SERVER_JOURNAL_SCHEMA => validate_server_journal(doc),
         other => Err(format!(
             "unknown schema `{other}` (expected {}, {METRICS_SNAPSHOT_SCHEMA}, \
-             {JOB_TIMELINE_SCHEMA} or {JOB_PROGRESS_SCHEMA})",
+             {JOB_TIMELINE_SCHEMA}, {JOB_PROGRESS_SCHEMA} or {SERVER_JOURNAL_SCHEMA})",
             crate::report::SCHEMA
         )),
     }

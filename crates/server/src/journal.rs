@@ -1,0 +1,831 @@
+//! The write-ahead job journal: crash-safe durability for accepted
+//! jobs (`DESIGN.md` §10).
+//!
+//! Every job the server accepts is appended to an append-only segment
+//! file as a length+checksum-framed `htforge.server_journal/v1` record
+//! before the client sees the corresponding response line:
+//!
+//! ```text
+//! [8-byte magic "HTFJRNL1"]
+//! [u32 len LE][u32 fnv1a(payload) LE][payload: compact JSON]  × N
+//! ```
+//!
+//! Three record kinds track the job lifecycle — `submit` (carries the
+//! full wire-form spec, so replay reconstructs the job byte-for-byte),
+//! `start`, and `terminal` (carries the status). On startup,
+//! [`Journal::open`] replays the segment: a torn or corrupt tail —
+//! short frame, checksum mismatch, unparseable payload — truncates the
+//! file back to the last valid record (a crash mid-append must never
+//! poison the whole journal), and every job with a `submit` but no
+//! `terminal` comes back as pending for re-enqueue. Redelivery is
+//! at-least-once; the server dedupes by `(tenant, id)` so the response
+//! stream still carries exactly one terminal line per job.
+//!
+//! Fsync policy is configurable ([`FsyncPolicy`]): `always` fsyncs
+//! every record (a crash loses nothing), `batch:N` fsyncs every N
+//! appends (bounded loss window, much higher throughput — the
+//! `durability` section of `BENCH_server.json` prices the gap), and
+//! `never` leaves flushing to the OS. Rotation is atomic: when the
+//! segment outgrows its bound, the live (non-terminal) jobs are
+//! compacted into a temp file that is fsynced and renamed over the
+//! segment, so a crash during rotation leaves either the old or the
+//! new segment, never a hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use htforge_obs::{Json, SERVER_JOURNAL_SCHEMA};
+
+use crate::protocol::{fnv1a, parse_request, JobSpec, JobStatus, Request};
+
+/// Magic prefix identifying a journal segment (versioned: a future
+/// frame-format change bumps the trailing digit).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"HTFJRNL1";
+
+/// Bytes of frame overhead per record (length + checksum).
+const FRAME_HEADER: usize = 8;
+
+/// Hard cap on one record's payload, so a corrupt length field cannot
+/// make replay attempt a multi-gigabyte allocation.
+const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// When to fsync the segment after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every record: a crash loses no accepted job.
+    Always,
+    /// Fsync every N appends: bounded loss window, batched cost.
+    Batch(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never` or `batch:N` (CLI flag form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => {
+                let n = other
+                    .strip_prefix("batch:")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        format!("`{other}`: expected always, never or batch:<n> (n ≥ 1)")
+                    })?;
+                Ok(FsyncPolicy::Batch(n))
+            }
+        }
+    }
+
+    /// Wire/CLI name of the policy.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_owned(),
+            FsyncPolicy::Batch(n) => format!("batch:{n}"),
+            FsyncPolicy::Never => "never".to_owned(),
+        }
+    }
+}
+
+/// Journal tuning knobs.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Segment file path (created if absent, replayed if present).
+    pub path: PathBuf,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate (compact live jobs into a fresh segment) once the file
+    /// exceeds this many bytes; `0` disables rotation.
+    pub rotate_bytes: u64,
+}
+
+impl JournalConfig {
+    /// Defaults: batched fsync (64 records), 8 MiB rotation bound.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            path: path.into(),
+            fsync: FsyncPolicy::Batch(64),
+            rotate_bytes: 8 << 20,
+        }
+    }
+}
+
+/// One journal record (the decoded payload of one frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A job was accepted; carries the full spec for replay.
+    Submit(Box<JobSpec>),
+    /// A worker picked the job up.
+    Start {
+        /// Tenant of the job.
+        tenant: String,
+        /// Job id.
+        id: String,
+    },
+    /// The job reached its terminal response.
+    Terminal {
+        /// Tenant of the job.
+        tenant: String,
+        /// Job id.
+        id: String,
+        /// Terminal verdict.
+        status: JobStatus,
+    },
+}
+
+impl JournalEvent {
+    /// The `(tenant, id)` key of the job the record concerns.
+    #[must_use]
+    pub fn key(&self) -> (String, String) {
+        match self {
+            JournalEvent::Submit(spec) => spec.key(),
+            JournalEvent::Start { tenant, id } | JournalEvent::Terminal { tenant, id, .. } => {
+                (tenant.clone(), id.clone())
+            }
+        }
+    }
+
+    /// Encodes the record as a schema-tagged
+    /// `htforge.server_journal/v1` document (`obs_validate` checks
+    /// dumps of these).
+    #[must_use]
+    pub fn to_json(&self, seq: u64) -> Json {
+        let at_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        let mut fields = vec![
+            ("schema", Json::Str(SERVER_JOURNAL_SCHEMA.to_owned())),
+            ("seq", Json::Num(seq as f64)),
+            ("at_ms", Json::Num(at_ms)),
+        ];
+        match self {
+            JournalEvent::Submit(spec) => {
+                fields.push(("event", Json::Str("submit".into())));
+                fields.push(("tenant", Json::Str(spec.tenant.clone())));
+                fields.push(("id", Json::Str(spec.id.clone())));
+                fields.push((
+                    "spec",
+                    Request::Submit(Box::new((**spec).clone())).to_json(),
+                ));
+            }
+            JournalEvent::Start { tenant, id } => {
+                fields.push(("event", Json::Str("start".into())));
+                fields.push(("tenant", Json::Str(tenant.clone())));
+                fields.push(("id", Json::Str(id.clone())));
+            }
+            JournalEvent::Terminal { tenant, id, status } => {
+                fields.push(("event", Json::Str("terminal".into())));
+                fields.push(("tenant", Json::Str(tenant.clone())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("status", Json::Str(status.as_str().into())));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Decodes a record payload document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the structural violation; replay treats
+    /// any error as a corrupt tail.
+    pub fn from_json(doc: &Json) -> Result<JournalEvent, String> {
+        htforge_obs::validate_server_journal(doc)?;
+        let text = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .unwrap_or_default()
+        };
+        match doc.get("event").and_then(Json::as_str) {
+            Some("submit") => {
+                let spec_doc = doc.get("spec").ok_or("submit record missing `spec`")?;
+                match parse_request(&spec_doc.compact()) {
+                    Ok(Request::Submit(spec)) => Ok(JournalEvent::Submit(spec)),
+                    Ok(_) => Err("journal `spec` is not a submit request".into()),
+                    Err(e) => Err(format!("journal `spec`: {}", e.error)),
+                }
+            }
+            Some("start") => Ok(JournalEvent::Start {
+                tenant: text("tenant"),
+                id: text("id"),
+            }),
+            Some("terminal") => {
+                let status = doc
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .and_then(JobStatus::parse)
+                    .ok_or("terminal record missing a valid `status`")?;
+                Ok(JournalEvent::Terminal {
+                    tenant: text("tenant"),
+                    id: text("id"),
+                    status,
+                })
+            }
+            _ => Err("unknown journal event".into()),
+        }
+    }
+}
+
+/// Frames one payload: `[u32 len][u32 checksum][payload]`.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(checksum(payload)).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Low 32 bits of FNV-1a over the payload (the same digest the cache
+/// keys and result digests use — stable across platforms and runs).
+fn checksum(payload: &[u8]) -> u32 {
+    (fnv1a(0xcbf2_9ce4_8422_2325, payload) & 0xffff_ffff) as u32
+}
+
+/// Decodes every valid frame from `bytes` (which excludes the magic),
+/// returning `(payload document, byte offset just past the frame)`
+/// pairs. Decoding stops at the first short frame, checksum mismatch,
+/// or undecodable payload — everything from there on is a torn/corrupt
+/// tail.
+fn decode_frames(bytes: &[u8]) -> Vec<(Json, usize)> {
+    let mut docs = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let sum = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let len = len as usize;
+        let Some(end) = at.checked_add(FRAME_HEADER + len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[at + FRAME_HEADER..end];
+        if checksum(payload) != sum {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(doc) = htforge_obs::parse_json(text) else {
+            break;
+        };
+        docs.push((doc, end));
+        at = end;
+    }
+    docs
+}
+
+/// Reads and decodes a journal segment without opening it for writing
+/// (the `--dump-journal` CLI mode and the crash-recovery tests).
+/// Returns the decoded payload documents and how many trailing bytes
+/// were unreadable (torn/corrupt tail; `0` for a clean segment).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the file.
+pub fn read_records(path: &Path) -> io::Result<(Vec<Json>, u64)> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        // Not a journal (or a torn header): everything is tail.
+        return Ok((Vec::new(), bytes.len() as u64));
+    }
+    let body = &bytes[JOURNAL_MAGIC.len()..];
+    let frames = decode_frames(body);
+    let valid = frames.last().map_or(0, |(_, end)| *end);
+    let docs = frames.into_iter().map(|(doc, _)| doc).collect();
+    Ok((docs, (body.len() - valid) as u64))
+}
+
+/// What replaying a segment found.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Jobs accepted but never terminal, in original submit order;
+    /// the server re-enqueues these.
+    pub pending: Vec<JobSpec>,
+    /// Valid records replayed.
+    pub replayed_records: u64,
+    /// Terminal records among them (jobs that fully completed).
+    pub terminal_records: u64,
+    /// Bytes truncated off a torn/corrupt tail.
+    pub truncated_bytes: u64,
+    /// Wall-clock replay duration.
+    pub recovery_ms: f64,
+}
+
+/// Per-journal monotonic counters (mirrored into `server.journal_*`
+/// obs counters by the core; exposed directly for tests and metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Explicit fsyncs issued.
+    pub fsyncs: u64,
+    /// Compacting rotations performed.
+    pub rotations: u64,
+}
+
+struct LiveJob {
+    spec: JobSpec,
+    started: bool,
+}
+
+/// An open write-ahead journal segment.
+pub struct Journal {
+    file: File,
+    cfg: JournalConfig,
+    /// Current segment size in bytes (including the magic).
+    bytes: u64,
+    /// Monotonic record sequence (survives rotation).
+    seq: u64,
+    unsynced: u32,
+    /// Accepted-but-not-terminal jobs, in submit order; rotation
+    /// compacts the segment down to exactly these.
+    live: Vec<((String, String), LiveJob)>,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Opens (or creates) the segment at `cfg.path`, replaying any
+    /// existing records. A torn or corrupt tail is truncated off —
+    /// the returned [`Recovery`] counts the dropped bytes — and jobs
+    /// without a terminal record come back as `pending`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening, reading or truncating the file.
+    pub fn open(cfg: JournalConfig) -> io::Result<(Journal, Recovery)> {
+        let t0 = Instant::now();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&cfg.path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut recovery = Recovery::default();
+        let mut live: Vec<((String, String), LiveJob)> = Vec::new();
+        let mut seq = 0u64;
+        let valid_len = if bytes.is_empty() {
+            file.write_all(JOURNAL_MAGIC)?;
+            JOURNAL_MAGIC.len() as u64
+        } else if bytes.len() < JOURNAL_MAGIC.len()
+            || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC
+        {
+            // Wrong magic (torn header or foreign file): rewrite from
+            // scratch rather than appending frames nothing can replay.
+            recovery.truncated_bytes = bytes.len() as u64;
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(JOURNAL_MAGIC)?;
+            JOURNAL_MAGIC.len() as u64
+        } else {
+            let body = &bytes[JOURNAL_MAGIC.len()..];
+            let frames = decode_frames(body);
+            let mut valid = 0usize;
+            // Terminal state per key, applied in record order; the
+            // valid prefix ends at the last record that also decodes
+            // semantically (structurally framed but unparseable
+            // events are tail too).
+            for (doc, end) in &frames {
+                let event = match JournalEvent::from_json(doc) {
+                    Ok(e) => e,
+                    Err(_) => break,
+                };
+                valid = *end;
+                recovery.replayed_records += 1;
+                seq = seq.max(doc.get("seq").and_then(Json::as_u64).unwrap_or(0));
+                match event {
+                    JournalEvent::Submit(spec) => {
+                        let key = spec.key();
+                        if !live.iter().any(|(k, _)| *k == key) {
+                            live.push((
+                                key,
+                                LiveJob {
+                                    spec: *spec,
+                                    started: false,
+                                },
+                            ));
+                        }
+                    }
+                    JournalEvent::Start { tenant, id } => {
+                        let key = (tenant, id);
+                        if let Some((_, job)) = live.iter_mut().find(|(k, _)| *k == key) {
+                            job.started = true;
+                        }
+                    }
+                    JournalEvent::Terminal { tenant, id, .. } => {
+                        let key = (tenant, id);
+                        live.retain(|(k, _)| *k != key);
+                        recovery.terminal_records += 1;
+                    }
+                }
+            }
+            let valid_total = (JOURNAL_MAGIC.len() + valid) as u64;
+            if valid_total < bytes.len() as u64 {
+                recovery.truncated_bytes = bytes.len() as u64 - valid_total;
+                file.set_len(valid_total)?;
+            }
+            file.seek(SeekFrom::End(0))?;
+            valid_total
+        };
+
+        recovery.pending = live.iter().map(|(_, job)| job.spec.clone()).collect();
+        recovery.recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Ok((
+            Journal {
+                file,
+                cfg,
+                bytes: valid_len,
+                seq,
+                unsynced: 0,
+                live,
+                stats: JournalStats::default(),
+            },
+            recovery,
+        ))
+    }
+
+    /// Opens a fresh (truncated) segment, discarding any prior
+    /// contents — the replay-failure fallback: availability over a
+    /// journal nothing can decode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the file.
+    pub fn open_fresh(cfg: JournalConfig) -> io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&cfg.path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        Ok(Journal {
+            file,
+            cfg,
+            bytes: JOURNAL_MAGIC.len() as u64,
+            seq: 0,
+            unsynced: 0,
+            live: Vec::new(),
+            stats: JournalStats::default(),
+        })
+    }
+
+    /// Appends one record, honoring the fsync policy, and rotates the
+    /// segment when it outgrows its bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the caller (the server core) degrades to
+    /// non-durable operation and counts the failure, it never drops
+    /// the job.
+    pub fn append(&mut self, event: &JournalEvent) -> io::Result<()> {
+        self.seq += 1;
+        let payload = event.to_json(self.seq).compact();
+        let frame = encode_frame(payload.as_bytes());
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.stats.appends += 1;
+        self.track_live(event);
+        self.unsynced += 1;
+        let sync_now = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.sync()?;
+        }
+        if self.cfg.rotate_bytes > 0 && self.bytes > self.cfg.rotate_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn track_live(&mut self, event: &JournalEvent) {
+        match event {
+            JournalEvent::Submit(spec) => {
+                let key = spec.key();
+                if !self.live.iter().any(|(k, _)| *k == key) {
+                    self.live.push((
+                        key,
+                        LiveJob {
+                            spec: (**spec).clone(),
+                            started: false,
+                        },
+                    ));
+                }
+            }
+            JournalEvent::Start { tenant, id } => {
+                let key = (tenant.clone(), id.clone());
+                if let Some((_, job)) = self.live.iter_mut().find(|(k, _)| *k == key) {
+                    job.started = true;
+                }
+            }
+            JournalEvent::Terminal { tenant, id, .. } => {
+                let key = (tenant.clone(), id.clone());
+                self.live.retain(|(k, _)| *k != key);
+            }
+        }
+    }
+
+    /// Fsyncs the segment regardless of policy (shutdown drain, and
+    /// batched-policy flushes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Compacts the segment down to the live (non-terminal) jobs:
+    /// write a temp segment, fsync it, atomically rename it over the
+    /// live path. A crash at any point leaves one intact segment.
+    fn rotate(&mut self) -> io::Result<()> {
+        let tmp_path = self.cfg.path.with_extension("rotate.tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(JOURNAL_MAGIC)?;
+        let mut bytes = JOURNAL_MAGIC.len() as u64;
+        let mut seq = self.seq;
+        // Re-emit submit (+ start) records for live jobs only; their
+        // original payloads are regenerated, not byte-copied, so a
+        // rotation is also a format self-heal.
+        let mut frames = Vec::new();
+        for (key, job) in &self.live {
+            seq += 1;
+            frames.push(
+                JournalEvent::Submit(Box::new(job.spec.clone()))
+                    .to_json(seq)
+                    .compact(),
+            );
+            if job.started {
+                seq += 1;
+                frames.push(
+                    JournalEvent::Start {
+                        tenant: key.0.clone(),
+                        id: key.1.clone(),
+                    }
+                    .to_json(seq)
+                    .compact(),
+                );
+            }
+        }
+        for payload in frames {
+            let frame = encode_frame(payload.as_bytes());
+            tmp.write_all(&frame)?;
+            bytes += frame.len() as u64;
+        }
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.cfg.path)?;
+        self.file = tmp;
+        self.bytes = bytes;
+        self.seq = seq;
+        self.unsynced = 0;
+        self.stats.rotations += 1;
+        Ok(())
+    }
+
+    /// Accepted-but-not-terminal jobs currently tracked.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Current segment size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Monotonic journal counters.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// The fsync policy in force.
+    #[must_use]
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.cfg.fsync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CircuitSource, JobKind, JobParams};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "htforge-journal-{}-{tag}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            id: id.into(),
+            kind: JobKind::Simulate,
+            circuit: CircuitSource::Builtin("c17".into()),
+            priority: 0,
+            deadline_ms: None,
+            params: JobParams::default(),
+        }
+    }
+
+    fn cfg(path: &Path) -> JournalConfig {
+        JournalConfig {
+            path: path.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            rotate_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_labels() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("batch:8"), Ok(FsyncPolicy::Batch(8)));
+        assert!(FsyncPolicy::parse("batch:0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::Batch(8).label(), "batch:8");
+    }
+
+    #[test]
+    fn records_round_trip_and_validate() {
+        let events = [
+            JournalEvent::Submit(Box::new(spec("a"))),
+            JournalEvent::Start {
+                tenant: "t".into(),
+                id: "a".into(),
+            },
+            JournalEvent::Terminal {
+                tenant: "t".into(),
+                id: "a".into(),
+                status: JobStatus::Done,
+            },
+        ];
+        for (i, event) in events.iter().enumerate() {
+            let doc = event.to_json(i as u64 + 1);
+            htforge_obs::validate_server_journal(&doc).unwrap();
+            assert_eq!(&JournalEvent::from_json(&doc).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn replay_reports_pending_jobs_and_dedupes_terminals() {
+        let path = temp_path("replay");
+        {
+            let (mut j, r) = Journal::open(cfg(&path)).unwrap();
+            assert!(r.pending.is_empty());
+            j.append(&JournalEvent::Submit(Box::new(spec("a"))))
+                .unwrap();
+            j.append(&JournalEvent::Submit(Box::new(spec("b"))))
+                .unwrap();
+            j.append(&JournalEvent::Start {
+                tenant: "t".into(),
+                id: "a".into(),
+            })
+            .unwrap();
+            j.append(&JournalEvent::Terminal {
+                tenant: "t".into(),
+                id: "a".into(),
+                status: JobStatus::Done,
+            })
+            .unwrap();
+            assert_eq!(j.pending(), 1);
+        }
+        let (j, r) = Journal::open(cfg(&path)).unwrap();
+        assert_eq!(r.replayed_records, 4);
+        assert_eq!(r.terminal_records, 1);
+        assert_eq!(r.truncated_bytes, 0);
+        assert_eq!(r.pending.len(), 1);
+        assert_eq!(r.pending[0].id, "b");
+        assert_eq!(j.pending(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let path = temp_path("torn");
+        {
+            let (mut j, _) = Journal::open(cfg(&path)).unwrap();
+            j.append(&JournalEvent::Submit(Box::new(spec("a"))))
+                .unwrap();
+            j.append(&JournalEvent::Submit(Box::new(spec("b"))))
+                .unwrap();
+        }
+        // Tear the tail: chop off the last 7 bytes of the segment.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (_, r) = Journal::open(cfg(&path)).unwrap();
+        assert_eq!(r.replayed_records, 1);
+        assert_eq!(r.pending.len(), 1);
+        assert_eq!(r.pending[0].id, "a");
+        assert!(r.truncated_bytes > 0);
+        // The truncation is persistent: a second replay is clean.
+        let (_, r2) = Journal::open(cfg(&path)).unwrap();
+        assert_eq!(r2.truncated_bytes, 0);
+        assert_eq!(r2.replayed_records, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_reset_not_replayed() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"this is not a journal at all").unwrap();
+        let (mut j, r) = Journal::open(cfg(&path)).unwrap();
+        assert_eq!(r.replayed_records, 0);
+        assert!(r.pending.is_empty());
+        assert_eq!(r.truncated_bytes, 28);
+        // And the reset segment accepts appends + replays cleanly.
+        j.append(&JournalEvent::Submit(Box::new(spec("x"))))
+            .unwrap();
+        drop(j);
+        let (_, r2) = Journal::open(cfg(&path)).unwrap();
+        assert_eq!(r2.pending.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_compacts_to_live_jobs_and_survives_replay() {
+        let path = temp_path("rotate");
+        let mut c = cfg(&path);
+        c.rotate_bytes = 2048;
+        let (mut j, _) = Journal::open(c.clone()).unwrap();
+        // Churn enough submit/terminal pairs to cross the bound
+        // several times, keeping one live straggler.
+        j.append(&JournalEvent::Submit(Box::new(spec("live"))))
+            .unwrap();
+        for i in 0..64 {
+            let id = format!("done-{i}");
+            j.append(&JournalEvent::Submit(Box::new(spec(&id))))
+                .unwrap();
+            j.append(&JournalEvent::Terminal {
+                tenant: "t".into(),
+                id,
+                status: JobStatus::Done,
+            })
+            .unwrap();
+        }
+        assert!(j.stats().rotations > 0, "rotation never triggered");
+        assert!(j.size_bytes() <= 2048 + 1024, "segment did not compact");
+        drop(j);
+        let (_, r) = Journal::open(c).unwrap();
+        assert_eq!(r.pending.len(), 1);
+        assert_eq!(r.pending[0].id, "live");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_records_dumps_schema_valid_payloads() {
+        let path = temp_path("dump");
+        {
+            let (mut j, _) = Journal::open(cfg(&path)).unwrap();
+            j.append(&JournalEvent::Submit(Box::new(spec("a"))))
+                .unwrap();
+            j.append(&JournalEvent::Terminal {
+                tenant: "t".into(),
+                id: "a".into(),
+                status: JobStatus::Failed,
+            })
+            .unwrap();
+        }
+        let (docs, torn) = read_records(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(docs.len(), 2);
+        for doc in &docs {
+            htforge_obs::validate_server_journal(doc).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

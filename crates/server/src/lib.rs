@@ -12,9 +12,16 @@
 //!   compilation,
 //! * per-job `RunBudget` + `CancelToken` admission control with
 //!   priority/deadline scheduling,
-//! * graceful shutdown that drains (or drops) the queue, and
+//! * graceful shutdown that drains (or drops) the queue,
 //! * per-job `htforge.run_report/v1` artifacts streamed inline with
-//!   each terminal response, plus `server.*` counters and gauges.
+//!   each terminal response, plus `server.*` counters and gauges,
+//! * a crash-safe write-ahead job journal ([`journal`]) replayed on
+//!   restart so accepted jobs survive a `SIGKILL` (at-least-once
+//!   redelivery, deduplicated terminals), and
+//! * per-tenant admission control (token-bucket rates, in-flight
+//!   quotas, bounded queue) that sheds overload with structured
+//!   `queue_full`/`rate_limit` rejections instead of dropping
+//!   connections.
 //!
 //! # Example
 //!
@@ -40,16 +47,24 @@
 pub mod cache;
 pub mod core;
 pub mod exec;
+pub mod journal;
 pub mod progress;
 pub mod protocol;
 pub mod session;
 
 pub use cache::{CacheStats, CompiledCircuit, ProgramCache};
-pub use core::{Server, ServerConfig, SessionControl, StatsSnapshot};
+pub use core::{
+    AdmissionConfig, RecoveryInfo, Server, ServerConfig, SessionControl, StatsSnapshot,
+};
 pub use exec::{execute, ExecOutcome, SIM_CHUNK};
+pub use journal::{
+    read_records, FsyncPolicy, Journal, JournalConfig, JournalEvent, JournalStats, Recovery,
+};
 pub use progress::{ProgressEmitter, PIPELINE_PHASES};
 pub use protocol::{
     parse_request, CircuitSource, JobKind, JobParams, JobProgress, JobResult, JobSpec, JobStatus,
     Request, RequestError, Response, REQUEST_SCHEMA, RESPONSE_SCHEMA,
 };
-pub use session::{serve, serve_unix_socket, SessionSummary};
+pub use session::{
+    serve, serve_cancellable, serve_unix_socket, serve_unix_socket_with, SessionSummary,
+};

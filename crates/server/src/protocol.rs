@@ -517,6 +517,18 @@ impl JobStatus {
             JobStatus::Timeout => "timeout",
         }
     }
+
+    /// Parses a wire name (journal replay decodes terminal records).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobStatus> {
+        match s {
+            "done" => Some(JobStatus::Done),
+            "failed" => Some(JobStatus::Failed),
+            "cancelled" => Some(JobStatus::Cancelled),
+            "timeout" => Some(JobStatus::Timeout),
+            _ => None,
+        }
+    }
 }
 
 /// The terminal response for one job (exactly one per accepted job).
@@ -592,6 +604,23 @@ pub enum Response {
         id: Option<String>,
         /// Description.
         error: String,
+    },
+    /// Admission-control rejection: the job was **not** accepted (no
+    /// terminal response will follow) and the client should back off
+    /// for `retry_after_ms` before resubmitting.
+    Reject {
+        /// Tenant scope of the rejected submit.
+        tenant: String,
+        /// Job id of the rejected submit.
+        id: String,
+        /// Machine-readable reason: `queue_full` (bounded queue or
+        /// in-flight quota exhausted), `rate_limit` (token bucket
+        /// empty) or `accept_fault` (injected admission fault).
+        reason: String,
+        /// Human-readable description.
+        error: String,
+        /// Suggested client back-off before resubmitting.
+        retry_after_ms: u64,
     },
     /// Server status snapshot.
     Status(Json),
@@ -676,6 +705,20 @@ impl Response {
                     fields.push(("trace", Json::Str(p.trace.clone())));
                 }
                 fields.push(("progress", p.frame.clone()));
+            }
+            Response::Reject {
+                tenant,
+                id,
+                reason,
+                error,
+                retry_after_ms,
+            } => {
+                fields.push(("type", Json::Str("reject".into())));
+                fields.push(("tenant", Json::Str(tenant.clone())));
+                fields.push(("id", Json::Str(id.clone())));
+                fields.push(("reason", Json::Str(reason.clone())));
+                fields.push(("error", Json::Str(error.clone())));
+                fields.push(("retry_after_ms", Json::Num(*retry_after_ms as f64)));
             }
             Response::Error { stage, id, error } => {
                 fields.push(("type", Json::Str("error".into())));
@@ -865,6 +908,36 @@ mod tests {
         assert_eq!(doc.get("id"), Some(&Json::Null));
         // Every response line is itself valid JSON.
         assert!(parse_json(&err.to_line()).is_ok());
+    }
+
+    #[test]
+    fn reject_lines_carry_reason_and_retry_hint() {
+        let resp = Response::Reject {
+            tenant: "acme".into(),
+            id: "j-9".into(),
+            reason: "queue_full".into(),
+            error: "queue depth 64 at limit".into(),
+            retry_after_ms: 250,
+        };
+        let doc = resp.to_json();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("reject"));
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(doc.get("retry_after_ms").unwrap().as_f64(), Some(250.0));
+        assert!(parse_json(&resp.to_line()).is_ok());
+    }
+
+    #[test]
+    fn job_status_round_trips_through_wire_names() {
+        for status in [
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+            JobStatus::Timeout,
+        ] {
+            assert_eq!(JobStatus::parse(status.as_str()), Some(status));
+        }
+        assert_eq!(JobStatus::parse("exploded"), None);
     }
 
     #[test]

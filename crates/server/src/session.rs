@@ -1,19 +1,31 @@
 //! Session plumbing: wires a [`Server`] to byte streams.
 //!
 //! One session = one request stream + one response stream. A dedicated
-//! writer thread owns the output and drains the server's response
+//! writer thread owns the output and drains the session's response
 //! channel, so workers never block on a slow client and response lines
-//! are never interleaved. EOF on the input is a graceful `drain`
-//! shutdown: accepted jobs finish, their results flush, and the final
-//! `shutdown` line closes the stream.
+//! are never interleaved. In stdio mode EOF on the input is a graceful
+//! `drain` shutdown: accepted jobs finish, their results flush, and
+//! the final `shutdown` line closes the stream.
+//!
+//! Socket mode ([`serve_unix_socket`]) is concurrent: every accepted
+//! connection gets its own reader + writer thread pair and a private
+//! response session, all feeding **one** shared [`Server`] (one
+//! scheduler, one journal, one cache). A disconnect closes only that
+//! connection; a client `shutdown` request — or an external stop flag,
+//! the binary's SIGTERM path — drains the whole daemon, flushing
+//! terminal responses to still-connected clients before the socket
+//! closes.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Duration;
 
 use crate::cache::ProgramCache;
 use crate::core::{Server, ServerConfig, SessionControl, StatsSnapshot};
+use crate::protocol::Response;
 
 /// What one session did, for logs and tests.
 #[derive(Debug, Clone, Copy)]
@@ -87,29 +99,270 @@ where
     })
 }
 
-/// Serves sessions over a Unix socket, one connection at a time, all
-/// sharing one compiled-circuit cache. A client `shutdown` request ends
-/// its session *and* the accept loop; a plain disconnect (EOF) drains
-/// that session and waits for the next client.
+/// [`serve`] with an external stop flag: when `stop` flips true (the
+/// binary's SIGTERM/SIGINT handler), the session stops reading, drains
+/// accepted jobs, flushes their terminal responses and the final
+/// `shutdown` line, and returns. The input is read from a helper
+/// thread so a quiet stream cannot block the stop check.
 ///
 /// # Errors
 ///
-/// Propagates socket errors (bind/accept) and per-session I/O errors.
+/// Propagates I/O errors from either stream; jobs already accepted are
+/// still drained and counted before the error is returned.
+pub fn serve_cancellable<R, W>(
+    input: R,
+    output: W,
+    config: ServerConfig,
+    cache: Arc<ProgramCache>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<SessionSummary>
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let (server, rx) = Server::start_with_cache(config, cache);
+    let writer = thread::spawn(move || -> io::Result<()> {
+        let mut out = output;
+        for resp in rx {
+            let last = matches!(resp, Response::Shutdown { .. });
+            writeln!(out, "{}", resp.to_line())?;
+            out.flush()?;
+            if last {
+                break;
+            }
+        }
+        Ok(())
+    });
+
+    // Reader thread: lines arrive over a channel so the main loop can
+    // poll `stop` between reads instead of blocking on a quiet input.
+    let (line_tx, line_rx) = mpsc::channel::<io::Result<String>>();
+    let _reader = thread::spawn(move || {
+        for line in input.lines() {
+            let failed = line.is_err();
+            if line_tx.send(line).is_err() || failed {
+                break;
+            }
+        }
+    });
+
+    let mut client_shutdown = false;
+    let mut read_error = None;
+    while !stop.load(Ordering::Relaxed) {
+        match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Ok(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if server.handle_line(&line) == SessionControl::Shutdown {
+                    client_shutdown = true;
+                    break;
+                }
+            }
+            Ok(Err(e)) => {
+                read_error = Some(e);
+                break;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    server.request_shutdown(false);
+    let stats = server.join();
+    let write_result = writer
+        .join()
+        .map_err(|_| io::Error::other("response writer panicked"))?;
+    if let Some(e) = read_error {
+        return Err(e);
+    }
+    write_result?;
+    Ok(SessionSummary {
+        stats,
+        client_shutdown,
+    })
+    // The reader thread is detached: it exits on input EOF or when the
+    // closed channel rejects its next line.
+}
+
+/// Serves concurrent sessions over a Unix socket, all feeding one
+/// shared [`Server`]. A client `shutdown` request drains the daemon;
+/// a plain disconnect (EOF) closes only that connection.
+///
+/// # Errors
+///
+/// Propagates socket errors (bind/accept); per-connection I/O errors
+/// end that connection and are logged, never the daemon.
 pub fn serve_unix_socket(path: &Path, config: &ServerConfig) -> io::Result<()> {
+    serve_unix_socket_with(
+        path,
+        config,
+        Arc::new(ProgramCache::new()),
+        Arc::new(AtomicBool::new(false)),
+    )
+    .map(|_| ())
+}
+
+/// [`serve_unix_socket`] with a shared cache and an external stop flag
+/// (the binary's SIGTERM/SIGINT path). When `stop` flips true the
+/// accept loop closes, accepted jobs drain, terminal responses flush
+/// to still-connected clients, and the function returns the final
+/// statistics.
+///
+/// # Errors
+///
+/// Propagates socket bind errors; everything after bind degrades
+/// per-connection instead of failing the daemon.
+pub fn serve_unix_socket_with(
+    path: &Path,
+    config: &ServerConfig,
+    cache: Arc<ProgramCache>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<StatsSnapshot> {
     // A stale socket file from a previous run blocks bind; remove it.
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
-    let cache = Arc::new(ProgramCache::new());
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let summary = serve(reader, stream, config.clone(), Arc::clone(&cache))?;
-        if summary.client_shutdown {
+    listener.set_nonblocking(true)?;
+    let (server, rx0) = Server::start_with_cache(config.clone(), cache);
+    let server = Arc::new(server);
+
+    // Session-0 drain: responses with no live connection — recovered
+    // jobs finishing after a crash, terminals for disconnected clients
+    // — are logged so the channel never backs up and nothing vanishes
+    // silently.
+    let orphan_drain = thread::spawn(move || {
+        for resp in rx0 {
+            let last = matches!(resp, Response::Shutdown { .. });
+            eprintln!("[htforge-server] unrouted: {}", resp.to_line());
+            if last {
+                break;
+            }
+        }
+    });
+
+    let client_shutdown = Arc::new(AtomicBool::new(false));
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if stop.load(Ordering::Relaxed)
+            || client_shutdown.load(Ordering::Relaxed)
+            || server.is_shutting_down()
+        {
             break;
         }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                let flag = Arc::clone(&client_shutdown);
+                connections.push(thread::spawn(move || {
+                    if let Err(e) = handle_connection(&server, stream, &flag) {
+                        eprintln!("[htforge-server] connection error: {e}");
+                    }
+                }));
+                // Reap finished connection threads so a long-lived
+                // daemon doesn't accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[htforge-server] accept error: {e}");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
     }
+
+    // Graceful drain: stop accepting, finish accepted jobs, flush
+    // terminals to clients still connected, then close everything.
+    server.request_shutdown(false);
+    let stats = server.drain();
+    for conn in connections {
+        let _ = conn.join();
+    }
+    let _ = orphan_drain.join();
     let _ = std::fs::remove_file(path);
-    Ok(())
+    Ok(stats)
+}
+
+/// One socket connection: a private response session plus a reader
+/// loop that polls the server's shutdown state between read timeouts,
+/// so a quiet client never pins the daemon open during a drain.
+fn handle_connection(
+    server: &Server,
+    stream: std::os::unix::net::UnixStream,
+    client_shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let (session, rx) = server.open_session();
+    let out = stream.try_clone()?;
+    let writer = thread::spawn(move || -> io::Result<()> {
+        let mut out = out;
+        for resp in rx {
+            let last = matches!(resp, Response::Shutdown { .. });
+            writeln!(out, "{}", resp.to_line())?;
+            out.flush()?;
+            if last {
+                break;
+            }
+        }
+        Ok(())
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    // `read_until` keeps partial bytes in `line` across timeouts, so
+    // a slow client's half-written request survives the poll cycle.
+    let result: io::Result<bool> = loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break Ok(false), // EOF: client disconnected.
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                let text = text.trim();
+                let control = if text.is_empty() {
+                    SessionControl::Continue
+                } else {
+                    server.handle_line_for(session, text)
+                };
+                line.clear();
+                if control == SessionControl::Shutdown {
+                    break Ok(true);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if server.is_shutting_down() || client_shutdown.load(Ordering::Relaxed) {
+                    break Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => break Err(e),
+        }
+    };
+
+    let requested_shutdown = matches!(result, Ok(true));
+    if requested_shutdown {
+        client_shutdown.store(true, Ordering::Relaxed);
+    }
+    if requested_shutdown || server.is_shutting_down() || client_shutdown.load(Ordering::Relaxed) {
+        // Keep the session open through the drain: terminal lines for
+        // this client's in-flight jobs flush, and the writer exits on
+        // the broadcast `shutdown` line.
+        let _ = writer.join();
+        server.close_session(session);
+    } else {
+        // Plain disconnect: close the session first so the writer's
+        // channel ends, then reap it. In-flight terminals reroute to
+        // the session-0 drain.
+        server.close_session(session);
+        let _ = writer.join();
+    }
+    result.map(|_| ())
 }
 
 #[cfg(test)]

@@ -481,6 +481,140 @@ mod server_chaos {
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.finished(), stats.submitted, "a job went missing");
     }
+
+    fn journal_config(tag: &str) -> htforge::server::JournalConfig {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "htforge_chaos_journal_{tag}_{}_{}.wal",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_file(&path);
+        htforge::server::JournalConfig::new(path)
+    }
+
+    #[test]
+    fn journal_append_fault_keeps_every_job_terminal() {
+        let _gate = lock();
+        disarm_all();
+        let jc = journal_config("append_err");
+        let errors = htforge::obs::counter("server.journal_append_errors");
+        let before = errors.get();
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 1,
+            journal: Some(jc.clone()),
+            ..ServerConfig::default()
+        });
+
+        // Every journal append faults. Durability degrades (the crash
+        // guarantee is gone until the fault clears) but the live path
+        // must not: jobs are accepted, run, and answer exactly once.
+        arm("server.journal_append", Action::Err);
+        for id in ["j1", "j2", "j3"] {
+            server.handle(Request::Submit(Box::new(sim_spec(id))));
+        }
+        let mut done = 0;
+        for _ in 0..3 {
+            let r = next_result(&rx);
+            assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+            done += 1;
+        }
+        disarm_all();
+        assert_eq!(done, 3);
+        assert!(
+            errors.get() > before,
+            "failed appends must be counted, not silent"
+        );
+
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.finished(), stats.submitted, "a job went missing");
+        let _ = std::fs::remove_file(&jc.path);
+    }
+
+    #[test]
+    fn journal_replay_panic_restarts_on_a_fresh_segment() {
+        let _gate = lock();
+        disarm_all();
+        let jc = journal_config("replay_panic");
+        // Seed a real segment with an accepted-but-unfinished job, the
+        // shape a crashed daemon leaves behind.
+        {
+            let (mut journal, _) = htforge::server::Journal::open(jc.clone()).unwrap();
+            journal
+                .append(&htforge::server::JournalEvent::Submit(Box::new(sim_spec(
+                    "orphan",
+                ))))
+                .unwrap();
+        }
+
+        // Replay panics. Availability wins: the daemon starts on a
+        // fresh segment, flags the failure, and still serves jobs.
+        arm("server.journal_replay", Action::Panic);
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 1,
+            journal: Some(jc.clone()),
+            ..ServerConfig::default()
+        });
+        disarm_all();
+        let recovery = server.recovery();
+        assert!(recovery.enabled);
+        assert!(recovery.replay_failed, "injected panic must be flagged");
+        assert_eq!(recovery.recovered_jobs, 0);
+
+        server.handle(Request::Submit(Box::new(sim_spec("alive"))));
+        let r = next_result(&rx);
+        assert_eq!(r.id, "alive");
+        assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.completed, 1);
+        let _ = std::fs::remove_file(&jc.path);
+    }
+
+    #[test]
+    fn accept_fault_sheds_with_a_structured_rejection() {
+        let _gate = lock();
+        disarm_all();
+        let (server, rx) = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+
+        // The accept path faults: the submit is shed with a structured
+        // rejection — never a dropped connection, never a ghost job.
+        arm("server.accept", Action::Err);
+        server.handle(Request::Submit(Box::new(sim_spec("shed"))));
+        let resp = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("response stream");
+        disarm_all();
+        match resp {
+            Response::Reject {
+                id, reason, error, ..
+            } => {
+                assert_eq!(id, "shed");
+                assert_eq!(reason, "accept_fault");
+                assert!(error.contains("injected"), "got: {error}");
+            }
+            other => panic!("expected a reject line, got {other:?}"),
+        }
+
+        // Disarmed, the same id is accepted — a rejected submit left
+        // no tombstone behind.
+        server.handle(Request::Submit(Box::new(sim_spec("shed"))));
+        let r = next_result(&rx);
+        assert_eq!(r.id, "shed");
+        assert_eq!(r.status.as_str(), "done", "{:?}", r.error);
+
+        server.request_shutdown(false);
+        let stats = server.join();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.submitted, 1, "rejected submits must not count");
+    }
 }
 
 #[test]

@@ -382,3 +382,202 @@ fn expired_deadline_completes_as_timeout_not_a_hang() {
     assert_eq!(stats.timeout, 1);
     assert_eq!(stats.finished(), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Admission control: bounded queues and tenant quotas shed load with
+// structured rejections — never dropped connections, never lost
+// accepted jobs.
+// ---------------------------------------------------------------------------
+
+fn medium_job(tenant: &str, id: &str) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        ..spec(
+            id,
+            JobKind::Simulate,
+            "c2670",
+            JobParams {
+                vectors: 4_096,
+                repeat: 16,
+                ..JobParams::default()
+            },
+        )
+    }
+}
+
+/// Drains responses until `accepted` terminal results have arrived,
+/// returning `(result_ids, rejects)` where rejects are
+/// `(id, reason, retry_after_ms)`.
+fn drain_terminals(
+    rx: &std::sync::mpsc::Receiver<Response>,
+    accepted: usize,
+) -> (Vec<String>, Vec<(String, String, u64)>) {
+    let mut results = Vec::new();
+    let mut rejects = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while results.len() < accepted {
+        assert!(Instant::now() < deadline, "terminals never drained");
+        match rx.recv_timeout(Duration::from_secs(120)).expect("stream") {
+            Response::Result(r) => results.push(r.id.clone()),
+            Response::Reject {
+                id,
+                reason,
+                retry_after_ms,
+                ..
+            } => rejects.push((id, reason, retry_after_ms)),
+            _ => {}
+        }
+    }
+    (results, rejects)
+}
+
+#[test]
+fn bounded_queue_sheds_queue_full_but_loses_no_accepted_job() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        admission: htforge::server::AdmissionConfig {
+            max_queue_depth: 1,
+            ..htforge::server::AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    let total = 5;
+    for i in 0..total {
+        server.handle(Request::Submit(Box::new(medium_job(
+            "flood",
+            &format!("f{i}"),
+        ))));
+    }
+    // Count acks/rejects first: every submit got exactly one of them.
+    let mut accepted = 0;
+    let mut rejected = Vec::new();
+    let mut seen = 0;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut pending = Vec::new();
+    while seen < total {
+        assert!(Instant::now() < deadline, "submits were dropped");
+        match rx.recv_timeout(Duration::from_secs(60)).expect("stream") {
+            Response::Ack { .. } => {
+                accepted += 1;
+                seen += 1;
+            }
+            Response::Reject {
+                id,
+                reason,
+                retry_after_ms,
+                ..
+            } => {
+                rejected.push((id, reason, retry_after_ms));
+                seen += 1;
+            }
+            other => pending.push(other),
+        }
+    }
+    assert!(
+        !rejected.is_empty(),
+        "a 1-deep queue must shed a 5-job burst"
+    );
+    assert_eq!(accepted + rejected.len(), total);
+    for (id, reason, retry_after_ms) in &rejected {
+        assert_eq!(reason, "queue_full", "{id}");
+        assert!(*retry_after_ms > 0, "{id}: retry hint missing");
+    }
+
+    // Every accepted job still reaches exactly one terminal response.
+    let mut results: Vec<String> = pending
+        .iter()
+        .filter_map(|r| match r {
+            Response::Result(r) => Some(r.id.clone()),
+            _ => None,
+        })
+        .collect();
+    let (late, more_rejects) = drain_terminals(&rx, accepted - results.len());
+    assert!(more_rejects.is_empty());
+    results.extend(late);
+    assert_eq!(results.len(), accepted);
+
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(stats.rejected as usize, rejected.len());
+    assert_eq!(stats.finished(), accepted as u64);
+    assert_eq!(
+        stats.finished(),
+        stats.submitted,
+        "an accepted job vanished"
+    );
+}
+
+#[test]
+fn tenant_quota_isolates_the_noisy_neighbor() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 2,
+        admission: htforge::server::AdmissionConfig {
+            tenant_max_active: 2,
+            ..htforge::server::AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // The flood tenant bursts 4 jobs; its quota admits exactly 2
+    // (active = queued + running, counted at accept — deterministic).
+    for i in 0..4 {
+        server.handle(Request::Submit(Box::new(medium_job(
+            "flood",
+            &format!("n{i}"),
+        ))));
+    }
+    // The victim tenant's single job rides in despite the flood.
+    server.handle(Request::Submit(Box::new(medium_job("victim", "v0"))));
+
+    let (results, rejects) = drain_terminals(&rx, 3);
+    assert_eq!(rejects.len(), 2, "quota must shed exactly 2 of the burst");
+    for (id, reason, _) in &rejects {
+        assert_eq!(reason, "queue_full", "{id}");
+        assert!(id.starts_with('n'), "only flood jobs may be shed, not {id}");
+    }
+    assert!(
+        results.iter().any(|id| id == "v0"),
+        "the victim's job must complete: {results:?}"
+    );
+
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.finished(), 3);
+}
+
+#[test]
+fn rate_limit_rejects_with_a_computed_retry_hint() {
+    let (server, rx) = Server::start(ServerConfig {
+        workers: 1,
+        admission: htforge::server::AdmissionConfig {
+            tenant_rate_per_sec: 0.5,
+            tenant_burst: 1.0,
+            ..htforge::server::AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // The bucket starts with one token: the first submit spends it,
+    // the immediate second one is rate-limited with a retry hint
+    // derived from the 0.5/s refill (≈ 2 s to a whole token).
+    server.handle(Request::Submit(Box::new(medium_job("metered", "ok"))));
+    server.handle(Request::Submit(Box::new(medium_job("metered", "fast"))));
+
+    let (results, rejects) = drain_terminals(&rx, 1);
+    assert_eq!(results, vec!["ok".to_owned()]);
+    assert_eq!(rejects.len(), 1);
+    let (id, reason, retry_after_ms) = &rejects[0];
+    assert_eq!(id, "fast");
+    assert_eq!(reason, "rate_limit");
+    assert!(
+        (500..=4_000).contains(retry_after_ms),
+        "retry hint {retry_after_ms} ms should reflect the 0.5/s refill"
+    );
+
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 1);
+}
