@@ -1,0 +1,252 @@
+//! Netlist-core scaling benchmark: writes `BENCH_netlist.json` at the
+//! repository root.
+//!
+//! For each size in {10k, 100k, 1M} gates this builds a synthetic
+//! three-level hierarchical design (`leaf` blocks of combinational
+//! gates, `tile` modules chaining leaf instances, a top fanning out to
+//! many tiles), then walks the full industrial-scale pipeline:
+//!
+//! 1. **flatten** — deterministic [`htforge_netlist::Design::flatten`]
+//!    of the hierarchy into one interned SoA [`Netlist`],
+//! 2. **parse** — the flat design is written to a `.bench` file on
+//!    disk, the in-memory netlist is dropped, and the file is re-read
+//!    through the streaming [`bench::parse_reader`] path (source text
+//!    and built graph are never resident together),
+//! 3. **levelize** — cached levelization of the parsed netlist,
+//! 4. **rare_extract** — rare-node extraction at θ=0.2 over random
+//!    patterns (the insertion pipeline's profiling step).
+//!
+//! Every row records wall seconds per phase, `Netlist::memory_bytes`
+//! (the core columns' resident footprint) and the process peak RSS
+//! (`VmHWM` from `/proc/self/status`), so near-linear scaling and the
+//! memory budget are machine-checkable. With `HTFORGE_RSS_LIMIT_MB`
+//! set, the run fails if peak RSS exceeds the ceiling — the CI
+//! netlist-scale job uses this as a hard memory-budget gate.
+//!
+//! Run with `cargo run --release -p htforge-bench --bin bench_netlist`
+//! (`--quick` trims the profiling vector count for CI).
+
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::time::Instant;
+
+use htforge_netlist::{bench, Atom, Design, GateKind, ModuleId, Netlist, NodeKind};
+use htforge_sim::{PatternSet, RareNodeExtractor};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netlist.json");
+const THETA: f64 = 0.2;
+
+/// Peak resident set size (`VmHWM`) in KiB from `/proc/self/status`,
+/// or 0 on platforms without procfs.
+fn rss_peak_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One size point of the generator: `leaf_gates * leaves_per_tile *
+/// tiles` total gates.
+struct Shape {
+    leaf_gates: usize,
+    leaves_per_tile: usize,
+    tiles: usize,
+}
+
+impl Shape {
+    fn gates(&self) -> usize {
+        self.leaf_gates * self.leaves_per_tile * self.tiles
+    }
+}
+
+/// Builds the synthetic hierarchical design for `shape`.
+///
+/// The `leaf` module is a 4-in/4-out block of `leaf_gates` gates whose
+/// fan-ins scatter over all earlier signals (wide, shallow cones). A
+/// `tile` chains `leaves_per_tile` leaf instances. The top module fans
+/// 8 primary inputs out to `tiles` parallel tile instances with
+/// rotated port bindings and exposes every tile output, so depth stays
+/// constant across sizes and width carries the scaling.
+fn synth_design(shape: &Shape) -> (Design, ModuleId) {
+    let mut d = Design::new(format!("synth_{}g", shape.gates()));
+
+    // ---- leaf: 4 inputs, leaf_gates gates, last 4 outputs ----------
+    let leaf = d.add_module("leaf").expect("fresh module name");
+    let leaf_ins: Vec<Atom> = (0..4).map(|i| d.intern(&format!("i{i}"))).collect();
+    for &p in &leaf_ins {
+        d.add_port_in(leaf, p);
+    }
+    let mut sigs = leaf_ins;
+    for g in 0..shape.leaf_gates {
+        let out = d.intern(&format!("g{g}"));
+        let kind = match g % 6 {
+            0 => GateKind::Nand,
+            1 => GateKind::Nor,
+            2 => GateKind::And,
+            3 => GateKind::Or,
+            4 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let a = sigs[(g * 7 + 3) % sigs.len()];
+        let fanins = if kind == GateKind::Not {
+            vec![a]
+        } else {
+            vec![a, sigs[(g * 13 + 1) % sigs.len()]]
+        };
+        d.add_cell(leaf, out, NodeKind::Gate(kind), fanins)
+            .expect("legal leaf cell");
+        sigs.push(out);
+    }
+    let leaf_outs: Vec<Atom> = sigs[sigs.len() - 4..].to_vec();
+    for &p in &leaf_outs {
+        d.add_port_out(leaf, p);
+    }
+
+    // ---- tile: chains leaves_per_tile leaf instances ---------------
+    let tile = d.add_module("tile").expect("fresh module name");
+    let tile_ins: Vec<Atom> = (0..4).map(|i| d.intern(&format!("t{i}"))).collect();
+    for &p in &tile_ins {
+        d.add_port_in(tile, p);
+    }
+    let mut feed = tile_ins;
+    for k in 0..shape.leaves_per_tile {
+        let inst = d.intern(&format!("l{k}"));
+        let outs: Vec<Atom> = (0..4).map(|j| d.intern(&format!("n{k}_{j}"))).collect();
+        d.add_instance(tile, inst, leaf, feed.clone(), outs.clone())
+            .expect("port counts match");
+        feed = outs;
+    }
+    for &p in &feed {
+        d.add_port_out(tile, p);
+    }
+
+    // ---- top: tiles parallel tile instances, rotated bindings ------
+    let top = d.add_module("top").expect("fresh module name");
+    let top_ins: Vec<Atom> = (0..8).map(|i| d.intern(&format!("p{i}"))).collect();
+    for &p in &top_ins {
+        d.add_port_in(top, p);
+    }
+    for t in 0..shape.tiles {
+        let inst = d.intern(&format!("u{t}"));
+        let ins: Vec<Atom> = [0usize, 3, 5, 6]
+            .iter()
+            .map(|&r| top_ins[(t + r) % top_ins.len()])
+            .collect();
+        let outs: Vec<Atom> = (0..4).map(|j| d.intern(&format!("w{t}_{j}"))).collect();
+        d.add_instance(top, inst, tile, ins, outs.clone())
+            .expect("port counts match");
+        for &p in &outs {
+            d.add_port_out(top, p);
+        }
+    }
+    (d, top)
+}
+
+/// Flatten + write-to-disk + streaming re-parse + levelize + rare
+/// extract for one size point; returns the JSON row.
+fn run_size(shape: &Shape, vectors: usize) -> String {
+    let gates = shape.gates();
+
+    let t = Instant::now();
+    let (design, top) = synth_design(shape);
+    let flat = design.flatten(top).expect("synthetic design flattens");
+    let flatten_sec = t.elapsed().as_secs_f64();
+    assert_eq!(flat.gate_count(), gates, "generator hit its gate target");
+
+    // Write the flat design to disk, then drop every in-memory copy so
+    // the streaming parse below never coexists with the source text.
+    let path = std::env::temp_dir().join(format!("htforge_bench_netlist_{gates}.bench"));
+    let text = bench::write(&flat);
+    let bench_bytes = text.len();
+    std::fs::write(&path, &text).expect("write temp .bench");
+    drop(text);
+    drop(flat);
+    drop(design);
+
+    let t = Instant::now();
+    let file = std::fs::File::open(&path).expect("reopen temp .bench");
+    let parsed: Netlist =
+        bench::parse_reader(BufReader::new(file), &format!("synth_{gates}g")).expect("round-trips");
+    let parse_sec = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(parsed.gate_count(), gates, "parse preserved the gates");
+
+    let t = Instant::now();
+    let levels = parsed.levels().expect("acyclic");
+    let depth = levels.iter().copied().max().unwrap_or(0) as u64 + 1;
+    let levelize_sec = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let patterns = PatternSet::random(parsed.inputs().len(), vectors, 7);
+    let rare = RareNodeExtractor::new(THETA)
+        .extract(&parsed, &patterns)
+        .expect("profiles");
+    let rare_sec = t.elapsed().as_secs_f64();
+
+    let memory_bytes = parsed.memory_bytes();
+    let rss_kb = rss_peak_kb();
+    eprintln!(
+        "{gates} gates: flatten {flatten_sec:.3}s | parse {parse_sec:.3}s ({:.2e} gates/s) | levelize {levelize_sec:.3}s | rare {rare_sec:.3}s ({} rare) | {:.1} MB columns | peak RSS {} MB",
+        gates as f64 / parse_sec,
+        rare.len(),
+        memory_bytes as f64 / 1e6,
+        rss_kb / 1024,
+    );
+
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "    {{\n      \"gates\": {gates},\n      \"nodes\": {},\n      \"levels\": {depth},\n      \"bench_bytes\": {bench_bytes},\n      \"memory_bytes\": {memory_bytes},\n      \"rss_peak_kb\": {rss_kb},\n      \"rare_nodes\": {},\n      \"profile_vectors\": {vectors},\n      \"gates_per_sec\": {{\n        \"parse\": {:.1},\n        \"levelize\": {:.1}\n      }},\n      \"seconds\": {{\n        \"flatten\": {flatten_sec:.4},\n        \"parse\": {parse_sec:.4},\n        \"levelize\": {levelize_sec:.4},\n        \"rare_extract\": {rare_sec:.4}\n      }}\n    }}",
+        parsed.node_count(),
+        rare.len(),
+        gates as f64 / parse_sec,
+        gates as f64 / levelize_sec,
+    );
+    row
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let vectors = if quick { 64 } else { 256 };
+    let shapes = [
+        Shape {
+            leaf_gates: 50,
+            leaves_per_tile: 10,
+            tiles: 20,
+        },
+        Shape {
+            leaf_gates: 50,
+            leaves_per_tile: 10,
+            tiles: 200,
+        },
+        Shape {
+            leaf_gates: 50,
+            leaves_per_tile: 10,
+            tiles: 2_000,
+        },
+    ];
+
+    let rows: Vec<String> = shapes.iter().map(|s| run_size(s, vectors)).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"htforge.netlist_scaling/v1\",\n  \"bench\": \"netlist-scaling\",\n  \"command\": \"cargo run --release -p htforge-bench --bin bench_netlist\",\n  \"theta\": {THETA},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    htforge_obs::validate_any_str(&json).expect("self-describing document validates");
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_netlist.json");
+    eprintln!("wrote {OUT_PATH}");
+
+    if let Ok(limit_mb) = std::env::var("HTFORGE_RSS_LIMIT_MB") {
+        let limit_mb: u64 = limit_mb.parse().expect("HTFORGE_RSS_LIMIT_MB is a number");
+        let peak_mb = rss_peak_kb() / 1024;
+        assert!(
+            peak_mb <= limit_mb,
+            "peak RSS {peak_mb} MB exceeds the {limit_mb} MB budget"
+        );
+        eprintln!("peak RSS {peak_mb} MB within the {limit_mb} MB budget");
+    }
+}

@@ -1,4 +1,4 @@
-//! Parser and writer for the ISCAS `.bench` netlist format.
+//! Streaming parser and writer for the ISCAS `.bench` netlist format.
 //!
 //! This is the format the ISCAS-85/89 benchmark circuits are distributed
 //! in, e.g.:
@@ -12,124 +12,240 @@
 //! 22 = NAND(10, 16)
 //! ```
 //!
-//! The parser is two-pass so signals may be referenced before definition
-//! (common in real ISCAS files). DFFs are supported for ISCAS-89.
+//! The parser consumes the source **line by line**: each line's tokens are
+//! interned straight into the netlist's symbol table and discarded, so the
+//! full source text and the built graph are never held simultaneously
+//! (use [`parse_reader`] to stream from a file). Forward references —
+//! common in real ISCAS files — are handled by deferring fan-in
+//! resolution: every signal-producing line creates its node immediately
+//! (in file order), fan-ins are recorded as atoms, and a single
+//! resolution sweep wires the CSR once the file ends. DFFs are supported
+//! for ISCAS-89, including Q-before-D and D-before-Q orderings; a DFF
+//! whose D input is never defined is a structured
+//! [`NetlistError::UndefinedSignal`], never a panic.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::error::NetlistError;
 use crate::gate::GateKind;
-use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::intern::Atom;
+use crate::netlist::{Netlist, NodeId, NodeKind, KIND_DFF, KIND_GATE_BASE, KIND_INPUT};
 
-#[derive(Debug)]
-enum Stmt {
-    Input(String),
-    Output(String),
-    Gate {
-        name: String,
-        kind: GateKind,
-        fanins: Vec<String>,
-        line: usize,
-    },
-    Dff {
-        name: String,
-        d: String,
-    },
+/// A node whose fan-ins await end-of-file resolution.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: NodeId,
+    /// Range into `StreamParser::fanin_atoms`.
+    off: u32,
+    len: u32,
+    line: u32,
 }
 
-fn parse_line(line_no: usize, raw: &str) -> Result<Option<Stmt>, NetlistError> {
-    let line = match raw.find('#') {
-        Some(pos) => &raw[..pos],
-        None => raw,
-    }
-    .trim();
-    if line.is_empty() {
-        return Ok(None);
+/// Incremental `.bench` parser state; feed lines, then [`finish`].
+///
+/// [`finish`]: StreamParser::finish
+#[derive(Debug)]
+struct StreamParser {
+    nl: Netlist,
+    /// Flat pool of unresolved fan-in atoms, segmented by `pending`.
+    fanin_atoms: Vec<Atom>,
+    pending: Vec<Pending>,
+    /// `OUTPUT(x)` declarations, resolved at the end.
+    outputs: Vec<(Atom, u32)>,
+}
+
+impl StreamParser {
+    fn new(name: &str) -> Self {
+        StreamParser {
+            nl: Netlist::new(name),
+            fanin_atoms: Vec::new(),
+            pending: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
-    let parse_call = |s: &str| -> Result<(String, Vec<String>), NetlistError> {
-        let open = s.find('(').ok_or(NetlistError::Parse {
-            line: line_no,
-            message: "expected `(`".into(),
-        })?;
-        let close = s.rfind(')').ok_or(NetlistError::Parse {
-            line: line_no,
-            message: "expected `)`".into(),
-        })?;
-        if close < open {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: "mismatched parentheses".into(),
-            });
+    /// Consumes one source line. `line_no` is 1-based.
+    fn feed(&mut self, line_no: usize, raw: &str) -> Result<(), NetlistError> {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
         }
-        let head = s[..open].trim().to_owned();
-        let args: Vec<String> = s[open + 1..close]
-            .split(',')
-            .map(|a| a.trim().to_owned())
-            .filter(|a| !a.is_empty())
-            .collect();
-        Ok((head, args))
-    };
+        .trim();
+        if line.is_empty() {
+            return Ok(());
+        }
 
-    if let Some(eq) = line.find('=') {
-        let name = line[..eq].trim().to_owned();
-        if name.is_empty() {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: "missing signal name before `=`".into(),
-            });
-        }
-        let (head, args) = parse_call(&line[eq + 1..])?;
-        if head.eq_ignore_ascii_case("DFF") {
-            if args.len() != 1 {
+        if let Some(eq) = line.find('=') {
+            let name = line[..eq].trim();
+            if name.is_empty() {
                 return Err(NetlistError::Parse {
                     line: line_no,
-                    message: format!("DFF takes 1 argument, got {}", args.len()),
+                    message: "missing signal name before `=`".into(),
                 });
             }
-            return Ok(Some(Stmt::Dff {
-                name,
-                d: args.into_iter().next().expect("len checked"),
-            }));
+            let (head, inner) = split_call(line_no, &line[eq + 1..])?;
+            if head.eq_ignore_ascii_case("DFF") {
+                return self.feed_dff(line_no, name, inner);
+            }
+            let kind: GateKind = head.parse().map_err(|_| NetlistError::UnknownGateKind {
+                line: line_no,
+                keyword: head.to_owned(),
+            })?;
+            return self.feed_gate(line_no, name, kind, inner);
         }
-        let kind: GateKind = head.parse().map_err(|_| NetlistError::UnknownGateKind {
+
+        let (head, inner) = split_call(line_no, line)?;
+        let arg = one_arg(line_no, inner)?;
+        if head.eq_ignore_ascii_case("INPUT") {
+            let atom = self.nl.intern_name(arg);
+            self.nl.push_raw(atom, KIND_INPUT)?;
+            Ok(())
+        } else if head.eq_ignore_ascii_case("OUTPUT") {
+            let atom = self.nl.intern_name(arg);
+            self.outputs.push((atom, line_no as u32));
+            Ok(())
+        } else {
+            Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized statement `{head}`"),
+            })
+        }
+    }
+
+    fn feed_dff(&mut self, line_no: usize, name: &str, inner: &str) -> Result<(), NetlistError> {
+        let d = one_arg(line_no, inner).map_err(|_| NetlistError::Parse {
             line: line_no,
-            keyword: head.clone(),
+            message: format!("DFF takes 1 argument, got {}", count_args(inner)),
         })?;
-        if args.is_empty() {
+        let q_atom = self.nl.intern_name(name);
+        let id = self.nl.push_raw(q_atom, KIND_DFF)?;
+        let d_atom = self.nl.intern_name(d);
+        let off = self.fanin_atoms.len() as u32;
+        self.fanin_atoms.push(d_atom);
+        self.pending.push(Pending {
+            id,
+            off,
+            len: 1,
+            line: line_no as u32,
+        });
+        Ok(())
+    }
+
+    fn feed_gate(
+        &mut self,
+        line_no: usize,
+        name: &str,
+        kind: GateKind,
+        inner: &str,
+    ) -> Result<(), NetlistError> {
+        let off = self.fanin_atoms.len() as u32;
+        for arg in args_of(inner) {
+            let atom = self.nl.intern_name(arg);
+            self.fanin_atoms.push(atom);
+        }
+        let len = self.fanin_atoms.len() as u32 - off;
+        if len == 0 {
             return Err(NetlistError::Parse {
                 line: line_no,
                 message: "gate with no fan-ins".into(),
             });
         }
-        return Ok(Some(Stmt::Gate {
-            name,
-            kind,
-            fanins: args,
-            line: line_no,
-        }));
-    }
-
-    let (head, args) = parse_call(line)?;
-    let one_arg = |mut args: Vec<String>| -> Result<String, NetlistError> {
-        if args.len() != 1 {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("expected 1 argument, got {}", args.len()),
+        if !kind.arity_ok(len as usize) {
+            return Err(NetlistError::BadArity {
+                gate: name.to_owned(),
+                kind: kind.bench_keyword(),
+                got: len as usize,
             });
         }
-        Ok(args.remove(0))
-    };
-    if head.eq_ignore_ascii_case("INPUT") {
-        Ok(Some(Stmt::Input(one_arg(args)?)))
-    } else if head.eq_ignore_ascii_case("OUTPUT") {
-        Ok(Some(Stmt::Output(one_arg(args)?)))
-    } else {
-        Err(NetlistError::Parse {
+        let atom = self.nl.intern_name(name);
+        let id = self.nl.push_raw(atom, KIND_GATE_BASE + kind.code())?;
+        self.pending.push(Pending {
+            id,
+            off,
+            len,
+            line: line_no as u32,
+        });
+        Ok(())
+    }
+
+    /// Resolves all deferred fan-ins, wires fan-outs, validates.
+    fn finish(mut self) -> Result<Netlist, NetlistError> {
+        let mut resolved: Vec<NodeId> = Vec::new();
+        for p in &self.pending {
+            resolved.clear();
+            let from = p.off as usize;
+            let to = from + p.len as usize;
+            for &atom in &self.fanin_atoms[from..to] {
+                match self.nl.find_atom(atom) {
+                    Some(f) => resolved.push(f),
+                    None => {
+                        let name = self.nl.symbols().resolve(atom).to_owned();
+                        // A DFF's dangling D driver is a semantic error on
+                        // the signal; a gate's is a parse error on the line.
+                        return if matches!(self.nl.kind(p.id), NodeKind::Dff) {
+                            Err(NetlistError::UndefinedSignal(name))
+                        } else {
+                            Err(NetlistError::Parse {
+                                line: p.line as usize,
+                                message: format!("undefined signal `{name}`"),
+                            })
+                        };
+                    }
+                }
+            }
+            self.nl.set_fanins_raw(p.id, &resolved);
+        }
+        for &(atom, _line) in &self.outputs {
+            let id = self.nl.find_atom(atom).ok_or_else(|| {
+                NetlistError::UndefinedSignal(self.nl.symbols().resolve(atom).to_owned())
+            })?;
+            self.nl.mark_output(id);
+        }
+        self.nl.compact_fanouts();
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+}
+
+/// Splits `HEAD ( inner )`, returning `(head, inner)`.
+fn split_call(line_no: usize, s: &str) -> Result<(&str, &str), NetlistError> {
+    let open = s.find('(').ok_or(NetlistError::Parse {
+        line: line_no,
+        message: "expected `(`".into(),
+    })?;
+    let close = s.rfind(')').ok_or(NetlistError::Parse {
+        line: line_no,
+        message: "expected `)`".into(),
+    })?;
+    if close < open {
+        return Err(NetlistError::Parse {
             line: line_no,
-            message: format!("unrecognized statement `{head}`"),
-        })
+            message: "mismatched parentheses".into(),
+        });
+    }
+    Ok((s[..open].trim(), &s[open + 1..close]))
+}
+
+/// Iterates the non-empty comma-separated arguments of a call body.
+fn args_of(inner: &str) -> impl Iterator<Item = &str> {
+    inner.split(',').map(str::trim).filter(|a| !a.is_empty())
+}
+
+fn count_args(inner: &str) -> usize {
+    args_of(inner).count()
+}
+
+/// Requires exactly one argument.
+fn one_arg(line_no: usize, inner: &str) -> Result<&str, NetlistError> {
+    let mut it = args_of(inner);
+    match (it.next(), it.next()) {
+        (Some(a), None) => Ok(a),
+        _ => Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("expected 1 argument, got {}", count_args(inner)),
+        }),
     }
 }
 
@@ -154,109 +270,33 @@ fn parse_line(line_no: usize, raw: &str) -> Result<Option<Stmt>, NetlistError> {
 /// # Ok::<(), htforge_netlist::NetlistError>(())
 /// ```
 pub fn parse(source: &str, name: &str) -> Result<Netlist, NetlistError> {
-    let mut stmts = Vec::new();
+    let mut p = StreamParser::new(name);
     for (i, raw) in source.lines().enumerate() {
-        if let Some(stmt) = parse_line(i + 1, raw)? {
-            stmts.push(stmt);
-        }
+        p.feed(i + 1, raw)?;
     }
+    p.finish()
+}
 
-    let mut nl = Netlist::new(name);
-
-    // Pass 1: declare all signal-producing nodes so forward references
-    // resolve. Gates are declared in file order; their fan-ins are
-    // connected in pass 2 via a rebuild.
-    #[derive(Clone)]
-    struct PendingGate {
-        name: String,
-        kind: GateKind,
-        fanins: Vec<String>,
-        line: usize,
+/// Streams a `.bench` source from a reader, line by line. At no point is
+/// the full source held in memory alongside the netlist — this is the
+/// entry point for industrial-scale files.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] for syntactic/semantic problems; I/O errors
+/// surface as [`NetlistError::Parse`] on the failing line.
+pub fn parse_reader<R: BufRead>(reader: R, name: &str) -> Result<Netlist, NetlistError> {
+    let mut p = StreamParser::new(name);
+    let mut line_no = 0usize;
+    for raw in reader.lines() {
+        line_no += 1;
+        let raw = raw.map_err(|e| NetlistError::Parse {
+            line: line_no,
+            message: format!("read error: {e}"),
+        })?;
+        p.feed(line_no, &raw)?;
     }
-    let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
-    let mut gates: Vec<PendingGate> = Vec::new();
-    let mut dffs: Vec<(String, String)> = Vec::new();
-
-    for stmt in stmts {
-        match stmt {
-            Stmt::Input(n) => inputs.push(n),
-            Stmt::Output(n) => outputs.push(n),
-            Stmt::Gate {
-                name,
-                kind,
-                fanins,
-                line,
-            } => gates.push(PendingGate {
-                name,
-                kind,
-                fanins,
-                line,
-            }),
-            Stmt::Dff { name, d } => dffs.push((name, d)),
-        }
-    }
-
-    for n in &inputs {
-        nl.try_add_input(n.clone())?;
-    }
-    for (q, _) in &dffs {
-        nl.add_dff_deferred(q.clone())?;
-    }
-
-    // Topologically insert gates: repeatedly add gates whose fan-ins are
-    // all defined. Detects cycles/undefined signals.
-    let mut remaining = gates;
-    while !remaining.is_empty() {
-        let before = remaining.len();
-        let mut still: Vec<PendingGate> = Vec::new();
-        for g in remaining {
-            let resolved: Option<Vec<NodeId>> = g.fanins.iter().map(|f| nl.find(f)).collect();
-            match resolved {
-                Some(ids) => {
-                    nl.add_gate(g.name.clone(), g.kind, ids)?;
-                }
-                None => still.push(g),
-            }
-        }
-        if still.len() == before {
-            // No progress: either an undefined signal or a cycle.
-            let g = &still[0];
-            let missing = g
-                .fanins
-                .iter()
-                .find(|f| nl.find(f).is_none())
-                .cloned()
-                .unwrap_or_default();
-            let defined_later = still.iter().any(|other| other.name == missing);
-            if defined_later {
-                return Err(NetlistError::CombinationalCycle { witness: missing });
-            }
-            return Err(NetlistError::Parse {
-                line: g.line,
-                message: format!("undefined signal `{missing}`"),
-            });
-        }
-        remaining = still;
-    }
-
-    for (q, d) in &dffs {
-        let q_id = nl.find(q).expect("dff declared in pass 1");
-        let d_id = nl
-            .find(d)
-            .ok_or_else(|| NetlistError::UndefinedSignal(d.clone()))?;
-        nl.connect_dff(q_id, d_id)?;
-    }
-
-    for n in &outputs {
-        let id = nl
-            .find(n)
-            .ok_or_else(|| NetlistError::UndefinedSignal(n.clone()))?;
-        nl.mark_output(id);
-    }
-
-    nl.validate()?;
-    Ok(nl)
+    p.finish()
 }
 
 /// Serializes a [`Netlist`] to `.bench` source text.
@@ -369,6 +409,19 @@ OUTPUT(23)
     }
 
     #[test]
+    fn parse_reader_streams_identically() {
+        let nl = parse(C17, "c17").unwrap();
+        let nl2 = parse_reader(std::io::Cursor::new(C17.as_bytes()), "c17").unwrap();
+        assert_eq!(nl.node_count(), nl2.node_count());
+        for (id, node) in nl.iter() {
+            let node2 = nl2.node(id);
+            assert_eq!(node.name(), node2.name());
+            assert_eq!(node.kind(), node2.kind());
+            assert_eq!(node.fanins(), node2.fanins());
+        }
+    }
+
+    #[test]
     fn round_trip_preserves_structure() {
         let nl = parse(C17, "c17").unwrap();
         let text = write(&nl);
@@ -414,6 +467,46 @@ q = DFF(g)
         assert_eq!(nl2.dffs().len(), 1);
         let q = nl2.find("q").unwrap();
         assert_eq!(nl2.node(nl2.node(q).fanins()[0]).name(), "g");
+    }
+
+    #[test]
+    fn dff_with_undeclared_d_is_structured_error() {
+        // Regression: this shape used to reach an `expect` panic in the
+        // old pass-2 resolver.
+        let src = "\
+INPUT(a)
+OUTPUT(q)
+q = DFF(ghost)
+";
+        assert!(matches!(
+            parse(src, "bad"),
+            Err(NetlistError::UndefinedSignal(n)) if n == "ghost"
+        ));
+    }
+
+    #[test]
+    fn dff_forward_reference_to_gate_resolves() {
+        let src = "\
+INPUT(a)
+OUTPUT(q)
+q = DFF(g)
+g = NOT(a)
+";
+        let nl = parse(src, "seq_fwd").unwrap();
+        let q = nl.find("q").unwrap();
+        assert_eq!(nl.node(nl.node(q).fanins()[0]).name(), "g");
+    }
+
+    #[test]
+    fn dff_wrong_arity_is_parse_error() {
+        let src = "INPUT(a)\nq = DFF(a, a)\n";
+        match parse(src, "bad") {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("DFF takes 1 argument"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,6 +54,32 @@ impl GateKind {
         GateKind::Buf,
     ];
 
+    /// The dense code of this kind: its position in [`GateKind::ALL`].
+    /// Used to pack kinds into one-byte columns.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            GateKind::And => 0,
+            GateKind::Nand => 1,
+            GateKind::Or => 2,
+            GateKind::Nor => 3,
+            GateKind::Xor => 4,
+            GateKind::Xnor => 5,
+            GateKind::Not => 6,
+            GateKind::Buf => 7,
+        }
+    }
+
+    /// Inverse of [`GateKind::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 8`.
+    #[must_use]
+    pub fn from_code(code: u8) -> GateKind {
+        GateKind::ALL[code as usize]
+    }
+
     /// Returns `true` if this kind only accepts exactly one fan-in.
     #[must_use]
     pub fn is_unary(self) -> bool {

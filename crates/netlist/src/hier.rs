@@ -1,0 +1,695 @@
+//! Hierarchical multi-module designs and deterministic flattening.
+//!
+//! Industrial designs are not flat: they are a tree of module instances
+//! (hundreds of modules, 100k–1M+ gates once expanded). This module
+//! models that shape directly — a [`Design`] owns a shared symbol table
+//! and a set of [`Module`]s; a module contains primitive cells and
+//! [`Instance`]s of other modules, all referencing nets by interned
+//! [`Atom`] — and provides [`Design::flatten`], which expands a chosen
+//! top module into one flat [`Netlist`] for the insertion pipeline.
+//!
+//! Flattening is **deterministic**: instances are expanded breadth-first
+//! in declaration order, flat node names are `instancepath/localname`
+//! (`u1/u3/n42`), and node ids depend only on the design, so two flatten
+//! calls — or two processes — produce identical netlists. Net resolution
+//! is lazy and memoized per instance frame, which transparently handles
+//! port aliasing chains (an output port fed straight from an input port)
+//! without inserting buffer gates.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::intern::{Atom, SymbolTable};
+use crate::netlist::{pack_kind, Netlist, NodeId, NodeKind};
+
+/// Identifier of a [`Module`] within one [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub(crate) u32);
+
+impl ModuleId {
+    /// The dense index of this module.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A primitive cell inside a module: one gate or DFF driving one net.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Net driven by this cell.
+    pub out: Atom,
+    /// Gate or DFF ([`NodeKind::Input`] is not a cell).
+    pub kind: NodeKind,
+    /// Input nets, in gate-input order.
+    pub fanins: Vec<Atom>,
+}
+
+/// An instantiation of another module, with positional port bindings.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name (one path segment of flat names).
+    pub name: Atom,
+    /// The instantiated module.
+    pub module: ModuleId,
+    /// Parent nets bound to the child's input ports, positionally.
+    pub inputs: Vec<Atom>,
+    /// Parent nets driven by the child's output ports, positionally.
+    pub outputs: Vec<Atom>,
+}
+
+/// One module: ports, primitive cells, and child instances.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    name: String,
+    inputs: Vec<Atom>,
+    outputs: Vec<Atom>,
+    cells: Vec<Cell>,
+    instances: Vec<Instance>,
+}
+
+impl Module {
+    /// The module's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input port nets, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[Atom] {
+        &self.inputs
+    }
+
+    /// Output port nets, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Atom] {
+        &self.outputs
+    }
+
+    /// Primitive cells, in declaration order.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Child instances, in declaration order.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+}
+
+/// A hierarchical design: a shared symbol table plus a forest of modules.
+///
+/// # Examples
+///
+/// ```
+/// use htforge_netlist::{Design, GateKind, NodeKind};
+///
+/// # fn main() -> Result<(), htforge_netlist::NetlistError> {
+/// let mut d = Design::new("soc");
+/// let leaf = d.add_module("leaf")?;
+/// let (a, b, y) = (d.intern("a"), d.intern("b"), d.intern("y"));
+/// d.add_port_in(leaf, a);
+/// d.add_port_in(leaf, b);
+/// d.add_cell(leaf, y, NodeKind::Gate(GateKind::Nand), vec![a, b])?;
+/// d.add_port_out(leaf, y);
+///
+/// let top = d.add_module("top")?;
+/// let (x, z, w) = (d.intern("x"), d.intern("z"), d.intern("w"));
+/// d.add_port_in(top, x);
+/// d.add_port_in(top, z);
+/// let u0 = d.intern("u0");
+/// d.add_instance(top, u0, leaf, vec![x, z], vec![w])?;
+/// d.add_port_out(top, w);
+///
+/// let flat = d.flatten(top)?;
+/// assert_eq!(flat.gate_count(), 1);
+/// assert!(flat.find("u0/y").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Design {
+    name: String,
+    symbols: SymbolTable,
+    modules: Vec<Module>,
+    by_name: HashMap<String, ModuleId>,
+}
+
+/// What drives a net inside one module (positionally resolved).
+#[derive(Debug, Clone, Copy)]
+enum Driver {
+    /// `cells[i]` drives it.
+    Cell(u32),
+    /// It is input port `i` of the module.
+    Port(u32),
+    /// Output port `p` of `instances[i]` drives it.
+    InstOut(u32, u32),
+}
+
+impl Design {
+    /// Creates an empty design.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Design {
+            name: name.into(),
+            symbols: SymbolTable::new(),
+            modules: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The design-wide symbol table (net and instance names).
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interns a net/instance name into the design's symbol table.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        self.symbols.intern(name)
+    }
+
+    /// Number of modules.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Borrows a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a module of this design.
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// Looks a module up by name.
+    #[must_use]
+    pub fn find_module(&self, name: &str) -> Option<ModuleId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Adds an empty module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Hierarchy`] if the name is taken.
+    pub fn add_module(&mut self, name: impl Into<String>) -> Result<ModuleId, NetlistError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::Hierarchy {
+                module: name.clone(),
+                message: "duplicate module name".into(),
+            });
+        }
+        let id = ModuleId(self.modules.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.modules.push(Module {
+            name,
+            ..Module::default()
+        });
+        Ok(id)
+    }
+
+    /// Declares an input port net on a module.
+    pub fn add_port_in(&mut self, module: ModuleId, net: Atom) {
+        self.modules[module.index()].inputs.push(net);
+    }
+
+    /// Declares an output port net on a module.
+    pub fn add_port_out(&mut self, module: ModuleId, net: Atom) {
+        self.modules[module.index()].outputs.push(net);
+    }
+
+    /// Adds a primitive cell driving `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Hierarchy`] if `kind` is
+    /// [`NodeKind::Input`], or [`NetlistError::BadArity`] if the fan-in
+    /// count is illegal for the kind.
+    pub fn add_cell(
+        &mut self,
+        module: ModuleId,
+        out: Atom,
+        kind: NodeKind,
+        fanins: Vec<Atom>,
+    ) -> Result<(), NetlistError> {
+        let m = &mut self.modules[module.index()];
+        let arity_ok = match kind {
+            NodeKind::Input => {
+                return Err(NetlistError::Hierarchy {
+                    module: m.name.clone(),
+                    message: "a cell cannot be a primary input; use add_port_in".into(),
+                })
+            }
+            NodeKind::Dff => fanins.len() == 1,
+            NodeKind::Gate(k) => k.arity_ok(fanins.len()),
+        };
+        if !arity_ok {
+            return Err(NetlistError::BadArity {
+                gate: self.symbols.resolve(out).to_owned(),
+                kind: match kind {
+                    NodeKind::Dff => "DFF",
+                    NodeKind::Gate(k) => k.bench_keyword(),
+                    NodeKind::Input => unreachable!(),
+                },
+                got: fanins.len(),
+            });
+        }
+        m.cells.push(Cell { out, kind, fanins });
+        Ok(())
+    }
+
+    /// Adds an instance of `child` with positional port bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Hierarchy`] if the binding counts do not
+    /// match the child's port counts.
+    pub fn add_instance(
+        &mut self,
+        module: ModuleId,
+        name: Atom,
+        child: ModuleId,
+        inputs: Vec<Atom>,
+        outputs: Vec<Atom>,
+    ) -> Result<(), NetlistError> {
+        let child_mod = &self.modules[child.index()];
+        if inputs.len() != child_mod.inputs.len() || outputs.len() != child_mod.outputs.len() {
+            return Err(NetlistError::Hierarchy {
+                module: self.modules[module.index()].name.clone(),
+                message: format!(
+                    "instance `{}` of `{}` binds {}/{} inputs and {}/{} outputs",
+                    self.symbols.resolve(name),
+                    child_mod.name,
+                    inputs.len(),
+                    child_mod.inputs.len(),
+                    outputs.len(),
+                    child_mod.outputs.len()
+                ),
+            });
+        }
+        self.modules[module.index()].instances.push(Instance {
+            name,
+            module: child,
+            inputs,
+            outputs,
+        });
+        Ok(())
+    }
+
+    /// Builds the net → driver map of one module, rejecting nets with
+    /// multiple drivers.
+    fn driver_map(&self, m: &Module) -> Result<HashMap<Atom, Driver>, NetlistError> {
+        let mut map: HashMap<Atom, Driver> = HashMap::with_capacity(
+            m.inputs.len()
+                + m.cells.len()
+                + m.instances.iter().map(|i| i.outputs.len()).sum::<usize>(),
+        );
+        let insert = |map: &mut HashMap<Atom, Driver>, net: Atom, d: Driver| {
+            if map.insert(net, d).is_some() {
+                return Err(NetlistError::Hierarchy {
+                    module: m.name.clone(),
+                    message: format!("net `{}` has multiple drivers", self.symbols.resolve(net)),
+                });
+            }
+            Ok(())
+        };
+        for (i, &p) in m.inputs.iter().enumerate() {
+            insert(&mut map, p, Driver::Port(i as u32))?;
+        }
+        for (i, c) in m.cells.iter().enumerate() {
+            insert(&mut map, c.out, Driver::Cell(i as u32))?;
+        }
+        for (ii, inst) in m.instances.iter().enumerate() {
+            for (pi, &net) in inst.outputs.iter().enumerate() {
+                insert(&mut map, net, Driver::InstOut(ii as u32, pi as u32))?;
+            }
+        }
+        Ok(map)
+    }
+
+    /// Flattens the hierarchy under `top` into one [`Netlist`].
+    ///
+    /// Deterministic: same design → byte-identical netlist (names, ids,
+    /// edge order). Flat node names are `path/to/instance/localname`;
+    /// top-level nets keep their bare names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Hierarchy`] for multiply-driven nets,
+    /// [`NetlistError::UndefinedSignal`] for undriven nets,
+    /// [`NetlistError::CombinationalCycle`] for cyclic port aliasing or
+    /// combinational loops, and any structural error the flat netlist's
+    /// validation reports.
+    pub fn flatten(&self, top: ModuleId) -> Result<Netlist, NetlistError> {
+        let drivers: Vec<HashMap<Atom, Driver>> = self
+            .modules
+            .iter()
+            .map(|m| self.driver_map(m))
+            .collect::<Result<_, _>>()?;
+
+        let mut fl = Flattener {
+            design: self,
+            drivers,
+            nl: Netlist::new(self.modules[top.index()].name.clone()),
+            frames: Vec::new(),
+            memo: Vec::new(),
+            pi_nodes: Vec::new(),
+        };
+        fl.declare(top)?;
+        fl.wire(top)
+    }
+}
+
+/// One expansion of a module along an instance path.
+#[derive(Debug)]
+struct Frame {
+    module: u32,
+    /// `"u1/u3/"` — prepended to local names; empty for the top frame.
+    prefix: String,
+    /// Parent frame and the instance index within it (None for top).
+    parent: Option<(u32, u32)>,
+    /// Frame index of each child instance, positionally.
+    children: Vec<u32>,
+    /// Flat node of each cell, positionally.
+    cell_nodes: Vec<NodeId>,
+}
+
+/// Memoized per-frame net resolution state.
+#[derive(Debug, Clone, Copy)]
+enum Resolve {
+    InProgress,
+    Done(NodeId),
+}
+
+struct Flattener<'a> {
+    design: &'a Design,
+    drivers: Vec<HashMap<Atom, Driver>>,
+    nl: Netlist,
+    frames: Vec<Frame>,
+    memo: Vec<HashMap<Atom, Resolve>>,
+    /// Flat nodes of the top module's input ports, positionally.
+    pi_nodes: Vec<NodeId>,
+}
+
+impl Flattener<'_> {
+    /// Creates every flat node (primary inputs, then all cells breadth-
+    /// first in instance order), leaving fan-ins unresolved.
+    fn declare(&mut self, top: ModuleId) -> Result<(), NetlistError> {
+        let syms = self.design.symbols();
+        for &p in self.design.module(top).inputs() {
+            let atom = self.nl.intern_name(syms.resolve(p));
+            let id = self.nl.push_raw(atom, pack_kind(NodeKind::Input))?;
+            self.pi_nodes.push(id);
+        }
+        self.frames.push(Frame {
+            module: top.0,
+            prefix: String::new(),
+            parent: None,
+            children: Vec::new(),
+            cell_nodes: Vec::new(),
+        });
+        let mut fi = 0;
+        while fi < self.frames.len() {
+            let module = self.frames[fi].module as usize;
+            let prefix = self.frames[fi].prefix.clone();
+            let m = &self.design.modules[module];
+            let mut flat = String::new();
+            for cell in &m.cells {
+                flat.clear();
+                flat.push_str(&prefix);
+                flat.push_str(syms.resolve(cell.out));
+                let atom = self.nl.intern_name(&flat);
+                let id = self.nl.push_raw(atom, pack_kind(cell.kind))?;
+                self.frames[fi].cell_nodes.push(id);
+            }
+            for (ii, inst) in m.instances.iter().enumerate() {
+                let child = self.frames.len() as u32;
+                self.frames.push(Frame {
+                    module: inst.module.0,
+                    prefix: format!("{}{}/", prefix, syms.resolve(inst.name)),
+                    parent: Some((fi as u32, ii as u32)),
+                    children: Vec::new(),
+                    cell_nodes: Vec::new(),
+                });
+                self.frames[fi].children.push(child);
+            }
+            fi += 1;
+        }
+        self.memo = (0..self.frames.len()).map(|_| HashMap::new()).collect();
+        Ok(())
+    }
+
+    /// Resolves net `atom` in `frame` to its driving flat node.
+    fn resolve(&mut self, frame: usize, atom: Atom) -> Result<NodeId, NetlistError> {
+        match self.memo[frame].get(&atom) {
+            Some(Resolve::Done(id)) => return Ok(*id),
+            Some(Resolve::InProgress) => {
+                return Err(NetlistError::CombinationalCycle {
+                    witness: self.flat_name(frame, atom),
+                })
+            }
+            None => {}
+        }
+        self.memo[frame].insert(atom, Resolve::InProgress);
+        let module = self.frames[frame].module as usize;
+        let id = match self.drivers[module].get(&atom).copied() {
+            Some(Driver::Cell(c)) => self.frames[frame].cell_nodes[c as usize],
+            Some(Driver::Port(p)) => match self.frames[frame].parent {
+                None => self.pi_nodes[p as usize],
+                Some((pf, pi)) => {
+                    let parent_module = self.frames[pf as usize].module as usize;
+                    let bound = self.design.modules[parent_module].instances[pi as usize].inputs
+                        [p as usize];
+                    self.resolve(pf as usize, bound)?
+                }
+            },
+            Some(Driver::InstOut(ii, pi)) => {
+                let child_frame = self.frames[frame].children[ii as usize] as usize;
+                let child_module = self.frames[child_frame].module as usize;
+                let inner = self.design.modules[child_module].outputs[pi as usize];
+                self.resolve(child_frame, inner)?
+            }
+            None => return Err(NetlistError::UndefinedSignal(self.flat_name(frame, atom))),
+        };
+        self.memo[frame].insert(atom, Resolve::Done(id));
+        Ok(id)
+    }
+
+    fn flat_name(&self, frame: usize, atom: Atom) -> String {
+        format!(
+            "{}{}",
+            self.frames[frame].prefix,
+            self.design.symbols().resolve(atom)
+        )
+    }
+
+    /// Resolves every cell's fan-ins, marks top outputs, finalizes.
+    fn wire(mut self, top: ModuleId) -> Result<Netlist, NetlistError> {
+        let mut resolved: Vec<NodeId> = Vec::new();
+        for fi in 0..self.frames.len() {
+            let module = self.frames[fi].module as usize;
+            for ci in 0..self.design.modules[module].cells.len() {
+                resolved.clear();
+                for k in 0..self.design.modules[module].cells[ci].fanins.len() {
+                    let atom = self.design.modules[module].cells[ci].fanins[k];
+                    resolved.push(self.resolve(fi, atom)?);
+                }
+                let id = self.frames[fi].cell_nodes[ci];
+                self.nl.set_fanins_raw(id, &resolved);
+            }
+        }
+        for oi in 0..self.design.module(top).outputs().len() {
+            let atom = self.design.module(top).outputs()[oi];
+            let id = self.resolve(0, atom)?;
+            self.nl.mark_output(id);
+        }
+        self.nl.compact_fanouts();
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    /// leaf(a, b) -> y = NAND(a, b); mid(p, q) -> (r, s) via two leaves
+    /// chained; top(x, z) -> out through a mid.
+    fn three_level() -> (Design, ModuleId) {
+        let mut d = Design::new("t");
+        let leaf = d.add_module("leaf").unwrap();
+        let (a, b, y) = (d.intern("a"), d.intern("b"), d.intern("y"));
+        d.add_port_in(leaf, a);
+        d.add_port_in(leaf, b);
+        d.add_cell(leaf, y, NodeKind::Gate(GateKind::Nand), vec![a, b])
+            .unwrap();
+        d.add_port_out(leaf, y);
+
+        let mid = d.add_module("mid").unwrap();
+        let (p, q, r, s) = (d.intern("p"), d.intern("q"), d.intern("r"), d.intern("s"));
+        d.add_port_in(mid, p);
+        d.add_port_in(mid, q);
+        let (u0, u1) = (d.intern("u0"), d.intern("u1"));
+        d.add_instance(mid, u0, leaf, vec![p, q], vec![r]).unwrap();
+        d.add_instance(mid, u1, leaf, vec![r, q], vec![s]).unwrap();
+        d.add_port_out(mid, r);
+        d.add_port_out(mid, s);
+
+        let top = d.add_module("top").unwrap();
+        let (x, z, o1, o2) = (d.intern("x"), d.intern("z"), d.intern("o1"), d.intern("o2"));
+        d.add_port_in(top, x);
+        d.add_port_in(top, z);
+        let m0 = d.intern("m0");
+        d.add_instance(top, m0, mid, vec![x, z], vec![o1, o2])
+            .unwrap();
+        let inv = d.intern("inv");
+        d.add_cell(top, inv, NodeKind::Gate(GateKind::Not), vec![o1])
+            .unwrap();
+        d.add_port_out(top, inv);
+        d.add_port_out(top, o2);
+        (d, top)
+    }
+
+    #[test]
+    fn flatten_three_levels() {
+        let (d, top) = three_level();
+        let nl = d.flatten(top).unwrap();
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.gate_count(), 3); // two leaf NANDs + top NOT
+        assert!(nl.find("m0/u0/y").is_some());
+        assert!(nl.find("m0/u1/y").is_some());
+        assert!(nl.find("inv").is_some());
+        // Cross-instance wiring: u1's `a` is u0's output.
+        let u1y = nl.find("m0/u1/y").unwrap();
+        let u0y = nl.find("m0/u0/y").unwrap();
+        assert_eq!(nl.node(u1y).fanins()[0], u0y);
+        // The top NOT consumes the instance output (= u0's y).
+        let inv = nl.find("inv").unwrap();
+        assert_eq!(nl.node(inv).fanins(), &[u0y]);
+    }
+
+    #[test]
+    fn flatten_is_deterministic() {
+        let (d, top) = three_level();
+        let a = d.flatten(top).unwrap();
+        let b = d.flatten(top).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        for (id, node) in a.iter() {
+            let other = b.node(id);
+            assert_eq!(node.name(), other.name());
+            assert_eq!(node.kind(), other.kind());
+            assert_eq!(node.fanins(), other.fanins());
+            assert_eq!(node.fanouts(), other.fanouts());
+        }
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn passthrough_output_port_resolves_without_buffers() {
+        // wire(i) -> o where o is literally the input port.
+        let mut d = Design::new("t");
+        let wire = d.add_module("wire").unwrap();
+        let i = d.intern("i");
+        d.add_port_in(wire, i);
+        d.add_port_out(wire, i);
+
+        let top = d.add_module("top").unwrap();
+        let (x, w, y) = (d.intern("x"), d.intern("w"), d.intern("y"));
+        d.add_port_in(top, x);
+        let u = d.intern("u");
+        d.add_instance(top, u, wire, vec![x], vec![w]).unwrap();
+        d.add_cell(top, y, NodeKind::Gate(GateKind::Not), vec![w])
+            .unwrap();
+        d.add_port_out(top, y);
+
+        let nl = d.flatten(top).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        let y = nl.find("y").unwrap();
+        let x = nl.find("x").unwrap();
+        assert_eq!(nl.node(y).fanins(), &[x]); // aliased straight through
+    }
+
+    #[test]
+    fn dff_cells_flatten() {
+        let mut d = Design::new("t");
+        let reg = d.add_module("reg").unwrap();
+        let (din, q) = (d.intern("din"), d.intern("q"));
+        d.add_port_in(reg, din);
+        d.add_cell(reg, q, NodeKind::Dff, vec![din]).unwrap();
+        d.add_port_out(reg, q);
+
+        let top = d.add_module("top").unwrap();
+        let (x, qq, y) = (d.intern("x"), d.intern("qq"), d.intern("y"));
+        d.add_port_in(top, x);
+        let r0 = d.intern("r0");
+        d.add_instance(top, r0, reg, vec![x], vec![qq]).unwrap();
+        d.add_cell(top, y, NodeKind::Gate(GateKind::Buf), vec![qq])
+            .unwrap();
+        d.add_port_out(top, y);
+
+        let nl = d.flatten(top).unwrap();
+        assert_eq!(nl.dffs().len(), 1);
+        let q = nl.find("r0/q").unwrap();
+        assert_eq!(nl.node(q).kind(), NodeKind::Dff);
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut d = Design::new("t");
+        let m = d.add_module("m").unwrap();
+        let (a, y) = (d.intern("a"), d.intern("y"));
+        d.add_port_in(m, a);
+        d.add_cell(m, y, NodeKind::Gate(GateKind::Buf), vec![a])
+            .unwrap();
+        d.add_cell(m, y, NodeKind::Gate(GateKind::Not), vec![a])
+            .unwrap();
+        assert!(matches!(d.flatten(m), Err(NetlistError::Hierarchy { .. })));
+    }
+
+    #[test]
+    fn undriven_net_is_undefined_signal() {
+        let mut d = Design::new("t");
+        let m = d.add_module("m").unwrap();
+        let (a, ghost, y) = (d.intern("a"), d.intern("ghost"), d.intern("y"));
+        d.add_port_in(m, a);
+        d.add_cell(m, y, NodeKind::Gate(GateKind::And), vec![a, ghost])
+            .unwrap();
+        d.add_port_out(m, y);
+        assert!(matches!(
+            d.flatten(m),
+            Err(NetlistError::UndefinedSignal(n)) if n == "ghost"
+        ));
+    }
+
+    #[test]
+    fn port_binding_count_mismatch_rejected() {
+        let mut d = Design::new("t");
+        let leaf = d.add_module("leaf").unwrap();
+        let (a, y) = (d.intern("a"), d.intern("y"));
+        d.add_port_in(leaf, a);
+        d.add_cell(leaf, y, NodeKind::Gate(GateKind::Not), vec![a])
+            .unwrap();
+        d.add_port_out(leaf, y);
+        let top = d.add_module("top").unwrap();
+        let u = d.intern("u");
+        let err = d.add_instance(top, u, leaf, vec![], vec![]);
+        assert!(matches!(err, Err(NetlistError::Hierarchy { .. })));
+    }
+}

@@ -4,11 +4,16 @@
 //! directed acyclic graphs of logic gates, in the style of the ISCAS-85 and
 //! ISCAS-89 benchmark suites that the reproduced paper evaluates on.
 //!
-//! The central type is [`Netlist`]: an indexed collection of [`Node`]s,
-//! where each node is a primary input, a logic gate, or a D flip-flop.
-//! Supporting modules provide:
+//! The central type is [`Netlist`]: an indexed, struct-of-arrays DAG of
+//! nodes, where each node is a primary input, a logic gate, or a D
+//! flip-flop, borrowed through the [`NodeRef`] view. Names are interned
+//! ([`intern::Atom`]) so industrial-scale designs (100k–1M+ gates) fit a
+//! tight memory budget. Supporting modules provide:
 //!
-//! * [`bench`](mod@bench) — a parser and writer for the ISCAS `.bench` format,
+//! * [`bench`](mod@bench) — a streaming parser and writer for the ISCAS
+//!   `.bench` format,
+//! * [`hier`] — hierarchical multi-module designs with deterministic
+//!   flattening,
 //! * [`verilog`] — a structural-Verilog writer (for synthesis hand-off),
 //! * [`graph`] — levelization, topological order, cones and reachability,
 //! * [`area`] — a Nangate-45nm-style standard-cell area model used by the
@@ -37,6 +42,8 @@ pub mod bench;
 pub mod error;
 pub mod gate;
 pub mod graph;
+pub mod hier;
+pub mod intern;
 pub mod netlist;
 pub mod opt;
 pub mod verilog;
@@ -44,4 +51,6 @@ pub mod verilog;
 pub use area::{AreaModel, AreaReport};
 pub use error::NetlistError;
 pub use gate::{FoldOp, GateKind};
-pub use netlist::{Netlist, Node, NodeId, NodeKind};
+pub use hier::{Design, Module, ModuleId};
+pub use intern::{Atom, SymbolTable};
+pub use netlist::{Netlist, NodeId, NodeKind, NodeRef};

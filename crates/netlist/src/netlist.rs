@@ -1,10 +1,37 @@
 //! The [`Netlist`] data structure: an indexed DAG of gates.
+//!
+//! # Representation (industrial-scale core)
+//!
+//! The netlist is stored struct-of-arrays with interned names:
+//!
+//! * **Names** live in a per-netlist [`SymbolTable`]; each node holds a
+//!   4-byte [`Atom`] and a dense `atom → node` vector makes
+//!   [`Netlist::find`] a single hash plus an array index. Name strings
+//!   are materialized only at I/O boundaries ([`NodeRef::name`]).
+//! * **Kinds** are one packed byte per node in a contiguous column.
+//! * **Fan-ins** are a CSR: per-node `(offset, len)` into one shared
+//!   `NodeId` pool. Deferred DFFs reserve their single slot up front so
+//!   [`Netlist::connect_dff`] never shifts the pool.
+//! * **Fan-outs** are a pooled adjacency with per-node
+//!   `(offset, len, capacity)` and amortized-doubling relocation on
+//!   append, so incremental construction (trojan insertion appends
+//!   gates) stays O(1) amortized while consumers still see a contiguous
+//!   `&[NodeId]` slice. Bulk builders (the streaming parsers, the
+//!   hierarchy flattener) instead call [`Netlist::compact_fanouts`] once
+//!   to build the exact CSR with zero slack.
+//! * **Levels** are computed on demand and cached; any structural
+//!   mutation invalidates the cache.
+//!
+//! Node data is borrowed through the lightweight [`NodeRef`] view, which
+//! keeps the pre-SoA accessor API (`nl.node(id).fanins()`, `.name()`,
+//! `.kind()`) source-compatible for every consumer crate.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::intern::{Atom, SymbolTable};
 
 /// Identifier of a node (signal) within one [`Netlist`].
 ///
@@ -59,42 +86,83 @@ impl NodeKind {
     }
 }
 
-/// One signal-producing element of a netlist.
-#[derive(Debug, Clone)]
-pub struct Node {
-    name: String,
-    kind: NodeKind,
-    fanins: Vec<NodeId>,
-    fanouts: Vec<NodeId>,
+/// Packed one-byte node kind: `0` input, `1` DFF, `2 + k` gate of
+/// [`GateKind`] code `k`.
+pub(crate) const KIND_INPUT: u8 = 0;
+pub(crate) const KIND_DFF: u8 = 1;
+pub(crate) const KIND_GATE_BASE: u8 = 2;
+/// `atom → node` slot for atoms with no node.
+const NO_NODE: u32 = u32::MAX;
+
+#[inline]
+pub(crate) fn pack_kind(kind: NodeKind) -> u8 {
+    match kind {
+        NodeKind::Input => KIND_INPUT,
+        NodeKind::Dff => KIND_DFF,
+        NodeKind::Gate(k) => KIND_GATE_BASE + k.code(),
+    }
 }
 
-impl Node {
+#[inline]
+pub(crate) fn unpack_kind(packed: u8) -> NodeKind {
+    match packed {
+        KIND_INPUT => NodeKind::Input,
+        KIND_DFF => NodeKind::Dff,
+        g => NodeKind::Gate(GateKind::from_code(g - KIND_GATE_BASE)),
+    }
+}
+
+/// Borrowed view of one signal-producing element of a netlist.
+///
+/// `NodeRef` is a `Copy` handle tying a [`NodeId`] to its [`Netlist`];
+/// its accessors read straight out of the SoA columns, and the returned
+/// borrows live as long as the netlist borrow (not the `NodeRef`), so
+/// idioms like `nl.node(id).name().to_owned()` work unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef<'a> {
+    nl: &'a Netlist,
+    id: NodeId,
+}
+
+impl<'a> NodeRef<'a> {
+    /// The node's id.
+    #[must_use]
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+
     /// The node's signal name.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(self) -> &'a str {
+        self.nl.name_of(self.id)
+    }
+
+    /// The node's interned name atom.
+    #[must_use]
+    pub fn atom(self) -> Atom {
+        self.nl.atom(self.id)
     }
 
     /// The node's kind.
     #[must_use]
-    pub fn kind(&self) -> NodeKind {
-        self.kind
+    pub fn kind(self) -> NodeKind {
+        self.nl.kind(self.id)
     }
 
     /// Fan-in node ids, in gate-input order.
     #[must_use]
-    pub fn fanins(&self) -> &[NodeId] {
-        &self.fanins
+    pub fn fanins(self) -> &'a [NodeId] {
+        self.nl.fanins(self.id)
     }
 
     /// Fan-out node ids (consumers of this signal).
     #[must_use]
-    pub fn fanouts(&self) -> &[NodeId] {
-        &self.fanouts
+    pub fn fanouts(self) -> &'a [NodeId] {
+        self.nl.fanouts(self.id)
     }
 }
 
-/// A gate-level netlist: a named DAG of [`Node`]s with designated primary
+/// A gate-level netlist: a named DAG of nodes with designated primary
 /// inputs and outputs.
 ///
 /// Sequential circuits (ISCAS-89) contain [`NodeKind::Dff`] nodes; call
@@ -122,24 +190,61 @@ impl Node {
 #[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
-    nodes: Vec<Node>,
-    by_name: HashMap<String, NodeId>,
+    symbols: SymbolTable,
+    /// Node → interned name.
+    node_atom: Vec<Atom>,
+    /// Atom → node id ([`NO_NODE`] when the atom names no node).
+    atom_node: Vec<u32>,
+    /// Packed node kind column (see [`pack_kind`]).
+    kinds: Vec<u8>,
+    /// Fan-in CSR: per-node offset/length into `fanin_pool`.
+    fanin_off: Vec<u32>,
+    fanin_len: Vec<u32>,
+    fanin_pool: Vec<NodeId>,
+    /// Fan-out pooled adjacency: per-node offset/length/capacity into
+    /// `fanout_pool`; appends relocate with doubling.
+    fanout_off: Vec<u32>,
+    fanout_len: Vec<u32>,
+    fanout_cap: Vec<u32>,
+    fanout_pool: Vec<NodeId>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
+    /// O(1) `is_output` membership mirror of `outputs`.
+    output_flag: Vec<bool>,
     dffs: Vec<NodeId>,
+    /// Cached levelization; reset by every structural mutation.
+    levels: OnceLock<Result<Vec<u32>, NetlistError>>,
 }
 
 impl Netlist {
     /// Creates an empty netlist with the given design name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
+        Self::with_capacity(name, 0, 0)
+    }
+
+    /// Creates an empty netlist pre-sized for `nodes` nodes and `edges`
+    /// fan-in edges (bulk builders avoid re-allocation churn).
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, nodes: usize, edges: usize) -> Self {
         Netlist {
             name: name.into(),
-            nodes: Vec::new(),
-            by_name: HashMap::new(),
+            symbols: SymbolTable::with_capacity(nodes, nodes * 8),
+            node_atom: Vec::with_capacity(nodes),
+            atom_node: Vec::with_capacity(nodes),
+            kinds: Vec::with_capacity(nodes),
+            fanin_off: Vec::with_capacity(nodes),
+            fanin_len: Vec::with_capacity(nodes),
+            fanin_pool: Vec::with_capacity(edges),
+            fanout_off: Vec::with_capacity(nodes),
+            fanout_len: Vec::with_capacity(nodes),
+            fanout_cap: Vec::with_capacity(nodes),
+            fanout_pool: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            output_flag: Vec::with_capacity(nodes),
             dffs: Vec::new(),
+            levels: OnceLock::new(),
         }
     }
 
@@ -157,16 +262,13 @@ impl Netlist {
     /// Total number of nodes (inputs + gates + DFFs).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.node_atom.len()
     }
 
     /// Number of combinational gates (excludes inputs and DFFs).
     #[must_use]
     pub fn gate_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Gate(_)))
-            .count()
+        self.kinds.iter().filter(|&&k| k >= KIND_GATE_BASE).count()
     }
 
     /// Primary inputs, in declaration order.
@@ -187,51 +289,325 @@ impl Netlist {
         &self.dffs
     }
 
-    /// Looks up a node by signal name.
+    /// The netlist's symbol table (names of every node).
     #[must_use]
-    pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.by_name.get(name).copied()
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
-    /// Borrows a node.
+    /// Looks up a node by signal name: one hash, one array index.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.symbols.lookup(name).and_then(|a| self.find_atom(a))
+    }
+
+    /// Looks up a node by its interned name atom (no hashing at all).
+    #[must_use]
+    pub fn find_atom(&self, atom: Atom) -> Option<NodeId> {
+        match self.atom_node.get(atom.index()) {
+            Some(&id) if id != NO_NODE => Some(NodeId(id)),
+            _ => None,
+        }
+    }
+
+    /// The interned name of a node.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a node of this netlist.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn atom(&self, id: NodeId) -> Atom {
+        self.node_atom[id.index()]
     }
 
-    /// Iterates over `(NodeId, &Node)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i as u32), n))
+    /// The name of a node (materialized from the interner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn name_of(&self, id: NodeId) -> &str {
+        self.symbols.resolve(self.node_atom[id.index()])
+    }
+
+    /// The kind of a node, unpacked from the kind column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        unpack_kind(self.kinds[id.index()])
+    }
+
+    /// Fan-in node ids of a node, in gate-input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        let off = self.fanin_off[id.index()] as usize;
+        let len = self.fanin_len[id.index()] as usize;
+        &self.fanin_pool[off..off + len]
+    }
+
+    /// Fan-out node ids of a node (consumers of its signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        let off = self.fanout_off[id.index()] as usize;
+        let len = self.fanout_len[id.index()] as usize;
+        &self.fanout_pool[off..off + len]
+    }
+
+    /// Borrows a node as a [`NodeRef`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the accessors) if `id` is not a node of this netlist.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef { nl: self, id }
+    }
+
+    /// Iterates over `(NodeId, NodeRef)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeRef<'_>)> + '_ {
+        (0..self.node_atom.len() as u32).map(move |i| (NodeId(i), self.node(NodeId(i))))
     }
 
     /// All node ids in id order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.node_atom.len() as u32).map(NodeId)
     }
 
-    fn fresh_name(&mut self, name: impl Into<String>) -> Result<String, NetlistError> {
-        let name = name.into();
-        if self.by_name.contains_key(&name) {
-            return Err(NetlistError::DuplicateName(name));
+    /// Logic level of every node (0 for inputs/DFFs), cached until the
+    /// next structural mutation. Hot paths (the sim compiler, SCOAP)
+    /// read this column instead of re-levelizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// part is cyclic.
+    pub fn levels(&self) -> Result<&[u32], NetlistError> {
+        match self.levels.get_or_init(|| crate::graph::levelize(self)) {
+            Ok(v) => Ok(v.as_slice()),
+            Err(e) => Err(e.clone()),
         }
-        Ok(name)
     }
 
-    fn push_node(&mut self, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.by_name.insert(node.name.clone(), id);
-        for &f in &node.fanins {
-            self.nodes[f.index()].fanouts.push(id);
+    /// A deterministic topological order: nodes counting-sorted by
+    /// cached level, ties broken by id. Equivalent to (but cheaper and
+    /// more cache-friendly than) [`crate::graph::topo_order`] for
+    /// consumers that only need *some* topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// part is cyclic.
+    pub fn level_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        let levels = self.levels()?;
+        let depth = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut bucket_off = vec![0u32; depth + 2];
+        for &l in levels {
+            bucket_off[l as usize + 1] += 1;
         }
-        self.nodes.push(node);
-        id
+        for i in 1..bucket_off.len() {
+            bucket_off[i] += bucket_off[i - 1];
+        }
+        let mut order = vec![NodeId(0); levels.len()];
+        for (i, &l) in levels.iter().enumerate() {
+            order[bucket_off[l as usize] as usize] = NodeId(i as u32);
+            bucket_off[l as usize] += 1;
+        }
+        Ok(order)
+    }
+
+    /// Approximate resident bytes of the core columns (used by the
+    /// scaling benchmark's memory-budget rows).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.symbols.arena_bytes()
+            + self.symbols.len() * (size_of::<(u32, u32)>() + size_of::<u32>())
+            + self.node_atom.capacity() * size_of::<Atom>()
+            + self.atom_node.capacity() * size_of::<u32>()
+            + self.kinds.capacity()
+            + (self.fanin_off.capacity() + self.fanin_len.capacity()) * size_of::<u32>()
+            + self.fanin_pool.capacity() * size_of::<NodeId>()
+            + (self.fanout_off.capacity() + self.fanout_len.capacity() + self.fanout_cap.capacity())
+                * size_of::<u32>()
+            + self.fanout_pool.capacity() * size_of::<NodeId>()
+            + (self.inputs.capacity() + self.outputs.capacity() + self.dffs.capacity())
+                * size_of::<NodeId>()
+            + self.output_flag.capacity()
+    }
+
+    /// A stable digest of the netlist structure: node names, kinds,
+    /// fan-in wiring and output markings (the design name is excluded).
+    /// Two netlists with the same nodes in the same order hash equal;
+    /// useful as a dedup / change-detection key for compiled artifacts.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = crate::intern::fx_hash(b"htforge-netlist-v1");
+        let mix = |h: u64, w: u64| -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+        };
+        h = mix(h, self.kinds.len() as u64);
+        for id in self.node_ids() {
+            let name = self.name_of(id);
+            h = mix(h, crate::intern::fx_hash(name.as_bytes()));
+            h = mix(h, u64::from(self.kinds[id.index()]));
+            let fanins = self.fanins(id);
+            h = mix(h, fanins.len() as u64);
+            for &f in fanins {
+                h = mix(h, u64::from(f.0));
+            }
+            h = mix(h, u64::from(self.output_flag[id.index()]));
+        }
+        h
+    }
+
+    /// Resets caches derived from structure (levelization).
+    #[inline]
+    fn touch(&mut self) {
+        self.levels = OnceLock::new();
+    }
+
+    /// Interns `name`, keeping the `atom → node` map dense.
+    pub(crate) fn intern_name(&mut self, name: &str) -> Atom {
+        let atom = self.symbols.intern(name);
+        if atom.index() == self.atom_node.len() {
+            self.atom_node.push(NO_NODE);
+        }
+        atom
+    }
+
+    /// Appends a node for `atom` with no fan-ins yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the atom already names
+    /// a node.
+    pub(crate) fn push_raw(&mut self, atom: Atom, packed_kind: u8) -> Result<NodeId, NetlistError> {
+        if self.atom_node[atom.index()] != NO_NODE {
+            return Err(NetlistError::DuplicateName(
+                self.symbols.resolve(atom).to_owned(),
+            ));
+        }
+        let id = NodeId(self.node_atom.len() as u32);
+        self.atom_node[atom.index()] = id.0;
+        self.node_atom.push(atom);
+        self.kinds.push(packed_kind);
+        self.fanin_off.push(self.fanin_pool.len() as u32);
+        self.fanin_len.push(0);
+        self.fanout_off.push(0);
+        self.fanout_len.push(0);
+        self.fanout_cap.push(0);
+        self.output_flag.push(false);
+        match packed_kind {
+            KIND_INPUT => self.inputs.push(id),
+            KIND_DFF => self.dffs.push(id),
+            _ => {}
+        }
+        self.touch();
+        Ok(id)
+    }
+
+    /// Sets a node's fan-ins in bulk (streaming-parser/flattener path).
+    /// Fan-out lists are **not** updated; call [`Netlist::compact_fanouts`]
+    /// once after all fan-ins are set.
+    pub(crate) fn set_fanins_raw(&mut self, id: NodeId, fanins: &[NodeId]) {
+        debug_assert_eq!(self.fanin_len[id.index()], 0, "fan-ins set twice");
+        self.fanin_off[id.index()] = self.fanin_pool.len() as u32;
+        self.fanin_len[id.index()] = fanins.len() as u32;
+        self.fanin_pool.extend_from_slice(fanins);
+        self.touch();
+    }
+
+    /// Appends `consumer` to `node`'s fan-out list, relocating the run
+    /// with doubled capacity when full (amortized O(1)).
+    fn fanout_push(&mut self, node: NodeId, consumer: NodeId) {
+        let i = node.index();
+        let len = self.fanout_len[i];
+        if len == self.fanout_cap[i] {
+            let new_cap = (self.fanout_cap[i] * 2).max(2);
+            let old_off = self.fanout_off[i] as usize;
+            let new_off = self.fanout_pool.len();
+            self.fanout_pool
+                .extend_from_within(old_off..old_off + len as usize);
+            self.fanout_pool
+                .resize(new_off + new_cap as usize, NodeId(u32::MAX));
+            self.fanout_off[i] = new_off as u32;
+            self.fanout_cap[i] = new_cap;
+        }
+        let off = self.fanout_off[i] as usize;
+        self.fanout_pool[off + len as usize] = consumer;
+        self.fanout_len[i] = len + 1;
+    }
+
+    /// Keeps only the fan-outs of `node` satisfying `keep` (in place).
+    fn fanout_retain(&mut self, node: NodeId, keep: impl Fn(NodeId) -> bool) {
+        let i = node.index();
+        let off = self.fanout_off[i] as usize;
+        let len = self.fanout_len[i] as usize;
+        let mut write = off;
+        for read in off..off + len {
+            let c = self.fanout_pool[read];
+            if keep(c) {
+                self.fanout_pool[write] = c;
+                write += 1;
+            }
+        }
+        self.fanout_len[i] = (write - off) as u32;
+    }
+
+    /// Rebuilds every fan-out list as an exact CSR over one fresh pool
+    /// (capacity == length, consumers in id order, duplicate edges kept).
+    /// Bulk builders call this once instead of paying per-edge appends;
+    /// it is also a defragmenter after heavy incremental editing.
+    pub fn compact_fanouts(&mut self) {
+        let n = self.node_count();
+        let mut counts = vec![0u32; n];
+        for &f in &self.fanin_pool[..] {
+            if f.index() < n {
+                counts[f.index()] += 1;
+            }
+        }
+        // Only count edges that are live (within some node's fan-in run).
+        // The pool may hold dead runs from in-place edits; recount from
+        // the per-node views instead when sizes disagree.
+        let live_edges: usize = self.fanin_len.iter().map(|&l| l as usize).sum();
+        if live_edges != self.fanin_pool.len() {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for id in 0..n {
+                for &f in self.fanins(NodeId(id as u32)) {
+                    counts[f.index()] += 1;
+                }
+            }
+        }
+        let mut off = 0u32;
+        for (i, &c) in counts.iter().enumerate() {
+            self.fanout_off[i] = off;
+            self.fanout_len[i] = 0;
+            self.fanout_cap[i] = c;
+            off += c;
+        }
+        let mut pool = vec![NodeId(u32::MAX); off as usize];
+        for id in 0..n {
+            let consumer = NodeId(id as u32);
+            let from = self.fanin_off[id] as usize;
+            let to = from + self.fanin_len[id] as usize;
+            for k in from..to {
+                let f = self.fanin_pool[k].index();
+                pool[(self.fanout_off[f] + self.fanout_len[f]) as usize] = consumer;
+                self.fanout_len[f] += 1;
+            }
+        }
+        self.fanout_pool = pool;
     }
 
     /// Adds a primary input.
@@ -251,15 +627,9 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::DuplicateName`] if the name is taken.
     pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
-        let name = self.fresh_name(name)?;
-        let id = self.push_node(Node {
-            name,
-            kind: NodeKind::Input,
-            fanins: Vec::new(),
-            fanouts: Vec::new(),
-        });
-        self.inputs.push(id);
-        Ok(id)
+        let name = name.into();
+        let atom = self.intern_name(&name);
+        self.push_raw(atom, KIND_INPUT)
     }
 
     /// Adds a combinational gate driven by `fanins`.
@@ -276,7 +646,7 @@ impl Netlist {
         kind: GateKind,
         fanins: Vec<NodeId>,
     ) -> Result<NodeId, NetlistError> {
-        let name = self.fresh_name(name)?;
+        let name = name.into();
         if !kind.arity_ok(fanins.len()) {
             return Err(NetlistError::BadArity {
                 gate: name,
@@ -285,16 +655,17 @@ impl Netlist {
             });
         }
         for &f in &fanins {
-            if f.index() >= self.nodes.len() {
+            if f.index() >= self.node_count() {
                 return Err(NetlistError::InvalidNodeId(f.0));
             }
         }
-        Ok(self.push_node(Node {
-            name,
-            kind: NodeKind::Gate(kind),
-            fanins,
-            fanouts: Vec::new(),
-        }))
+        let atom = self.intern_name(&name);
+        let id = self.push_raw(atom, KIND_GATE_BASE + kind.code())?;
+        self.set_fanins_raw(id, &fanins);
+        for &f in &fanins {
+            self.fanout_push(f, id);
+        }
+        Ok(id)
     }
 
     /// Adds a D flip-flop whose D input is `d`.
@@ -304,17 +675,14 @@ impl Netlist {
     /// Returns [`NetlistError::DuplicateName`] on a name clash or
     /// [`NetlistError::InvalidNodeId`] if `d` is out of range.
     pub fn add_dff(&mut self, name: impl Into<String>, d: NodeId) -> Result<NodeId, NetlistError> {
-        let name = self.fresh_name(name)?;
-        if d.index() >= self.nodes.len() {
+        if d.index() >= self.node_count() {
             return Err(NetlistError::InvalidNodeId(d.0));
         }
-        let id = self.push_node(Node {
-            name,
-            kind: NodeKind::Dff,
-            fanins: vec![d],
-            fanouts: Vec::new(),
-        });
-        self.dffs.push(id);
+        let name = name.into();
+        let atom = self.intern_name(&name);
+        let id = self.push_raw(atom, KIND_DFF)?;
+        self.set_fanins_raw(id, &[d]);
+        self.fanout_push(d, id);
         Ok(id)
     }
 
@@ -326,14 +694,13 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::DuplicateName`] on a name clash.
     pub fn add_dff_deferred(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
-        let name = self.fresh_name(name)?;
-        let id = self.push_node(Node {
-            name,
-            kind: NodeKind::Dff,
-            fanins: Vec::new(),
-            fanouts: Vec::new(),
-        });
-        self.dffs.push(id);
+        let name = name.into();
+        let atom = self.intern_name(&name);
+        let id = self.push_raw(atom, KIND_DFF)?;
+        // Reserve the single D slot now so connect_dff never shifts the
+        // fan-in pool.
+        self.fanin_off[id.index()] = self.fanin_pool.len() as u32;
+        self.fanin_pool.push(NodeId(u32::MAX));
         Ok(id)
     }
 
@@ -344,32 +711,33 @@ impl Netlist {
     /// Returns [`NetlistError::InvalidNodeId`] if either id is out of range
     /// or `dff` is not a DFF with an unconnected D input.
     pub fn connect_dff(&mut self, dff: NodeId, d: NodeId) -> Result<(), NetlistError> {
-        if dff.index() >= self.nodes.len() || d.index() >= self.nodes.len() {
+        if dff.index() >= self.node_count() || d.index() >= self.node_count() {
             return Err(NetlistError::InvalidNodeId(dff.0.max(d.0)));
         }
-        {
-            let node = &self.nodes[dff.index()];
-            if node.kind != NodeKind::Dff || !node.fanins.is_empty() {
-                return Err(NetlistError::InvalidNodeId(dff.0));
-            }
+        if self.kinds[dff.index()] != KIND_DFF || self.fanin_len[dff.index()] != 0 {
+            return Err(NetlistError::InvalidNodeId(dff.0));
         }
-        self.nodes[dff.index()].fanins.push(d);
-        self.nodes[d.index()].fanouts.push(dff);
+        let off = self.fanin_off[dff.index()] as usize;
+        self.fanin_pool[off] = d;
+        self.fanin_len[dff.index()] = 1;
+        self.fanout_push(d, dff);
+        self.touch();
         Ok(())
     }
 
     /// Marks a node as a primary output. A node may be marked at most once;
     /// repeated marks are ignored.
     pub fn mark_output(&mut self, id: NodeId) {
-        if !self.outputs.contains(&id) {
+        if !self.output_flag[id.index()] {
+            self.output_flag[id.index()] = true;
             self.outputs.push(id);
         }
     }
 
-    /// Returns `true` if `id` is a primary output.
+    /// Returns `true` if `id` is a primary output (O(1)).
     #[must_use]
     pub fn is_output(&self, id: NodeId) -> bool {
-        self.outputs.contains(&id)
+        self.output_flag[id.index()]
     }
 
     /// Produces the *full-scan* combinational model: every DFF becomes a
@@ -382,22 +750,21 @@ impl Netlist {
     pub fn scan_cut(&self) -> Netlist {
         let mut out = self.clone();
         out.name = format!("{}_scan", self.name);
-        // Drop DFF fan-in edges first (removes Q←D edges and the fanout
-        // back-references), then retype DFFs as inputs.
-        for &dff in &self.dffs {
-            let d = out.nodes[dff.index()].fanins.first().copied();
-            out.nodes[dff.index()].fanins.clear();
+        out.touch();
+        let dffs = std::mem::take(&mut out.dffs);
+        for &dff in &dffs {
+            let d = out.fanins(dff).first().copied();
+            // Drop the Q←D edge (and the fanout back-reference), then
+            // retype the DFF as an input.
+            out.fanin_len[dff.index()] = 0;
             if let Some(d) = d {
-                out.nodes[d.index()].fanouts.retain(|&x| x != dff);
+                out.fanout_retain(d, |c| c != dff);
                 // D driver becomes a pseudo-PO.
-                if !out.outputs.contains(&d) {
-                    out.outputs.push(d);
-                }
+                out.mark_output(d);
             }
-            out.nodes[dff.index()].kind = NodeKind::Input;
+            out.kinds[dff.index()] = KIND_INPUT;
             out.inputs.push(dff);
         }
-        out.dffs.clear();
         out
     }
 
@@ -417,30 +784,33 @@ impl Netlist {
     /// Panics if either id is out of range or if `victim == new_driver`.
     pub fn splice_driver(&mut self, victim: NodeId, new_driver: NodeId) {
         assert_ne!(victim, new_driver, "cannot splice a node over itself");
-        let consumers: Vec<NodeId> = self.nodes[victim.index()]
-            .fanouts
+        let consumers: Vec<NodeId> = self
+            .fanouts(victim)
             .iter()
             .copied()
             .filter(|&c| c != new_driver)
             .collect();
-        for c in &consumers {
-            for f in &mut self.nodes[c.index()].fanins {
-                if *f == victim {
-                    *f = new_driver;
+        for &c in &consumers {
+            let from = self.fanin_off[c.index()] as usize;
+            let to = from + self.fanin_len[c.index()] as usize;
+            for slot in &mut self.fanin_pool[from..to] {
+                if *slot == victim {
+                    *slot = new_driver;
                 }
             }
-            self.nodes[new_driver.index()].fanouts.push(*c);
+            self.fanout_push(new_driver, c);
         }
-        self.nodes[victim.index()]
-            .fanouts
-            .retain(|&c| c == new_driver);
+        self.fanout_retain(victim, |c| c == new_driver);
         if let Some(pos) = self.outputs.iter().position(|&o| o == victim) {
-            if self.outputs.contains(&new_driver) {
+            self.output_flag[victim.index()] = false;
+            if self.output_flag[new_driver.index()] {
                 self.outputs.remove(pos);
             } else {
+                self.output_flag[new_driver.index()] = true;
                 self.outputs[pos] = new_driver;
             }
         }
+        self.touch();
     }
 
     /// Validates structural invariants: every fan-in id in range, fan-out
@@ -451,40 +821,42 @@ impl Netlist {
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), NetlistError> {
-        for (id, node) in self.iter() {
-            for &f in &node.fanins {
-                if f.index() >= self.nodes.len() {
+        let n = self.node_count();
+        for id in self.node_ids() {
+            for &f in self.fanins(id) {
+                if f.index() >= n {
                     return Err(NetlistError::InvalidNodeId(f.0));
                 }
-                if !self.nodes[f.index()].fanouts.contains(&id) {
-                    return Err(NetlistError::UndefinedSignal(node.name.clone()));
+                if !self.fanouts(f).contains(&id) {
+                    return Err(NetlistError::UndefinedSignal(self.name_of(id).to_owned()));
                 }
             }
-            match node.kind {
+            let got = self.fanin_len[id.index()] as usize;
+            match self.kind(id) {
                 NodeKind::Input => {
-                    if !node.fanins.is_empty() {
+                    if got != 0 {
                         return Err(NetlistError::BadArity {
-                            gate: node.name.clone(),
+                            gate: self.name_of(id).to_owned(),
                             kind: "INPUT",
-                            got: node.fanins.len(),
+                            got,
                         });
                     }
                 }
                 NodeKind::Dff => {
-                    if node.fanins.len() != 1 {
+                    if got != 1 {
                         return Err(NetlistError::BadArity {
-                            gate: node.name.clone(),
+                            gate: self.name_of(id).to_owned(),
                             kind: "DFF",
-                            got: node.fanins.len(),
+                            got,
                         });
                     }
                 }
                 NodeKind::Gate(k) => {
-                    if !k.arity_ok(node.fanins.len()) {
+                    if !k.arity_ok(got) {
                         return Err(NetlistError::BadArity {
-                            gate: node.name.clone(),
+                            gate: self.name_of(id).to_owned(),
                             kind: k.bench_keyword(),
-                            got: node.fanins.len(),
+                            got,
                         });
                     }
                 }
@@ -492,6 +864,18 @@ impl Netlist {
         }
         // Acyclicity of the combinational part (DFF edges are cut).
         crate::graph::topo_order(self).map(|_| ())
+    }
+
+    /// Test-only raw edge injection (builds deliberately broken graphs).
+    #[cfg(test)]
+    pub(crate) fn add_fanin_edge_for_test(&mut self, gate: NodeId, extra: NodeId) {
+        let old: Vec<NodeId> = self.fanins(gate).to_vec();
+        self.fanin_off[gate.index()] = self.fanin_pool.len() as u32;
+        self.fanin_len[gate.index()] = old.len() as u32 + 1;
+        self.fanin_pool.extend_from_slice(&old);
+        self.fanin_pool.push(extra);
+        self.fanout_push(extra, gate);
+        self.touch();
     }
 }
 
@@ -564,6 +948,17 @@ mod tests {
     }
 
     #[test]
+    fn names_resolve_through_the_interner() {
+        let nl = half_adder();
+        let s = nl.find("s").unwrap();
+        assert_eq!(nl.node(s).name(), "s");
+        assert_eq!(nl.name_of(s), "s");
+        let atom = nl.atom(s);
+        assert_eq!(nl.find_atom(atom), Some(s));
+        assert_eq!(nl.symbols().resolve(atom), "s");
+    }
+
+    #[test]
     fn scan_cut_preserves_ids_and_cuts_dffs() {
         let mut nl = Netlist::new("seq");
         let a = nl.add_input("a");
@@ -624,12 +1019,47 @@ mod tests {
         let g1 = nl.add_gate("g1", GateKind::And, vec![a, a]).unwrap();
         let g2 = nl.add_gate("g2", GateKind::Or, vec![g1]).unwrap();
         // Manually create a cycle g1 <- g2.
-        nl.nodes[g1.index()].fanins.push(g2);
-        nl.nodes[g2.index()].fanouts.push(g1);
+        nl.add_fanin_edge_for_test(g1, g2);
         assert!(matches!(
             nl.validate(),
             Err(NetlistError::CombinationalCycle { .. })
         ));
+    }
+
+    #[test]
+    fn levels_cache_and_invalidate() {
+        let mut nl = half_adder();
+        let s = nl.find("s").unwrap();
+        assert_eq!(nl.levels().unwrap()[s.index()], 1);
+        // Structural mutation invalidates: a new gate over s is level 2.
+        let g = nl.add_gate("g", GateKind::Not, vec![s]).unwrap();
+        assert_eq!(nl.levels().unwrap()[g.index()], 2);
+        // level_order is a valid topological order.
+        let order = nl.level_order().unwrap();
+        assert_eq!(order.len(), nl.node_count());
+        let pos: Vec<usize> = nl
+            .node_ids()
+            .map(|id| order.iter().position(|&x| x == id).unwrap())
+            .collect();
+        for id in nl.node_ids() {
+            for &f in nl.fanins(id) {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn compact_fanouts_is_an_exact_rebuild() {
+        let mut nl = half_adder();
+        let before: Vec<Vec<NodeId>> = nl.node_ids().map(|id| nl.fanouts(id).to_vec()).collect();
+        nl.compact_fanouts();
+        let after: Vec<Vec<NodeId>> = nl.node_ids().map(|id| nl.fanouts(id).to_vec()).collect();
+        assert_eq!(before, after);
+        // Pool is exactly the edge count after compaction.
+        let edges: usize = nl.node_ids().map(|id| nl.fanins(id).len()).sum();
+        let fanout_total: usize = nl.node_ids().map(|id| nl.fanouts(id).len()).sum();
+        assert_eq!(edges, fanout_total);
+        assert!(nl.validate().is_ok());
     }
 
     #[test]
@@ -638,5 +1068,26 @@ mod tests {
         let s = nl.to_string();
         assert!(s.contains("2 inputs"));
         assert!(s.contains("2 gates"));
+    }
+
+    #[test]
+    fn structural_hash_tracks_structure_not_design_name() {
+        let a = half_adder();
+        let mut b = half_adder();
+        b.set_name("renamed");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Changing wiring changes the hash.
+        let mut c = half_adder();
+        let sum = c.find("s").unwrap();
+        let carry = c.find("c").unwrap();
+        c.splice_driver(sum, carry);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+
+        // Changing output markings changes the hash.
+        let mut d = half_adder();
+        let pi = d.find("a").unwrap();
+        d.mark_output(pi);
+        assert_ne!(a.structural_hash(), d.structural_hash());
     }
 }

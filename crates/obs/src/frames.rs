@@ -7,7 +7,8 @@
 //! snapshot, every terminal job response embeds a per-phase timeline,
 //! and long-running jobs stream progress frames before their terminal
 //! response. [`validate_any_json`] dispatches on the `schema` tag so
-//! one validator (`obs_validate`) covers all four document kinds.
+//! one validator (`obs_validate`) covers every document kind, including
+//! the netlist-core scaling benchmark (`htforge.netlist_scaling/v1`).
 
 use crate::json::{self, Json};
 use crate::recorder::MetricsSnapshot;
@@ -20,6 +21,9 @@ pub const JOB_TIMELINE_SCHEMA: &str = "htforge.job_timeline/v1";
 pub const JOB_PROGRESS_SCHEMA: &str = "htforge.job_progress/v1";
 /// Schema tag of one write-ahead journal record of the campaign server.
 pub const SERVER_JOURNAL_SCHEMA: &str = "htforge.server_journal/v1";
+/// Schema tag of the netlist-core scaling benchmark document
+/// (`BENCH_netlist.json` at the repository root).
+pub const NETLIST_SCALING_SCHEMA: &str = "htforge.netlist_scaling/v1";
 
 /// The journal event vocabulary, in per-job lifecycle order.
 pub const JOURNAL_EVENTS: &[&str] = &["submit", "start", "terminal"];
@@ -398,9 +402,73 @@ pub fn validate_server_journal(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks that `doc` is a structurally valid `v1` netlist-scaling
+/// benchmark document: a non-empty `results` array of rows ascending in
+/// `gates`, each carrying the integer size/memory columns and a
+/// `seconds` object with non-negative phase timings.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_netlist_scaling(doc: &Json) -> Result<(), String> {
+    expect_schema(doc, NETLIST_SCALING_SCHEMA)?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `results`")?;
+    if results.is_empty() {
+        return Err("`results` is empty".into());
+    }
+    let mut prev_gates = 0u64;
+    for (i, row) in results.iter().enumerate() {
+        let gates = row
+            .get("gates")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("results[{i}]: missing integer `gates`"))?;
+        if gates == 0 {
+            return Err(format!("results[{i}]: `gates` is zero"));
+        }
+        if gates <= prev_gates {
+            return Err(format!(
+                "results[{i}]: `gates` must ascend strictly ({gates} after {prev_gates})"
+            ));
+        }
+        prev_gates = gates;
+        for key in [
+            "nodes",
+            "bench_bytes",
+            "memory_bytes",
+            "rss_peak_kb",
+            "levels",
+            "rare_nodes",
+        ] {
+            row.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("results[{i}]: missing integer `{key}`"))?;
+        }
+        let seconds = row
+            .get("seconds")
+            .ok_or_else(|| format!("results[{i}]: missing object `seconds`"))?;
+        if seconds.as_obj().is_none() {
+            return Err(format!("results[{i}]: `seconds` must be an object"));
+        }
+        for key in ["flatten", "parse", "levelize", "rare_extract"] {
+            let v = seconds
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("results[{i}]: missing number `seconds.{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("results[{i}]: `seconds.{key}` is negative"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates any schema-tagged htforge telemetry document, dispatching
 /// on its `schema` field: run reports, metrics snapshots, job
-/// timelines, progress frames and server-journal records.
+/// timelines, progress frames, server-journal records and
+/// netlist-scaling benchmark documents.
 ///
 /// # Errors
 ///
@@ -417,9 +485,11 @@ pub fn validate_any_json(doc: &Json) -> Result<(), String> {
         JOB_TIMELINE_SCHEMA => validate_job_timeline(doc),
         JOB_PROGRESS_SCHEMA => validate_job_progress(doc),
         SERVER_JOURNAL_SCHEMA => validate_server_journal(doc),
+        NETLIST_SCALING_SCHEMA => validate_netlist_scaling(doc),
         other => Err(format!(
             "unknown schema `{other}` (expected {}, {METRICS_SNAPSHOT_SCHEMA}, \
-             {JOB_TIMELINE_SCHEMA}, {JOB_PROGRESS_SCHEMA} or {SERVER_JOURNAL_SCHEMA})",
+             {JOB_TIMELINE_SCHEMA}, {JOB_PROGRESS_SCHEMA}, {SERVER_JOURNAL_SCHEMA} \
+             or {NETLIST_SCALING_SCHEMA})",
             crate::report::SCHEMA
         )),
     }
@@ -566,6 +636,64 @@ mod tests {
         assert!(validate_job_progress(&over.to_json())
             .unwrap_err()
             .contains("outside"));
+    }
+
+    #[test]
+    fn netlist_scaling_validates_and_rejects_bad_rows() {
+        let row = |gates: f64| {
+            Json::obj(vec![
+                ("gates", Json::Num(gates)),
+                ("nodes", Json::Num(gates + 4.0)),
+                ("bench_bytes", Json::Num(gates * 30.0)),
+                ("memory_bytes", Json::Num(gates * 60.0)),
+                ("rss_peak_kb", Json::Num(10_000.0)),
+                ("levels", Json::Num(120.0)),
+                ("rare_nodes", Json::Num(17.0)),
+                (
+                    "seconds",
+                    Json::obj(vec![
+                        ("flatten", Json::Num(0.01)),
+                        ("parse", Json::Num(0.05)),
+                        ("levelize", Json::Num(0.002)),
+                        ("rare_extract", Json::Num(0.03)),
+                    ]),
+                ),
+            ])
+        };
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(NETLIST_SCALING_SCHEMA.into())),
+            ("results", Json::Arr(vec![row(10_000.0), row(100_000.0)])),
+        ]);
+        validate_netlist_scaling(&doc).unwrap();
+        validate_any_str(&doc.compact()).unwrap();
+
+        let empty = Json::obj(vec![
+            ("schema", Json::Str(NETLIST_SCALING_SCHEMA.into())),
+            ("results", Json::Arr(vec![])),
+        ]);
+        assert!(validate_netlist_scaling(&empty)
+            .unwrap_err()
+            .contains("empty"));
+
+        let unsorted = Json::obj(vec![
+            ("schema", Json::Str(NETLIST_SCALING_SCHEMA.into())),
+            ("results", Json::Arr(vec![row(100_000.0), row(10_000.0)])),
+        ]);
+        assert!(validate_netlist_scaling(&unsorted)
+            .unwrap_err()
+            .contains("ascend"));
+
+        let mut bad_row = row(10_000.0);
+        if let Json::Obj(fields) = &mut bad_row {
+            fields.retain(|(k, _)| k != "seconds");
+        }
+        let missing = Json::obj(vec![
+            ("schema", Json::Str(NETLIST_SCALING_SCHEMA.into())),
+            ("results", Json::Arr(vec![bad_row])),
+        ]);
+        assert!(validate_netlist_scaling(&missing)
+            .unwrap_err()
+            .contains("seconds"));
     }
 
     #[test]

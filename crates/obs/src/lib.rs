@@ -68,9 +68,10 @@ pub use budget::{
 };
 pub use frames::{
     metrics_snapshot_json, validate_any_json, validate_any_str, validate_job_progress,
-    validate_job_timeline, validate_metrics_snapshot, validate_server_journal, JobTimeline,
-    ProgressFrame, TimelinePhase, JOB_PROGRESS_SCHEMA, JOB_TIMELINE_SCHEMA, JOURNAL_EVENTS,
-    METRICS_SNAPSHOT_SCHEMA, PROGRESS_EVENTS, SERVER_JOURNAL_SCHEMA,
+    validate_job_timeline, validate_metrics_snapshot, validate_netlist_scaling,
+    validate_server_journal, JobTimeline, ProgressFrame, TimelinePhase, JOB_PROGRESS_SCHEMA,
+    JOB_TIMELINE_SCHEMA, JOURNAL_EVENTS, METRICS_SNAPSHOT_SCHEMA, NETLIST_SCALING_SCHEMA,
+    PROGRESS_EVENTS, SERVER_JOURNAL_SCHEMA,
 };
 pub use isolate::{isolate, panic_message};
 pub use json::{parse as parse_json, Json, ParseError};

@@ -61,7 +61,9 @@ impl Scoap {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
     pub fn compute(nl: &Netlist) -> Result<Self, NetlistError> {
-        let order = htforge_netlist::graph::topo_order(nl)?;
+        // Cached level-order traversal: cheap on repeat calls, and the
+        // contiguous SoA columns keep both passes cache-friendly.
+        let order = nl.level_order()?;
         let n = nl.node_count();
         let mut cc0 = vec![0u32; n];
         let mut cc1 = vec![0u32; n];

@@ -226,6 +226,23 @@ mod tests {
     }
 
     #[test]
+    fn reformatted_inline_text_shares_one_entry() {
+        let cache = ProgramCache::new();
+        let canonical = bench::write(&circuits::load("c17").unwrap());
+        let airy = format!(
+            "# resubmitted with comments\n\n  {}",
+            canonical.replace('\n', "  \n\n  ")
+        );
+        let (a, hit_a) = cache
+            .get_or_compile(&CircuitSource::Inline(canonical))
+            .unwrap();
+        let (b, hit_b) = cache.get_or_compile(&CircuitSource::Inline(airy)).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
     fn failed_compiles_are_not_cached() {
         let cache = ProgramCache::new();
         let bad = CircuitSource::Inline("y = NOT(".into());

@@ -15,7 +15,7 @@
 //! in the queue completes as `timeout` without ever touching a worker.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -317,7 +317,15 @@ struct Core {
     /// argument as `sessions`).
     journal: Option<Mutex<Journal>>,
     recovery: RecoveryInfo,
+    /// Terminal results whose submitting session died before delivery,
+    /// parked for the `pickup` op (bounded FIFO — oldest evicted at
+    /// [`PARKED_TERMINALS_CAP`]). Leaf lock: never held across another
+    /// lock acquisition.
+    parked: Mutex<VecDeque<JobResult>>,
 }
+
+/// Bound on parked terminals retained for `pickup`.
+const PARKED_TERMINALS_CAP: usize = 1024;
 
 impl Core {
     /// Routes one response to its session, falling back to session 0
@@ -428,6 +436,10 @@ impl Core {
             Request::Cancel { tenant, id } => {
                 let tenant = normalize(tenant, default_tenant);
                 self.cancel(session, &tenant, &id);
+            }
+            Request::Pickup { tenant, id } => {
+                let tenant = normalize(tenant, default_tenant);
+                self.pickup(session, &tenant, &id);
             }
             Request::Status => self.send_to(session, Response::Status(self.status_body())),
             Request::Metrics => self.send_to(session, Response::Metrics(self.metrics_body())),
@@ -892,7 +904,7 @@ impl Core {
         });
         let inject = isolate("server.respond", || faultpoint::fire("server.respond"));
         match inject {
-            Ok(false) => self.send_to(session, Response::Result(Box::new(result))),
+            Ok(false) => self.send_terminal(session, result),
             Ok(true) | Err(_) => {
                 self.stats
                     .degraded_responses
@@ -905,8 +917,75 @@ impl Core {
                     Some(e) => format!("{e}; response degraded: injected respond fault"),
                     None => "response degraded: injected respond fault".to_owned(),
                 });
-                self.send_to(session, Response::Result(Box::new(degraded)));
+                self.send_terminal(session, degraded);
             }
+        }
+    }
+
+    /// Delivers one terminal result to its session. When the session
+    /// is gone (client disconnected mid-job), the result is parked for
+    /// retrieval via the `pickup` op and a copy still goes to the
+    /// session-0 drain so the line stays observable.
+    fn send_terminal(&self, session: u64, result: JobResult) {
+        let mut result = Some(result);
+        {
+            let sessions = self.sessions.lock().unwrap();
+            if let Some(tx) = sessions.get(&session) {
+                match tx.send(Response::Result(Box::new(result.take().unwrap()))) {
+                    Ok(()) => return,
+                    Err(e) => {
+                        if let Response::Result(r) = e.0 {
+                            result = Some(*r);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(result) = result else { return };
+        if session == 0 {
+            // The primary channel itself is gone: nothing to reconnect.
+            htforge_obs::counter("server.responses_orphaned").incr();
+            return;
+        }
+        {
+            let mut parked = self.parked.lock().unwrap();
+            if parked.len() >= PARKED_TERMINALS_CAP {
+                parked.pop_front();
+                htforge_obs::counter("server.terminals_park_evicted").incr();
+            }
+            parked.push_back(result.clone());
+        }
+        htforge_obs::counter("server.terminals_parked").incr();
+        let sessions = self.sessions.lock().unwrap();
+        if let Some(tx) = sessions.get(&0) {
+            let _ = tx.send(Response::Result(Box::new(result)));
+        }
+    }
+
+    /// The `pickup` op: hands a parked terminal of `(tenant, id)` to
+    /// the requesting (reconnected) session, or a structured error if
+    /// nothing is parked under that key.
+    fn pickup(&self, session: u64, tenant: &str, id: &str) {
+        let found = {
+            let mut parked = self.parked.lock().unwrap();
+            parked
+                .iter()
+                .position(|r| r.tenant == tenant && r.id == id)
+                .and_then(|i| parked.remove(i))
+        };
+        match found {
+            Some(result) => {
+                htforge_obs::counter("server.terminals_picked_up").incr();
+                self.send_to(session, Response::Result(Box::new(result)));
+            }
+            None => self.send_to(
+                session,
+                Response::Error {
+                    stage: "pickup".to_owned(),
+                    id: Some(id.to_owned()),
+                    error: format!("no parked terminal for job `{id}` of tenant `{tenant}`"),
+                },
+            ),
         }
     }
 
@@ -1225,6 +1304,7 @@ impl Server {
             admission: config.admission.clone(),
             journal,
             recovery,
+            parked: Mutex::new(VecDeque::new()),
         });
         // Re-enqueue recovered jobs before any worker runs: redelivery
         // is at-least-once, and the jobs map dedupes by (tenant, id)
@@ -1270,8 +1350,9 @@ impl Server {
         (id, rx)
     }
 
-    /// Closes a session; in-flight responses it would have received
-    /// fall back to session 0.
+    /// Closes a session. In-flight responses it would have received
+    /// fall back to session 0; terminal results are additionally
+    /// parked for retrieval via the `pickup` op (reconnect flow).
     pub fn close_session(&self, id: u64) {
         if id != 0 {
             self.core.sessions.lock().unwrap().remove(&id);

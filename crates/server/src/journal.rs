@@ -29,7 +29,11 @@
 //! segment outgrows its bound, the live (non-terminal) jobs are
 //! compacted into a temp file that is fsynced and renamed over the
 //! segment, so a crash during rotation leaves either the old or the
-//! new segment, never a hybrid.
+//! new segment, never a hybrid. The pre-compaction segment survives as
+//! a `.1` archive (see [`archive_path`]), so the terminal history a
+//! compaction drops stays inspectable — [`read_records_with_archive`]
+//! stitches archive + live segment back into the full campaign for
+//! `--dump-journal`.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -299,6 +303,37 @@ fn decode_frames(bytes: &[u8]) -> Vec<(Json, usize)> {
 ///
 /// Propagates I/O errors reading the file.
 pub fn read_records(path: &Path) -> io::Result<(Vec<Json>, u64)> {
+    read_segment(path)
+}
+
+/// The sibling path holding the pre-compaction archive of a rotated
+/// segment (`<segment>.1`).
+#[must_use]
+pub fn archive_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".1");
+    PathBuf::from(os)
+}
+
+/// Reads a segment *and* its `.1` pre-compaction archive (if one
+/// exists), archive records first, so `--dump-journal` reconstructs
+/// the full campaign history across a rotation instead of only the
+/// live jobs the compaction kept. Returns the decoded payloads and the
+/// total unreadable tail bytes across both files.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the live segment (a missing or
+/// unreadable archive is skipped, not an error).
+pub fn read_records_with_archive(path: &Path) -> io::Result<(Vec<Json>, u64)> {
+    let (mut docs, mut torn) = read_segment(&archive_path(path)).unwrap_or_default();
+    let (live, live_torn) = read_segment(path)?;
+    docs.extend(live);
+    torn += live_torn;
+    Ok((docs, torn))
+}
+
+fn read_segment(path: &Path) -> io::Result<(Vec<Json>, u64)> {
     let bytes = std::fs::read(path)?;
     if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
         // Not a journal (or a torn header): everything is tail.
@@ -562,6 +597,15 @@ impl Journal {
     /// Compacts the segment down to the live (non-terminal) jobs:
     /// write a temp segment, fsync it, atomically rename it over the
     /// live path. A crash at any point leaves one intact segment.
+    ///
+    /// Before the rename, the pre-compaction segment is preserved as a
+    /// `.1` archive (hard-linked first, so a crash between the two
+    /// steps leaves the history intact alongside whichever segment
+    /// survives) — compaction discards terminal records from the live
+    /// segment, and the archive is what lets `--dump-journal`
+    /// reconstruct the full campaign afterwards. Archiving is best
+    /// effort: on filesystems without hard links it falls back to a
+    /// copy, and an archive failure never blocks the rotation itself.
     fn rotate(&mut self) -> io::Result<()> {
         let tmp_path = self.cfg.path.with_extension("rotate.tmp");
         let mut tmp = OpenOptions::new()
@@ -602,6 +646,15 @@ impl Journal {
             bytes += frame.len() as u64;
         }
         tmp.sync_data()?;
+        let archive = archive_path(&self.cfg.path);
+        let _ = std::fs::remove_file(&archive);
+        let archived = std::fs::hard_link(&self.cfg.path, &archive)
+            .or_else(|_| std::fs::copy(&self.cfg.path, &archive).map(|_| ()));
+        if archived.is_ok() {
+            htforge_obs::counter("server.journal_rotations_archived").incr();
+        } else {
+            htforge_obs::counter("server.journal_archive_errors").incr();
+        }
         std::fs::rename(&tmp_path, &self.cfg.path)?;
         self.file = tmp;
         self.bytes = bytes;

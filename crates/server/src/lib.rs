@@ -58,7 +58,8 @@ pub use core::{
 };
 pub use exec::{execute, ExecOutcome, SIM_CHUNK};
 pub use journal::{
-    read_records, FsyncPolicy, Journal, JournalConfig, JournalEvent, JournalStats, Recovery,
+    archive_path, read_records, read_records_with_archive, FsyncPolicy, Journal, JournalConfig,
+    JournalEvent, JournalStats, Recovery,
 };
 pub use progress::{ProgressEmitter, PIPELINE_PHASES};
 pub use protocol::{

@@ -59,7 +59,8 @@ impl JobKind {
 
 /// Where the job's circuit comes from. The variant (plus payload) is
 /// the cache key: two jobs naming the same builtin, or carrying
-/// byte-identical inline netlists, share one compiled `SimProgram`.
+/// inline netlists that are identical after comment/whitespace
+/// canonicalization, share one compiled `SimProgram`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CircuitSource {
     /// A built-in benchmark circuit (`c17`, `c2670`, …).
@@ -78,15 +79,33 @@ impl CircuitSource {
         }
     }
 
-    /// Content hash keying the compiled-program cache (FNV-1a over the
-    /// variant tag and payload).
+    /// Content hash keying the compiled-program cache. Builtins hash
+    /// their name; inline netlists hash a canonicalized statement
+    /// stream (comments stripped, lines trimmed, blanks skipped —
+    /// mirroring the `.bench` lexer) so a reformatted copy of the same
+    /// circuit lands on the same cache entry. The variant tag keeps
+    /// `Builtin(x)` and `Inline(x)` distinct.
     #[must_use]
     pub fn content_hash(&self) -> u64 {
-        let (tag, text) = match self {
-            CircuitSource::Builtin(name) => ("builtin:", name.as_str()),
-            CircuitSource::Inline(text) => ("inline:", text.as_str()),
-        };
-        fnv1a(fnv1a(FNV_OFFSET, tag.as_bytes()), text.as_bytes())
+        match self {
+            CircuitSource::Builtin(name) => fnv1a(fnv1a(FNV_OFFSET, b"builtin:"), name.as_bytes()),
+            CircuitSource::Inline(text) => {
+                let mut h = fnv1a(FNV_OFFSET, b"inline:");
+                for raw in text.lines() {
+                    let line = match raw.find('#') {
+                        Some(pos) => &raw[..pos],
+                        None => raw,
+                    };
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    h = fnv1a(h, line.as_bytes());
+                    h = fnv1a(h, b"\n");
+                }
+                h
+            }
+        }
     }
 }
 
@@ -190,6 +209,14 @@ pub enum Request {
         /// Job id to cancel.
         id: String,
     },
+    /// Retrieve the parked terminal of a job whose submitting session
+    /// disconnected before the result arrived (reconnect flow).
+    Pickup {
+        /// Tenant scope (empty = session default).
+        tenant: String,
+        /// Job id whose terminal to retrieve.
+        id: String,
+    },
     /// Report queue depth, in-flight count and cache statistics.
     Status,
     /// Full metrics introspection: a `htforge.metrics_snapshot/v1`
@@ -290,6 +317,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 id,
             })
         }
+        "pickup" => {
+            let id = id
+                .ok_or_else(|| RequestError::new("request", None, "pickup requires string `id`"))?;
+            Ok(Request::Pickup {
+                tenant: str_field(&doc, "tenant").unwrap_or_default(),
+                id,
+            })
+        }
         "status" => Ok(Request::Status),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => {
@@ -309,7 +344,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         other => Err(RequestError::new(
             "request",
             id,
-            format!("unknown op `{other}` (submit, cancel, status, metrics, shutdown)"),
+            format!("unknown op `{other}` (submit, cancel, pickup, status, metrics, shutdown)"),
         )),
     }
 }
@@ -474,6 +509,13 @@ impl Request {
             }
             Request::Cancel { tenant, id } => {
                 fields.push(("op", Json::Str("cancel".into())));
+                if !tenant.is_empty() {
+                    fields.push(("tenant", Json::Str(tenant.clone())));
+                }
+                fields.push(("id", Json::Str(id.clone())));
+            }
+            Request::Pickup { tenant, id } => {
+                fields.push(("op", Json::Str("pickup".into())));
                 if !tenant.is_empty() {
                     fields.push(("tenant", Json::Str(tenant.clone())));
                 }
@@ -799,6 +841,14 @@ mod tests {
                 tenant: String::new(),
                 id: "x".into(),
             },
+            Request::Pickup {
+                tenant: "acme".into(),
+                id: "job-1".into(),
+            },
+            Request::Pickup {
+                tenant: String::new(),
+                id: "job-2".into(),
+            },
             Request::Status,
             Request::Metrics,
             Request::Shutdown { drop_queued: true },
@@ -829,6 +879,23 @@ mod tests {
             CircuitSource::Builtin("x".into()).content_hash(),
             CircuitSource::Inline("x".into()).content_hash()
         );
+    }
+
+    #[test]
+    fn inline_hash_ignores_comments_and_whitespace() {
+        let tight = CircuitSource::Inline("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n".into());
+        let airy = CircuitSource::Inline(
+            "# benchmark circuit\n\n  INPUT(a)  \n\nOUTPUT(y)   # primary output\n\ny = NOT(a)"
+                .into(),
+        );
+        assert_eq!(tight.content_hash(), airy.content_hash());
+        // Different statements still hash apart.
+        let other = CircuitSource::Inline("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n".into());
+        assert_ne!(tight.content_hash(), other.content_hash());
+        // Canonicalization joins on statement boundaries, not by
+        // concatenation: the line split must stay significant.
+        let merged = CircuitSource::Inline("INPUT(a)\nOUTPUT(y)y = NOT(a)\n".into());
+        assert_ne!(tight.content_hash(), merged.content_hash());
     }
 
     #[test]

@@ -363,8 +363,12 @@ impl SimProgram {
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// part of `nl` is cyclic.
     pub fn compile(nl: &Netlist) -> Result<Self, NetlistError> {
-        let order = htforge_netlist::graph::topo_order(nl)?;
-        let level = htforge_netlist::graph::levelize(nl)?;
+        // The netlist caches its level column; `level_order` is a
+        // counting sort over it — already level-sorted, ties in id
+        // order. Since every fanin of a level-L gate sits at a level
+        // < L, the level-sorted tape is a valid topological order for
+        // the sequential executors.
+        let level = nl.levels()?;
         let node_count = nl.node_count();
         let input_positions: Vec<(NodeId, usize)> = nl
             .inputs()
@@ -373,16 +377,11 @@ impl SimProgram {
             .map(|(pos, &id)| (id, pos))
             .collect();
 
-        // Gate steps in topo order, then stably sorted by level: within
-        // a level the original topo order is preserved, and since every
-        // fanin of a level-L gate sits at a level < L, the level-sorted
-        // tape is still a valid topological order for the sequential
-        // executors.
-        let mut steps: Vec<NodeId> = order
+        let steps: Vec<NodeId> = nl
+            .level_order()?
             .into_iter()
             .filter(|&id| matches!(nl.node(id).kind(), NodeKind::Gate(_)))
             .collect();
-        steps.sort_by_key(|id| level[id.index()]);
 
         let mut ops = Vec::with_capacity(steps.len());
         let mut dsts = Vec::with_capacity(steps.len());

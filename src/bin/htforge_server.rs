@@ -27,8 +27,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use htforge::server::{
-    read_records, serve_cancellable, serve_unix_socket_with, FsyncPolicy, JournalConfig,
-    ProgramCache, ServerConfig, StatsSnapshot,
+    read_records_with_archive, serve_cancellable, serve_unix_socket_with, FsyncPolicy,
+    JournalConfig, ProgramCache, ServerConfig, StatsSnapshot,
 };
 
 const USAGE: &str = "\
@@ -46,7 +46,9 @@ durability:
   --fsync POLICY      journal fsync policy: always, never, batch:N
                       (default batch:64)
   --dump-journal PATH print a segment's records as JSONL and exit
-                      (each line is an htforge.server_journal/v1 doc)
+                      (each line is an htforge.server_journal/v1 doc;
+                      a .1 pre-compaction archive is included, so the
+                      dump covers the full campaign across rotations)
 
 admission control (0 = unlimited):
   --max-queue N       bound on queued jobs; excess submits are shed
@@ -84,7 +86,8 @@ fn install_signal_handlers() {
 }
 
 fn dump_journal(path: &Path) -> Result<(), String> {
-    let (records, _) = read_records(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (records, _) =
+        read_records_with_archive(path).map_err(|e| format!("{}: {e}", path.display()))?;
     for doc in &records {
         println!("{}", doc.compact());
     }

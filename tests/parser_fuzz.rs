@@ -94,4 +94,38 @@ proptest! {
         let spliced = format!("{}{}{}", &text[..at], String::from_utf8_lossy(&junk), &text[at..]);
         let _ = bench::parse(&spliced, "fuzz");
     }
+
+    /// DFFs whose D input is a forward reference or never declared at
+    /// all — the shapes that used to hit `expect("dff declared in pass
+    /// 1")` panics in the two-pass parser. The streaming parser must
+    /// resolve forward references and turn dangling ones into `Err`.
+    #[test]
+    fn bench_parse_survives_dff_forward_and_dangling_refs(
+        declare_d in any::<bool>(),
+        dff_first in any::<bool>(),
+        extra_dangling in any::<bool>(),
+        name_seed in 0usize..4,
+    ) {
+        let d_name = ["d", "sig", "q0", "net_9"][name_seed];
+        let mut lines = vec!["INPUT(a)".to_owned(), "OUTPUT(q)".to_owned()];
+        let dff = format!("q = DFF({d_name})");
+        let decl = format!("{d_name} = NOT(a)");
+        if dff_first {
+            lines.push(dff);
+            if declare_d { lines.push(decl); }
+        } else {
+            if declare_d { lines.push(decl); }
+            lines.push(dff);
+        }
+        if extra_dangling {
+            lines.push("r = DFF(ghost)".to_owned());
+        }
+        let parsed = bench::parse(&lines.join("\n"), "fuzz");
+        if declare_d && !extra_dangling {
+            // Forward reference to a later-declared gate must resolve.
+            prop_assert!(parsed.is_ok(), "{:?}", parsed.err());
+        } else if !declare_d || extra_dangling {
+            prop_assert!(parsed.is_err(), "dangling DFF input must be a diagnostic");
+        }
+    }
 }

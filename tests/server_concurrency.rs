@@ -581,3 +581,96 @@ fn rate_limit_rejects_with_a_computed_retry_hint() {
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.completed, 1);
 }
+
+#[test]
+fn disconnected_session_terminal_is_retrievable_via_pickup() {
+    let (server, rx0) = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+
+    // Submit on a socket-style session, then drop the connection
+    // before the job can possibly complete.
+    let (sid, session_rx) = server.open_session();
+    server.handle_for(
+        sid,
+        Request::Submit(Box::new(medium_job("recon", "orphan-1"))),
+    );
+    match session_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("ack")
+    {
+        Response::Ack { id, .. } => assert_eq!(id.as_deref(), Some("orphan-1")),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    drop(session_rx);
+    server.close_session(sid);
+
+    // The terminal diverts to the session-0 drain (stays observable)
+    // and is parked for pickup.
+    let (drained, _) = drain_terminals(&rx0, 1);
+    assert_eq!(drained, vec!["orphan-1".to_owned()]);
+
+    // A reconnected session retrieves the full terminal by tenant+id.
+    let (sid2, rx2) = server.open_session();
+    server.handle_for(
+        sid2,
+        Request::Pickup {
+            tenant: "recon".into(),
+            id: "orphan-1".into(),
+        },
+    );
+    match rx2.recv_timeout(Duration::from_secs(30)).expect("pickup") {
+        Response::Result(r) => {
+            assert_eq!((r.tenant.as_str(), r.id.as_str()), ("recon", "orphan-1"));
+            assert_eq!(r.status.as_str(), "done");
+            assert!(r.result.is_some(), "pickup returns the full payload");
+        }
+        other => panic!("expected parked terminal, got {other:?}"),
+    }
+
+    // Pickup consumes the parked entry: a second attempt is a
+    // structured error, as is picking up a job that was never parked.
+    server.handle_for(
+        sid2,
+        Request::Pickup {
+            tenant: "recon".into(),
+            id: "orphan-1".into(),
+        },
+    );
+    match rx2.recv_timeout(Duration::from_secs(30)).expect("error") {
+        Response::Error { stage, error, .. } => {
+            assert_eq!(stage, "pickup");
+            assert!(error.contains("orphan-1"), "{error}");
+        }
+        other => panic!("expected pickup error, got {other:?}"),
+    }
+
+    // A terminal delivered to a live session is never parked.
+    server.handle_for(sid2, Request::Submit(Box::new(medium_job("recon", "live"))));
+    let mut saw_live_result = false;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !saw_live_result {
+        assert!(Instant::now() < deadline, "live terminal never arrived");
+        if let Response::Result(r) = rx2.recv_timeout(Duration::from_secs(120)).expect("stream") {
+            assert_eq!(r.id, "live");
+            saw_live_result = true;
+        }
+    }
+    server.handle_for(
+        sid2,
+        Request::Pickup {
+            tenant: "recon".into(),
+            id: "live".into(),
+        },
+    );
+    assert!(matches!(
+        rx2.recv_timeout(Duration::from_secs(30)).expect("error"),
+        Response::Error { .. }
+    ));
+
+    server.close_session(sid2);
+    server.request_shutdown(false);
+    let stats = server.join();
+    assert_eq!(stats.completed, 2);
+}

@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 
 use htforge::server::{
-    CircuitSource, FsyncPolicy, JobKind, JobParams, JobSpec, JobStatus, Journal, JournalConfig,
-    JournalEvent,
+    archive_path, read_records, read_records_with_archive, CircuitSource, FsyncPolicy, JobKind,
+    JobParams, JobSpec, JobStatus, Journal, JournalConfig, JournalEvent,
 };
 
 fn temp_journal(tag: &str) -> PathBuf {
@@ -221,6 +221,79 @@ proptest! {
             keys(&after.pending).contains(&"post/crash".to_owned()),
             "segment not writable after repair"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Compaction discards terminal records from the live segment; the
+    // `.1` archive must preserve them so a dump reconstructs the
+    // campaign. After exactly one rotation the archive is the complete
+    // pre-compaction segment, so the combined dump carries a terminal
+    // record for *every* scripted terminal; in general the live
+    // records are a suffix of the combined dump and every record
+    // validates against the journal schema.
+    #[test]
+    fn rotation_archives_the_discarded_terminal_history(
+        script in proptest::collection::vec(job_script(), 8..40),
+    ) {
+        let path = temp_journal("archive");
+        let mut cfg = config(path.clone());
+        cfg.rotate_bytes = 6_000;
+        let (mut journal, _) = Journal::open(cfg).unwrap();
+        let (_, submitted) = write_script(&mut journal, &script);
+        let rotations = journal.stats().rotations;
+        drop(journal);
+
+        let (live, torn_live) = read_records(&path).unwrap();
+        let (all, torn_all) = read_records_with_archive(&path).unwrap();
+        prop_assert_eq!(torn_live, 0);
+        prop_assert_eq!(torn_all, 0);
+        if rotations == 0 {
+            prop_assert!(!archive_path(&path).exists());
+        } else {
+            prop_assert!(archive_path(&path).exists());
+        }
+
+        // Live records are a suffix of the combined dump.
+        prop_assert!(all.len() >= live.len());
+        let tail = &all[all.len() - live.len()..];
+        for (a, l) in tail.iter().zip(&live) {
+            prop_assert_eq!(a.compact(), l.compact());
+        }
+
+        // Every record (archived included) validates, and no submit
+        // names a job that was never scripted.
+        let mut dumped_terminals = Vec::new();
+        for doc in &all {
+            htforge::obs::validate_server_journal(doc).unwrap();
+            let event = doc.get("event").and_then(|e| e.as_str()).unwrap();
+            let tenant = doc.get("tenant").and_then(|t| t.as_str()).unwrap();
+            let id = doc.get("id").and_then(|i| i.as_str()).unwrap();
+            let key = format!("{tenant}/{id}");
+            prop_assert!(submitted.contains(&key), "invented job `{key}`");
+            if event == "terminal" {
+                dumped_terminals.push(key);
+            }
+        }
+
+        // One rotation: the archive is the entire pre-compaction
+        // segment, so no terminal is lost to the compaction.
+        if rotations == 1 {
+            let mut expected: Vec<String> = script
+                .iter()
+                .enumerate()
+                .filter(|(_, job)| job.terminal.is_some())
+                .map(|(i, job)| format!("{}/job-{i}", TENANTS[job.tenant_ix as usize]))
+                .collect();
+            expected.sort();
+            dumped_terminals.sort();
+            prop_assert_eq!(dumped_terminals, expected);
+        }
+
+        let _ = std::fs::remove_file(archive_path(&path));
         let _ = std::fs::remove_file(&path);
     }
 }
